@@ -1,0 +1,54 @@
+// Command benchgen emits benchmark specifications as .has files: the
+// hand-written real suite and/or freshly generated synthetic workflows
+// (paper Section 4.1 and Appendix D).
+//
+// Usage:
+//
+//	benchgen -dir out [-real] [-synth N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"verifas/internal/benchmark"
+	"verifas/internal/spec"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "bench-specs", "output directory")
+		genReal  = flag.Bool("real", true, "emit the real-style suite")
+		genSynth = flag.Int("synth", 12, "number of synthetic specifications to generate")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	count := 0
+	write := func(s *benchmark.Spec) {
+		path := filepath.Join(*dir, s.Name+".has")
+		text := spec.Print(&spec.File{System: s.Sys})
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %-40s (M=%d)\n", path, s.M)
+		count++
+	}
+	if *genReal {
+		for _, s := range benchmark.RealSuite() {
+			write(s)
+		}
+	}
+	if *genSynth > 0 {
+		for _, s := range benchmark.SyntheticSuite(*genSynth, *seed) {
+			write(s)
+		}
+	}
+	fmt.Printf("%d specifications written to %s\n", count, *dir)
+}

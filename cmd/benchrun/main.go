@@ -1,0 +1,87 @@
+// Command benchrun regenerates the paper's evaluation artifacts: Tables
+// 1-4, the Figure 9 series, and the repeated-reachability overhead
+// measurement (paper Section 4).
+//
+// Usage:
+//
+//	benchrun [-table 1|2|3|4|rr] [-figure 9] [-all]
+//	         [-synth N] [-real N] [-timeout D] [-seed S]
+//
+// Absolute numbers depend on the host; the shapes (who wins, by what
+// factor, where timeouts appear) reproduce the paper — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"verifas/internal/benchmark"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "", "regenerate one table: 1, 2, 3, 4 or rr")
+		figure   = flag.String("figure", "", "regenerate one figure: 9")
+		all      = flag.Bool("all", false, "regenerate everything")
+		synthN   = flag.Int("synth", 12, "number of synthetic specifications")
+		realN    = flag.Int("real", 0, "cap on real specifications (0 = all)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-run timeout")
+		seed     = flag.Int64("seed", 1, "suite and property seed")
+		spinMax  = flag.Int("spin-max-states", 150000, "state budget of the spin-like baseline")
+		maxState = flag.Int("max-states", 400000, "state budget per VERIFAS search phase")
+	)
+	flag.Parse()
+	if *table == "" && *figure == "" && !*all {
+		*all = true
+	}
+
+	cfg := benchmark.Config{
+		Timeout:       *timeout,
+		MaxStates:     *maxState,
+		SpinMaxStates: *spinMax,
+		SpinFresh:     2,
+		Seed:          *seed,
+	}
+	fmt.Printf("building suites (synthetic N=%d, seed=%d)...\n", *synthN, *seed)
+	real := benchmark.RealSuite()
+	if *realN > 0 && *realN < len(real) {
+		real = real[:*realN]
+	}
+	synthetic := benchmark.SyntheticSuite(*synthN, *seed)
+	fmt.Printf("suites ready: %d real, %d synthetic\n\n", len(real), len(synthetic))
+
+	want := func(t string) bool { return *all || *table == t }
+
+	if want("1") {
+		fmt.Println(benchmark.Table1(real, synthetic))
+	}
+	if want("2") {
+		start := time.Now()
+		fmt.Println(benchmark.Table2(real, synthetic, cfg))
+		fmt.Printf("(table 2 took %s)\n\n", time.Since(start).Round(time.Second))
+	}
+	if want("3") {
+		start := time.Now()
+		fmt.Println(benchmark.Table3(real, synthetic, cfg))
+		fmt.Printf("(table 3 took %s)\n\n", time.Since(start).Round(time.Second))
+	}
+	if want("4") {
+		start := time.Now()
+		fmt.Println(benchmark.Table4(real, synthetic, cfg))
+		fmt.Printf("(table 4 took %s)\n\n", time.Since(start).Round(time.Second))
+	}
+	if *all || *figure == "9" {
+		start := time.Now()
+		_, out := benchmark.Figure9(real, synthetic, cfg)
+		fmt.Println(out)
+		fmt.Printf("(figure 9 took %s)\n\n", time.Since(start).Round(time.Second))
+	}
+	if want("rr") {
+		start := time.Now()
+		fmt.Println(benchmark.RROverhead(real, synthetic, cfg))
+		fmt.Printf("(rr overhead took %s)\n", time.Since(start).Round(time.Second))
+	}
+	os.Exit(0)
+}

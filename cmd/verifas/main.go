@@ -1,0 +1,212 @@
+// Command verifas verifies LTL-FO properties of HAS* specifications.
+//
+// Usage:
+//
+//	verifas [flags] SPEC.has
+//
+// The specification file uses the textual format of internal/spec and may
+// contain any number of property blocks; by default every property is
+// verified. Exit status: 0 when all verified properties hold, 1 when a
+// violation was found, 2 on errors or timeouts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"verifas/internal/concrete"
+	"verifas/internal/core"
+	"verifas/internal/cyclo"
+	"verifas/internal/has"
+	"verifas/internal/spec"
+	"verifas/internal/spinlike"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		propName  = flag.String("prop", "", "verify only the named property")
+		engine    = flag.String("engine", "verifas", "verification engine: verifas or spinlike")
+		noSet     = flag.Bool("noset", false, "ignore artifact relations (VERIFAS-NoSet)")
+		noSP      = flag.Bool("nosp", false, "disable ⪯ state pruning")
+		noSA      = flag.Bool("nosa", false, "disable static analysis")
+		noDSS     = flag.Bool("nodss", false, "disable index data structures")
+		noRR      = flag.Bool("norr", false, "disable the repeated-reachability module")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-property timeout")
+		maxStates = flag.Int("max-states", core.DefaultMaxStates, "state budget per search phase")
+		showTrace = flag.Bool("trace", true, "print counterexample traces")
+		showStats = flag.Bool("stats", false, "print search statistics")
+		witness   = flag.Bool("witness", false, "try to realize root-task counterexample prefixes concretely on random databases")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: verifas [flags] SPEC.has")
+		flag.PrintDefaults()
+		return 2
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 2
+	}
+	file, err := spec.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return 2
+	}
+	m, mTask, mVar := cyclo.Complexity(file.System)
+	st := file.System.Stats()
+	fmt.Printf("system %s: %d relations, %d tasks, %d variables, %d services, M(A)=%d (task %s, var %s)\n",
+		file.System.Name, st.Relations, st.Tasks, st.Variables, st.Services, m, mTask, mVar)
+
+	props := file.Properties
+	if *propName != "" {
+		props = nil
+		for _, p := range file.Properties {
+			if p.Name == *propName {
+				props = append(props, p)
+			}
+		}
+		if len(props) == 0 {
+			fmt.Fprintf(os.Stderr, "error: no property named %q in %s\n", *propName, flag.Arg(0))
+			return 2
+		}
+	}
+	if len(props) == 0 {
+		fmt.Println("no properties to verify")
+		return 0
+	}
+
+	exit := 0
+	for _, prop := range props {
+		switch *engine {
+		case "spinlike":
+			res, err := spinlike.Verify(file.System, &spinlike.Property{
+				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
+			}, spinlike.Options{Timeout: *timeout})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: error: %v\n", prop.Name, err)
+				return 2
+			}
+			switch {
+			case res.TimedOut:
+				fmt.Printf("%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
+				exit = max(exit, 2)
+			case res.Holds:
+				fmt.Printf("%-30s HOLDS    (%s, %d states, bounded domain)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
+			default:
+				fmt.Printf("%-30s VIOLATED (%s, %d states, bounded domain)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
+				exit = max(exit, 1)
+			}
+		default:
+			res, err := core.Verify(file.System, prop, core.Options{
+				IgnoreSets:               *noSet,
+				NoStatePruning:           *noSP,
+				NoStaticAnalysis:         *noSA,
+				NoIndexes:                *noDSS,
+				SkipRepeatedReachability: *noRR,
+				Timeout:                  *timeout,
+				MaxStates:                *maxStates,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: error: %v\n", prop.Name, err)
+				return 2
+			}
+			switch {
+			case res.Stats.TimedOut:
+				fmt.Printf("%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+				exit = max(exit, 2)
+			case res.Holds:
+				fmt.Printf("%-30s HOLDS    (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+			default:
+				fmt.Printf("%-30s VIOLATED (%s, %d states, %s counterexample)\n",
+					prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored, res.Violation.Kind)
+				if *showTrace {
+					printTrace(res.Violation)
+				}
+				if *witness && prop.Task == file.System.Root.Name {
+					replayWitness(file.System, res.Violation)
+				}
+				exit = max(exit, 1)
+			}
+			if *showStats {
+				fmt.Printf("  büchi=%d explored=%d pruned=%d skipped=%d accel=%d rr=%d\n",
+					res.Stats.BuchiStates, res.Stats.StatesExplored, res.Stats.Pruned,
+					res.Stats.Skipped, res.Stats.Accelerations, res.Stats.RRStates)
+			}
+		}
+	}
+	return exit
+}
+
+// replayWitness tries to realize the counterexample prefix as a concrete
+// run over random databases, printing the realized trace when found. The
+// sampler is incomplete: failure to realize does not refute the symbolic
+// counterexample.
+func replayWitness(sys *has.System, v *core.Violation) {
+	var atoms []string
+	for i, step := range v.Prefix {
+		if i == 0 {
+			continue // the root opening is implicit in the concrete runner
+		}
+		atoms = append(atoms, step.Service.AtomName())
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := concrete.RandomDB(sys.Schema, rng, 2+int(seed%3), sys.Constants())
+		run, err := concrete.NewRunner(sys, db, rng)
+		if err != nil {
+			continue
+		}
+		ok, err := run.GuidedReplay(sys.Root, atoms)
+		if err != nil {
+			continue
+		}
+		kind := "prefix"
+		if !ok {
+			// The per-task abstraction may make the exact local run
+			// unrealizable; fall back to subsequence matching.
+			rng2 := rand.New(rand.NewSource(seed ^ 0x5bd1))
+			run, err = concrete.NewRunner(sys, db, rng2)
+			if err != nil {
+				continue
+			}
+			ok, err = run.GuidedReplaySubsequence(sys.Root, atoms)
+			if err != nil || !ok {
+				continue
+			}
+			kind = "observable subsequence"
+		}
+		fmt.Printf("    concrete realization of the counterexample %s (random database):\n", kind)
+		for i, st := range run.Trace {
+			fmt.Printf("      %2d. %s\n", i, st.Event.AtomName())
+		}
+		return
+	}
+	fmt.Println("    (no concrete realization sampled within the budget)")
+}
+
+func printTrace(v *core.Violation) {
+	for i, step := range v.Prefix {
+		fmt.Printf("    %2d. %-28s %s\n", i, step.Service.AtomName(), step.State)
+	}
+	if len(v.Cycle) > 0 {
+		fmt.Println("    -- repeat forever:")
+		for _, step := range v.Cycle {
+			fmt.Printf("        %s\n", step.Service.AtomName())
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+// Quickstart: build a small HAS* specification in code, verify two
+// LTL-FO properties, and print the verdicts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+)
+
+func main() {
+	// A two-stage document approval process: the root task drafts
+	// documents and a Review child task approves or rejects them based on
+	// the author's clearance in the read-only database.
+	schema := has.NewSchema(
+		has.RelDef("CLEARANCES", has.NK("level")),
+		has.RelDef("AUTHORS", has.NK("name"), has.FK("clearance", "CLEARANCES")),
+	)
+	review := &has.Task{
+		Name: "Review",
+		Vars: []has.Variable{
+			has.IDV("r_author", "AUTHORS"),
+			has.IDV("r_clearance", "CLEARANCES"),
+			has.V("r_verdict"),
+		},
+		In:         []string{"r_author"},
+		Out:        []string{"r_verdict"},
+		InMap:      map[string]string{"r_author": "author"},
+		OutMap:     map[string]string{"r_verdict": "state"},
+		OpeningPre: fol.MustParse(`state == "Drafted"`),
+		ClosingPre: fol.MustParse(`r_verdict == "Approved" || r_verdict == "Rejected"`),
+		Services: []*has.Service{{
+			Name: "Decide",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists n : val (
+				AUTHORS(r_author, n, r_clearance)
+				&& (CLEARANCES(r_clearance, "Secret") -> r_verdict == "Approved")
+				&& (!CLEARANCES(r_clearance, "Secret") -> r_verdict == "Rejected"))`),
+			Propagate: []string{"r_author"},
+		}},
+	}
+	root := &has.Task{
+		Name: "Desk",
+		Vars: []has.Variable{
+			has.IDV("author", "AUTHORS"),
+			has.V("state"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "Draft",
+				Pre:  fol.MustParse(`state == null`),
+				Post: fol.MustParse(`author != null && state == "Drafted"`),
+			},
+			{
+				Name: "Archive",
+				Pre:  fol.MustParse(`state == "Approved" || state == "Rejected"`),
+				Post: fol.MustParse(`author == null && state == null`),
+			},
+		},
+		Children: []*has.Task{review},
+	}
+	sys := &has.System{
+		Name:      "DocApproval",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`author == null && state == null`),
+	}
+	if err := sys.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	verify := func(prop *core.Property) {
+		res, err := core.Verify(sys, prop, core.Options{Timeout: 30 * time.Second})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "HOLDS"
+		if !res.Holds {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("%-34s %-9s (%v, %d states)\n",
+			prop.Name, verdict, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+		if res.Violation != nil {
+			for i, step := range res.Violation.Prefix {
+				fmt.Printf("   %2d. %-18s %s\n", i, step.Service.AtomName(), step.State)
+			}
+		}
+	}
+
+	// Safety: every decision made by Review respects the clearance table
+	// — if the review closes Approved, the author's clearance is Secret.
+	verify(&core.Property{
+		Name: "approval-needs-clearance",
+		Task: "Review",
+		Conds: map[string]fol.Formula{
+			"approved": fol.MustParse(`r_verdict == "Approved"`),
+			"secret":   fol.MustParse(`r_clearance != null && CLEARANCES(r_clearance, "Secret")`),
+		},
+		Formula: ltl.MustParse(`G ((close(Review) && approved) -> secret)`),
+	})
+
+	// Liveness that fails: nothing forces the desk to ever archive.
+	verify(&core.Property{
+		Name:    "archiving-inevitable",
+		Task:    "Desk",
+		Formula: ltl.MustParse(`F call(Archive)`),
+	})
+}

@@ -1,0 +1,86 @@
+// Travel booking: verify several properties of the TravelBooking workflow
+// and then execute a concrete random run of the same specification,
+// showing both halves of the system — the symbolic verifier and the
+// explicit runtime.
+//
+//	go run ./examples/travelbooking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"verifas/internal/concrete"
+	"verifas/internal/core"
+	"verifas/internal/fol"
+	"verifas/internal/ltl"
+	"verifas/internal/workflows"
+)
+
+func main() {
+	sys := workflows.TravelBooking()
+	if err := sys.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	props := []*core.Property{
+		{
+			// Payment is only attempted once both bookings are held.
+			Name: "pay-after-both-held",
+			Task: "TripDesk",
+			Conds: map[string]fol.Formula{
+				"held": fol.MustParse(`flight_state == "Held" && hotel_state == "Held"`),
+			},
+			Formula: ltl.MustParse(`G (open(ConfirmPayment) -> held)`),
+		},
+		{
+			// Ticketing is not guaranteed (the trip can be abandoned).
+			Name:    "ticketing-inevitable",
+			Task:    "TripDesk",
+			Formula: ltl.MustParse(`F call(FinishTrip)`),
+		},
+		{
+			// A held flight is never re-booked before payment concludes:
+			// BookFlight's opening requires flight == null.
+			Name: "no-double-flight-booking",
+			Task: "TripDesk",
+			Conds: map[string]fol.Formula{
+				"noflight": fol.MustParse(`flight == null`),
+			},
+			Formula: ltl.MustParse(`G (open(BookFlight) -> noflight)`),
+		},
+	}
+	for _, prop := range props {
+		res, err := core.Verify(sys, prop, core.Options{Timeout: 60 * time.Second})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "HOLDS"
+		if !res.Holds {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("%-28s %-9s (%v, %d states)\n",
+			prop.Name, verdict, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+	}
+
+	// Concrete execution over a random database.
+	fmt.Println("\nconcrete run over a random database:")
+	r := rand.New(rand.NewSource(4))
+	db := concrete.RandomDB(sys.Schema, r, 3, sys.Constants())
+	run, err := concrete.NewRunner(sys, db, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run.Run(30); err != nil {
+		log.Fatal(err)
+	}
+	for i, step := range run.Trace {
+		it, _ := step.Vals.Lookup("itinerary")
+		fs, _ := step.Vals.Lookup("flight_state")
+		hs, _ := step.Vals.Lookup("hotel_state")
+		fmt.Printf("  %2d. %-24s itinerary=%-10s flight=%-8s hotel=%-8s\n",
+			i, step.Event.AtomName(), it, fs, hs)
+	}
+}

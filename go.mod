@@ -1,0 +1,3 @@
+module verifas
+
+go 1.22

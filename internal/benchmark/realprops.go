@@ -1,0 +1,317 @@
+package benchmark
+
+import (
+	"verifas/internal/core"
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+)
+
+// CheckedProperty is a hand-written domain property of one suite workflow
+// together with its expected verdict, mirroring how the paper pairs real
+// LTL patterns with real FO conditions. The expected verdicts are part of
+// the regression suite.
+type CheckedProperty struct {
+	Workflow string
+	Prop     *core.Property
+	// Holds is the expected verdict of the full verifier.
+	Holds bool
+	// Why documents the reasoning behind the expectation.
+	Why string
+}
+
+// CheckedProperties returns the curated property suite.
+func CheckedProperties() []CheckedProperty {
+	return []CheckedProperty{
+		// ---- OrderFulfillment (the paper's running example).
+		{
+			Workflow: "OrderFulfillment",
+			Prop: &core.Property{
+				Name:    "ship-only-in-stock",
+				Task:    "ProcessOrders",
+				Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+				Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+			},
+			Holds: true,
+			Why:   "ShipItem's opening service tests the stock",
+		},
+		{
+			Workflow: "OrderFulfillmentBuggy",
+			Prop: &core.Property{
+				Name:    "ship-only-in-stock",
+				Task:    "ProcessOrders",
+				Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+				Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+			},
+			Holds: false,
+			Why:   "the buggy variant moves the test inside the task (Section 2.1)",
+		},
+		{
+			Workflow: "OrderFulfillment",
+			Prop: &core.Property{
+				Name:    "credit-check-only-after-order",
+				Task:    "ProcessOrders",
+				Conds:   map[string]fol.Formula{"placed": fol.MustParse(`status == "OrderPlaced"`)},
+				Formula: ltl.MustParse(`G (open(CheckCredit) -> placed)`),
+			},
+			Holds: true,
+			Why:   "CheckCredit's opening condition",
+		},
+		{
+			Workflow: "OrderFulfillment",
+			Prop: &core.Property{
+				Name:    "store-requires-complete-order",
+				Task:    "ProcessOrders",
+				Conds:   map[string]fol.Formula{"complete": fol.MustParse(`cust_id == null && item_id == null`)},
+				Formula: ltl.MustParse(`G (call(StoreOrder) -> complete)`),
+			},
+			Holds: true,
+			Why:   "StoreOrder's post-condition resets the order",
+		},
+		// ---- LoanOrigination.
+		{
+			Workflow: "LoanOrigination",
+			Prop: &core.Property{
+				Name:    "sign-only-approved",
+				Task:    "ProcessLoans",
+				Conds:   map[string]fol.Formula{"approved": fol.MustParse(`state == "Approved"`)},
+				Formula: ltl.MustParse(`G (open(SignContract) -> approved)`),
+			},
+			Holds: true,
+			Why:   "SignContract's opening condition",
+		},
+		{
+			Workflow: "LoanOrigination",
+			Prop: &core.Property{
+				Name:    "underwriting-decides",
+				Task:    "Underwrite",
+				Conds:   map[string]fol.Formula{"decided": fol.MustParse(`u_decision == "Approved" || u_decision == "Rejected"`)},
+				Formula: ltl.MustParse(`G (close(Underwrite) -> decided)`),
+			},
+			Holds: true,
+			Why:   "closing pre-condition of Underwrite",
+		},
+		{
+			Workflow: "LoanOrigination",
+			Prop: &core.Property{
+				Name: "prime-never-rejected-by-scoring",
+				Task: "Underwrite",
+				Conds: map[string]fol.Formula{
+					"rejected": fol.MustParse(`u_decision == "Rejected"`),
+					"prime":    fol.MustParse(`u_bureau != null && BUREAU(u_bureau, "Prime")`),
+				},
+				Formula: ltl.MustParse(`G ((call(ScoreApplicant) && prime) -> !rejected)`),
+			},
+			Holds: true,
+			Why:   "the scoring post-condition forces approval on prime bureaus",
+		},
+		{
+			Workflow: "LoanOrigination",
+			Prop: &core.Property{
+				Name:    "loans-always-signed",
+				Task:    "ProcessLoans",
+				Formula: ltl.MustParse(`F open(SignContract)`),
+			},
+			Holds: false,
+			Why:   "applications can be parked/rejected forever",
+		},
+		// ---- InsuranceClaim.
+		{
+			Workflow: "InsuranceClaim",
+			Prop: &core.Property{
+				Name:    "pay-only-approved",
+				Task:    "ClaimsDesk",
+				Conds:   map[string]fol.Formula{"approved": fol.MustParse(`phase == "Approved"`)},
+				Formula: ltl.MustParse(`G (open(PayClaim) -> approved)`),
+			},
+			Holds: true,
+			Why:   "PayClaim's opening condition",
+		},
+		{
+			Workflow: "InsuranceClaim",
+			Prop: &core.Property{
+				Name: "certified-garage-assessments",
+				Task: "AssessDamage",
+				Conds: map[string]fol.Formula{
+					"certified": fol.MustParse(`a_garage != null && GARAGES(a_garage, "Yes")`),
+				},
+				Formula: ltl.MustParse(`G (call(Inspect) -> certified)`),
+			},
+			Holds: true,
+			Why:   "Inspect's post-condition requires a certified garage",
+		},
+		// ---- TravelBooking.
+		{
+			Workflow: "TravelBooking",
+			Prop: &core.Property{
+				Name:    "payment-needs-both-bookings",
+				Task:    "TripDesk",
+				Conds:   map[string]fol.Formula{"held": fol.MustParse(`flight_state == "Held" && hotel_state == "Held"`)},
+				Formula: ltl.MustParse(`G (open(ConfirmPayment) -> held)`),
+			},
+			Holds: true,
+			Why:   "ConfirmPayment's opening condition",
+		},
+		{
+			Workflow: "TravelBooking",
+			Prop: &core.Property{
+				Name:    "no-rebooking-while-held",
+				Task:    "TripDesk",
+				Conds:   map[string]fol.Formula{"nofl": fol.MustParse(`flight == null`)},
+				Formula: ltl.MustParse(`G (open(BookFlight) -> nofl)`),
+			},
+			Holds: true,
+			Why:   "BookFlight requires no flight selected yet",
+		},
+		// ---- SupportTicketing.
+		{
+			Workflow: "SupportTicketing",
+			Prop: &core.Property{
+				Name:    "resolve-only-low-severity",
+				Task:    "TicketDesk",
+				Conds:   map[string]fol.Formula{"low": fol.MustParse(`severity == "Low"`)},
+				Formula: ltl.MustParse(`G (open(Resolve) -> low)`),
+			},
+			Holds: true,
+			Why:   "Resolve's opening condition routes high severity to Escalate",
+		},
+		{
+			Workflow: "SupportTicketing",
+			Prop: &core.Property{
+				Name:    "escalation-resolves",
+				Task:    "Escalate",
+				Conds:   map[string]fol.Formula{"done": fol.MustParse(`e_outcome == "Resolved"`)},
+				Formula: ltl.MustParse(`G (close(Escalate) -> done)`),
+			},
+			Holds: true,
+			Why:   "Escalate's closing condition",
+		},
+		{
+			Workflow: "SupportTicketing",
+			Prop: &core.Property{
+				Name:    "tickets-eventually-resolved",
+				Task:    "TicketDesk",
+				Formula: ltl.MustParse(`F call(CloseTicket)`),
+			},
+			Holds: false,
+			Why:   "tickets can bounce between the backlog and triage forever",
+		},
+		// ---- WarrantyRepair (three-level hierarchy).
+		{
+			Workflow: "WarrantyRepair",
+			Prop: &core.Property{
+				Name:    "parts-ordered-only-when-selected",
+				Task:    "Repair",
+				Conds:   map[string]fol.Formula{"sel": fol.MustParse(`r_part != null`)},
+				Formula: ltl.MustParse(`G (open(OrderParts) -> sel)`),
+			},
+			Holds: true,
+			Why:   "OrderParts' opening condition requires a selected part",
+		},
+		{
+			Workflow: "WarrantyRepair",
+			Prop: &core.Property{
+				Name:    "fit-needs-arrived-part",
+				Task:    "Repair",
+				Conds:   map[string]fol.Formula{"ready": fol.MustParse(`r_partready == "Yes"`)},
+				Formula: ltl.MustParse(`G (call(FitPart) -> ready)`),
+			},
+			Holds: true,
+			Why:   "FitPart's pre-condition",
+		},
+		// ---- AccountOpening.
+		{
+			Workflow: "AccountOpening",
+			Prop: &core.Property{
+				Name:    "activation-needs-clearance",
+				Task:    "Onboarding",
+				Conds:   map[string]fol.Formula{"ok": fol.MustParse(`progress == "Cleared"`)},
+				Formula: ltl.MustParse(`G (open(ActivateAccount) -> ok)`),
+			},
+			Holds: true,
+			Why:   "ActivateAccount's opening condition",
+		},
+		{
+			Workflow: "AccountOpening",
+			Prop: &core.Property{
+				Name: "kyc-clean-registry",
+				Task: "KYCCheck",
+				Conds: map[string]fol.Formula{
+					"cleared": fol.MustParse(`k_result == "Cleared"`),
+					"clean":   fol.MustParse(`k_reg != null && REGISTRY(k_reg, "Clean")`),
+				},
+				Formula: ltl.MustParse(`G ((call(ScreenApplicant) && cleared) -> clean)`),
+			},
+			Holds: true,
+			Why:   "the screening post ties the verdict to the registry row",
+		},
+		// ---- GrantReview (conflict of interest via foreign keys).
+		{
+			Workflow: "GrantReview",
+			Prop: &core.Property{
+				Name:    "decide-needs-reviewer",
+				Task:    "GrantOffice",
+				Conds:   map[string]fol.Formula{"assigned": fol.MustParse(`reviewer != null && stage == "Assigned"`)},
+				Formula: ltl.MustParse(`G (open(Decide) -> assigned)`),
+			},
+			Holds: true,
+			Why:   "Decide's opening condition",
+		},
+		// ---- CourseEnrollment.
+		{
+			Workflow: "CourseEnrollment",
+			Prop: &core.Property{
+				Name:    "seat-only-eligible",
+				Task:    "Registrar",
+				Conds:   map[string]fol.Formula{"ok": fol.MustParse(`enrollment == "Eligible"`)},
+				Formula: ltl.MustParse(`G (open(AllocateSeat) -> ok)`),
+			},
+			Holds: true,
+			Why:   "AllocateSeat's opening condition",
+		},
+		{
+			Workflow: "CourseEnrollment",
+			Prop: &core.Property{
+				Name:    "enrollment-not-inevitable",
+				Task:    "Registrar",
+				Conds:   map[string]fol.Formula{"in": fol.MustParse(`enrollment == "Enrolled"`)},
+				Formula: ltl.MustParse(`F in`),
+			},
+			Holds: false,
+			Why:   "requests can be ineligible or waitlisted forever",
+		},
+		// ---- Universal (globally quantified) properties.
+		{
+			Workflow: "OrderFulfillment",
+			Prop: &core.Property{
+				Name:    "store-clears-selected-customer",
+				Task:    "ProcessOrders",
+				Globals: []has.Variable{has.IDV("c", "CUSTOMERS")},
+				Conds: map[string]fol.Formula{
+					"isc":    fol.MustParse(`cust_id == c`),
+					"isnull": fol.MustParse(`c == null`),
+				},
+				Formula: ltl.MustParse(`G ((call(StoreOrder) && isc) -> isnull)`),
+			},
+			Holds: true,
+			Why:   "StoreOrder forces cust_id = null, so only the null witness matches",
+		},
+		{
+			Workflow: "CarRental",
+			Prop: &core.Property{
+				Name:    "same-vehicle-through-pickup",
+				Task:    "RentalDesk",
+				Globals: []has.Variable{has.IDV("v", "VEHICLES")},
+				Conds: map[string]fol.Formula{
+					"isv":      fol.MustParse(`vehicle == v`),
+					"stillisv": fol.MustParse(`vehicle == v || rental == "Cancelled"`),
+				},
+				Formula: ltl.MustParse(`G ((open(Pickup) && isv) -> X stillisv)`),
+			},
+			Holds: true,
+			Why: "vehicle is an input of Pickup (propagated), so it survives the " +
+				"child's run; the only next observable snapshot is the child close, " +
+				"which returns only rental",
+		},
+	}
+}

@@ -1,0 +1,41 @@
+package benchmark
+
+import (
+	"testing"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/has"
+	"verifas/internal/workflows"
+)
+
+// Every curated domain property must verify to its documented verdict.
+func TestCheckedProperties(t *testing.T) {
+	systems := map[string]*has.System{}
+	for _, cp := range CheckedProperties() {
+		sys, ok := systems[cp.Workflow]
+		if !ok {
+			sys = workflows.ByName(cp.Workflow)
+			if sys == nil {
+				t.Fatalf("unknown workflow %q", cp.Workflow)
+			}
+			if err := sys.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			systems[cp.Workflow] = sys
+		}
+		res, err := core.Verify(sys, cp.Prop, core.Options{
+			MaxStates: 400_000,
+			Timeout:   120 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", cp.Workflow, cp.Prop.Name, err)
+		}
+		if res.Stats.TimedOut {
+			t.Fatalf("%s/%s: timed out after %d states", cp.Workflow, cp.Prop.Name, res.Stats.StatesExplored)
+		}
+		if res.Holds != cp.Holds {
+			t.Errorf("%s/%s: Holds = %v, want %v (%s)", cp.Workflow, cp.Prop.Name, res.Holds, cp.Holds, cp.Why)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package benchmark
+
+import (
+	"fmt"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/cyclo"
+	"verifas/internal/has"
+	"verifas/internal/spinlike"
+	"verifas/internal/synth"
+	"verifas/internal/workflows"
+)
+
+// Spec is one benchmark specification.
+type Spec struct {
+	Name string
+	Set  string // "Real" or "Synthetic"
+	Sys  *has.System
+	// M is the cyclomatic complexity M(A).
+	M int
+}
+
+// RealSuite returns the hand-written workflow suite.
+func RealSuite() []*Spec {
+	var out []*Spec
+	for _, e := range workflows.All() {
+		sys := e.Build()
+		if err := sys.Validate(); err != nil {
+			panic("benchmark: real workflow " + e.Name + " invalid: " + err.Error())
+		}
+		m, _, _ := cyclo.Complexity(sys)
+		out = append(out, &Spec{Name: e.Name, Set: "Real", Sys: sys, M: m})
+	}
+	return out
+}
+
+// syntheticTiers sweeps the generator sizes from small to the paper's
+// full synthetic sizes, spreading cyclomatic complexity for Figure 9.
+func syntheticTiers() []synth.Params {
+	return []synth.Params{
+		{Relations: 2, Tasks: 2, VarsPerTask: 4, ServicesPerTask: 3, AtomsPerCond: 2, NonKeyAttrs: 2, Constants: 3},
+		{Relations: 3, Tasks: 2, VarsPerTask: 6, ServicesPerTask: 5, AtomsPerCond: 3, NonKeyAttrs: 2, Constants: 3},
+		{Relations: 3, Tasks: 3, VarsPerTask: 8, ServicesPerTask: 8, AtomsPerCond: 3, NonKeyAttrs: 3, Constants: 4},
+		{Relations: 4, Tasks: 4, VarsPerTask: 10, ServicesPerTask: 10, AtomsPerCond: 4, NonKeyAttrs: 3, Constants: 4},
+		{Relations: 5, Tasks: 5, VarsPerTask: 12, ServicesPerTask: 12, AtomsPerCond: 4, NonKeyAttrs: 4, Constants: 5},
+		{Relations: 5, Tasks: 5, VarsPerTask: 15, ServicesPerTask: 15, AtomsPerCond: 5, NonKeyAttrs: 4, Constants: 5},
+	}
+}
+
+// SyntheticSuite generates n random specifications (paper: 120), cycling
+// through the size tiers and filtering out empty-state-space candidates.
+func SyntheticSuite(n int, seed int64) []*Spec {
+	tiers := syntheticTiers()
+	var out []*Spec
+	for i := 0; i < n; i++ {
+		p := tiers[i%len(tiers)]
+		sys := synth.GenerateValid(p, seed+int64(i)*104729, 3, 20)
+		if err := sys.Validate(); err != nil {
+			continue
+		}
+		m, _, _ := cyclo.Complexity(sys)
+		out = append(out, &Spec{
+			Name: fmt.Sprintf("synth-%02d", i),
+			Set:  "Synthetic",
+			Sys:  sys,
+			M:    m,
+		})
+	}
+	return out
+}
+
+// Config bounds the benchmark runs. The paper used a 10-minute timeout
+// and 8 GB; this container scales the budget down (relative behaviour is
+// preserved — see DESIGN.md).
+type Config struct {
+	// Timeout is the per-run wall-clock budget.
+	Timeout time.Duration
+	// MaxStates is the per-phase state budget of VERIFAS runs.
+	MaxStates int
+	// SpinMaxStates and SpinFresh configure the spin-like baseline.
+	SpinMaxStates int
+	SpinFresh     int
+	// Seed drives property instantiation.
+	Seed int64
+}
+
+// DefaultConfig returns a budget suitable for a small container.
+func DefaultConfig() Config {
+	return Config{
+		Timeout:       5 * time.Second,
+		MaxStates:     400_000,
+		SpinMaxStates: 150_000,
+		SpinFresh:     2,
+		Seed:          1,
+	}
+}
+
+// Run is one (spec, property, verifier) measurement.
+type Run struct {
+	Spec     *Spec
+	Template string
+	Class    string
+	Verifier string
+	Time     time.Duration
+	Fail     bool // timeout or budget exhaustion
+	Holds    bool
+}
+
+// Verifier names.
+const (
+	VVerifas      = "VERIFAS"
+	VVerifasNoSet = "VERIFAS-NoSet"
+	VSpinlike     = "Spin-like"
+	VNoSP         = "VERIFAS-noSP"
+	VNoSA         = "VERIFAS-noSA"
+	VNoDSS        = "VERIFAS-noDSS"
+	VNoRR         = "VERIFAS-noRR"
+)
+
+// RunOne verifies one property of a spec with the named verifier.
+func RunOne(spec *Spec, prop *core.Property, verifier string, cfg Config) Run {
+	tmplClass := ""
+	run := Run{Spec: spec, Template: prop.Name, Class: tmplClass, Verifier: verifier}
+	switch verifier {
+	case VSpinlike:
+		res, err := spinlike.Verify(spec.Sys, &spinlike.Property{
+			Task:    prop.Task,
+			Globals: prop.Globals,
+			Conds:   prop.Conds,
+			Formula: prop.Formula,
+		}, spinlike.Options{
+			FreshPerSort: cfg.SpinFresh,
+			MaxStates:    cfg.SpinMaxStates,
+			Timeout:      cfg.Timeout,
+		})
+		if err != nil {
+			run.Fail = true
+			return run
+		}
+		run.Time = res.Stats.Elapsed
+		run.Fail = res.TimedOut
+		run.Holds = res.Holds
+		return run
+	default:
+		opts := core.Options{MaxStates: cfg.MaxStates, Timeout: cfg.Timeout}
+		switch verifier {
+		case VVerifasNoSet:
+			opts.IgnoreSets = true
+		case VNoSP:
+			opts.NoStatePruning = true
+		case VNoSA:
+			opts.NoStaticAnalysis = true
+		case VNoDSS:
+			opts.NoIndexes = true
+		case VNoRR:
+			opts.SkipRepeatedReachability = true
+		}
+		res, err := core.Verify(spec.Sys, prop, opts)
+		if err != nil {
+			run.Fail = true
+			return run
+		}
+		run.Time = res.Stats.Elapsed
+		run.Fail = res.Stats.TimedOut
+		run.Holds = res.Holds
+		return run
+	}
+}
+
+// RunSuite verifies the 12 template properties of every spec with the
+// named verifier.
+func RunSuite(specs []*Spec, verifier string, cfg Config) []Run {
+	tmpls := Templates()
+	var out []Run
+	for si, spec := range specs {
+		props := Properties(spec.Sys, cfg.Seed+int64(si))
+		for ti, prop := range props {
+			r := RunOne(spec, prop, verifier, cfg)
+			r.Class = tmpls[ti].Class
+			out = append(out, r)
+		}
+	}
+	return out
+}

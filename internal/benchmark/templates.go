@@ -1,0 +1,191 @@
+// Package benchmark implements the paper's evaluation (Section 4): the 12
+// LTL property templates of Table 4 (the Sistla safety/liveness/fairness
+// patterns plus the False baseline), their instantiation with
+// sub-conditions of the verified task's services, the real and synthetic
+// workflow suites, and drivers that regenerate every table and figure.
+package benchmark
+
+import (
+	"math/rand"
+	"sort"
+
+	"verifas/internal/core"
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+)
+
+// Template is one LTL property skeleton of Table 4.
+type Template struct {
+	Name  string
+	Class string // Baseline, Safety, Liveness, Fairness
+	// Build instantiates the skeleton with up to two proposition names.
+	Build func(phi, psi string) ltl.Formula
+}
+
+func atom(n string) ltl.Formula { return ltl.Atom{Name: n} }
+
+// Templates returns the 12 templates of Table 4, in the paper's order.
+func Templates() []Template {
+	return []Template{
+		{"False", "Baseline", func(_, _ string) ltl.Formula { return ltl.FalseF{} }},
+		{"G p", "Safety", func(p, _ string) ltl.Formula { return ltl.G{F: atom(p)} }},
+		{"!p U q", "Safety", func(p, q string) ltl.Formula {
+			return ltl.U{L: ltl.Not(atom(p)), R: atom(q)}
+		}},
+		{"(!p U q) && G(p -> X(!p U q))", "Safety", func(p, q string) ltl.Formula {
+			u := ltl.U{L: ltl.Not(atom(p)), R: atom(q)}
+			return ltl.AndF{L: u, R: ltl.G{F: ltl.ImpliesF{L: atom(p), R: ltl.X{F: u}}}}
+		}},
+		{"G(p -> (q || Xq || XXq))", "Safety", func(p, q string) ltl.Formula {
+			return ltl.G{F: ltl.ImpliesF{
+				L: atom(p),
+				R: ltl.OrF{L: atom(q), R: ltl.OrF{L: ltl.X{F: atom(q)}, R: ltl.X{F: ltl.X{F: atom(q)}}}},
+			}}
+		}},
+		{"G(p || G !p)", "Safety", func(p, _ string) ltl.Formula {
+			return ltl.G{F: ltl.OrF{L: atom(p), R: ltl.G{F: ltl.Not(atom(p))}}}
+		}},
+		{"G(p -> F q)", "Liveness", func(p, q string) ltl.Formula {
+			return ltl.G{F: ltl.ImpliesF{L: atom(p), R: ltl.F_{F: atom(q)}}}
+		}},
+		{"F p", "Liveness", func(p, _ string) ltl.Formula { return ltl.F_{F: atom(p)} }},
+		{"GF p -> GF q", "Fairness", func(p, q string) ltl.Formula {
+			return ltl.ImpliesF{
+				L: ltl.G{F: ltl.F_{F: atom(p)}},
+				R: ltl.G{F: ltl.F_{F: atom(q)}},
+			}
+		}},
+		{"GF p", "Fairness", func(p, _ string) ltl.Formula {
+			return ltl.G{F: ltl.F_{F: atom(p)}}
+		}},
+		{"G(p || G q)", "Fairness", func(p, q string) ltl.Formula {
+			return ltl.G{F: ltl.OrF{L: atom(p), R: ltl.G{F: atom(q)}}}
+		}},
+		{"FG p -> GF q", "Fairness", func(p, q string) ltl.Formula {
+			return ltl.ImpliesF{
+				L: ltl.F_{F: ltl.G{F: atom(p)}},
+				R: ltl.G{F: ltl.F_{F: atom(q)}},
+			}
+		}},
+	}
+}
+
+// subConditions collects the quantifier-free sub-formulas of the task's
+// service pre/post conditions whose free variables are all task variables
+// (so they are valid property conditions), deduplicated and sorted for
+// determinism.
+func subConditions(sys *has.System, task *has.Task) []fol.Formula {
+	scope := has.TaskScope(task)
+	inScope := func(f fol.Formula) bool {
+		for _, v := range fol.FreeVars(f) {
+			if _, ok := scope[v]; !ok {
+				return false
+			}
+		}
+		return !hasQuantifier(f)
+	}
+	seen := map[string]fol.Formula{}
+	var walk func(f fol.Formula)
+	walk = func(f fol.Formula) {
+		if f == nil {
+			return
+		}
+		switch f.(type) {
+		case fol.True, fol.False:
+			return
+		}
+		if inScope(f) {
+			seen[fol.String(f)] = f
+		}
+		switch g := f.(type) {
+		case fol.Not:
+			walk(g.F)
+		case fol.And:
+			for _, sub := range g.Fs {
+				walk(sub)
+			}
+		case fol.Or:
+			for _, sub := range g.Fs {
+				walk(sub)
+			}
+		case fol.Implies:
+			walk(g.L)
+			walk(g.R)
+		case fol.Exists:
+			walk(g.Body)
+		}
+	}
+	for _, svc := range task.Services {
+		walk(svc.Pre)
+		walk(svc.Post)
+	}
+	walk(task.ClosingPre)
+	for _, c := range task.Children {
+		walk(c.OpeningPre)
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]fol.Formula, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+func hasQuantifier(f fol.Formula) bool {
+	switch g := f.(type) {
+	case fol.Exists:
+		return true
+	case fol.Not:
+		return hasQuantifier(g.F)
+	case fol.And:
+		for _, sub := range g.Fs {
+			if hasQuantifier(sub) {
+				return true
+			}
+		}
+	case fol.Or:
+		for _, sub := range g.Fs {
+			if hasQuantifier(sub) {
+				return true
+			}
+		}
+	case fol.Implies:
+		return hasQuantifier(g.L) || hasQuantifier(g.R)
+	}
+	return false
+}
+
+// Properties generates the 12 LTL-FO properties of the root task of a
+// specification, one per template, instantiating the propositions with
+// deterministic pseudo-random sub-conditions (the paper's methodology:
+// real LTL patterns combined with the specification's own FO conditions).
+func Properties(sys *has.System, seed int64) []*core.Property {
+	task := sys.Root
+	conds := subConditions(sys, task)
+	r := rand.New(rand.NewSource(seed))
+	pick := func() fol.Formula {
+		if len(conds) == 0 {
+			return fol.True{}
+		}
+		return conds[r.Intn(len(conds))]
+	}
+	var out []*core.Property
+	for _, tmpl := range Templates() {
+		prop := &core.Property{
+			Name: tmpl.Name,
+			Task: task.Name,
+			Conds: map[string]fol.Formula{
+				"p": pick(),
+				"q": pick(),
+			},
+			Formula: tmpl.Build("p", "q"),
+		}
+		out = append(out, prop)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package concrete
+
+import (
+	"fmt"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+)
+
+// runLetter is the truth assignment induced by one local-run snapshot for
+// a fixed valuation of the property's global variables.
+type runLetter struct {
+	svcAtom string
+	conds   map[string]bool
+}
+
+// Holds implements ltl.Letter.
+func (l runLetter) Holds(atom string) bool {
+	if ServiceAtomPrefix(atom) {
+		return atom == l.svcAtom
+	}
+	return l.conds[atom]
+}
+
+// CheckFinite evaluates an LTL-FO property on a closed (finite) local run
+// under finite-trace semantics, for every valuation of the global
+// variables over the database identifiers, the data domain, and null
+// (paper Section 2.1: ∀ȳ). It returns false as soon as one global
+// valuation falsifies the formula.
+func CheckFinite(lr LocalRun, db *DB, formula ltl.Formula, conds map[string]fol.Formula, globals []has.Variable) (bool, error) {
+	if !lr.Closed {
+		return false, fmt.Errorf("concrete: CheckFinite requires a closed local run")
+	}
+	return checkAllGlobals(lr, db, conds, globals, func(letters []ltl.Letter) bool {
+		return ltl.EvalFinite(formula, letters)
+	})
+}
+
+// CheckLasso evaluates the property on the infinite run obtained by
+// repeating the loop segment [loopStart, len(Steps)) of an unclosed local
+// run forever. Used by tests that build explicit lasso-shaped runs.
+func CheckLasso(lr LocalRun, loopStart int, db *DB, formula ltl.Formula, conds map[string]fol.Formula, globals []has.Variable) (bool, error) {
+	if lr.Closed {
+		return false, fmt.Errorf("concrete: CheckLasso requires an open local run")
+	}
+	if loopStart <= 0 || loopStart >= len(lr.Steps) {
+		return false, fmt.Errorf("concrete: bad loop start %d", loopStart)
+	}
+	return checkAllGlobals(lr, db, conds, globals, func(letters []ltl.Letter) bool {
+		return ltl.EvalLasso(formula, letters[:loopStart], letters[loopStart:])
+	})
+}
+
+func checkAllGlobals(lr LocalRun, db *DB, conds map[string]fol.Formula, globals []has.Variable, eval func([]ltl.Letter) bool) (bool, error) {
+	// Candidate values per global variable.
+	cands := make([][]fol.Value, len(globals))
+	for i, g := range globals {
+		if g.Type.IsID() {
+			cands[i] = append(cands[i], db.IDs(g.Type.Rel)...)
+			cands[i] = append(cands[i], fol.IDValue(g.Type.Rel, 1<<20))
+		} else {
+			cands[i] = append(cands[i], db.DataDomain()...)
+			cands[i] = append(cands[i], fol.ConstValue("\x00freshG"))
+		}
+		cands[i] = append(cands[i], fol.NullValue())
+	}
+	gv := fol.MapValuation{}
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(globals) {
+			letters, err := lettersFor(lr, db, conds, gv)
+			if err != nil {
+				return false, err
+			}
+			return eval(letters), nil
+		}
+		for _, c := range cands[i] {
+			gv[globals[i].Name] = c
+			ok, err := rec(i + 1)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	return rec(0)
+}
+
+func lettersFor(lr LocalRun, db *DB, conds map[string]fol.Formula, gv fol.MapValuation) ([]ltl.Letter, error) {
+	letters := make([]ltl.Letter, len(lr.Steps))
+	for i, step := range lr.Steps {
+		nu := fol.MapValuation{}
+		for _, v := range lr.Task.Vars {
+			nu[v.Name], _ = step.Vals.Lookup(v.Name)
+		}
+		for k, v := range gv {
+			nu[k] = v
+		}
+		l := runLetter{svcAtom: step.Event.AtomName(), conds: map[string]bool{}}
+		for name, f := range conds {
+			b, err := fol.Eval(f, db, nu)
+			if err != nil {
+				return nil, err
+			}
+			l.conds[name] = b
+		}
+		letters[i] = l
+	}
+	return letters, nil
+}

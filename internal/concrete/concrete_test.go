@@ -1,0 +1,303 @@
+package concrete
+
+import (
+	"math/rand"
+	"testing"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+	"verifas/internal/workflows"
+)
+
+func orderDB(t *testing.T, seed int64) *DB {
+	t.Helper()
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	db := RandomDB(sys.Schema, r, 3, sys.Constants())
+	return db
+}
+
+func TestDBValidation(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	db := NewDB(sys.Schema)
+	cr := fol.IDValue("CREDIT_RECORD", 0)
+	if err := db.AddRow("CREDIT_RECORD", cr, []fol.Value{fol.ConstValue("Good")}); err != nil {
+		t.Fatal(err)
+	}
+	cust := fol.IDValue("CUSTOMERS", 0)
+	if err := db.AddRow("CUSTOMERS", cust, []fol.Value{fol.ConstValue("John"), fol.ConstValue("Main St"), cr}); err != nil {
+		t.Fatal(err)
+	}
+	// Dangling foreign key.
+	bad := fol.IDValue("CREDIT_RECORD", 99)
+	if err := db.AddRow("CUSTOMERS", fol.IDValue("CUSTOMERS", 1), []fol.Value{fol.ConstValue("x"), fol.ConstValue("y"), bad}); err == nil {
+		t.Error("dangling foreign key accepted")
+	}
+	// Duplicate id.
+	if err := db.AddRow("CUSTOMERS", cust, []fol.Value{fol.ConstValue("x"), fol.ConstValue("y"), cr}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	// Arity.
+	if err := db.AddRow("CREDIT_RECORD", fol.IDValue("CREDIT_RECORD", 1), nil); err == nil {
+		t.Error("arity violation accepted")
+	}
+	// Wrong value kind in non-key position.
+	if err := db.AddRow("CREDIT_RECORD", fol.IDValue("CREDIT_RECORD", 1), []fol.Value{cr}); err == nil {
+		t.Error("id value in non-key position accepted")
+	}
+	// Wrong id relation.
+	if err := db.AddRow("ITEMS", cust, []fol.Value{fol.ConstValue("a"), fol.ConstValue("b")}); err == nil {
+		t.Error("foreign relation id accepted as key")
+	}
+	// Row lookup.
+	if row, ok := db.Row("CUSTOMERS", cust); !ok || row[2] != cr {
+		t.Error("Row lookup failed")
+	}
+}
+
+func TestRandomDBSatisfiesSchema(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	db := RandomDB(sys.Schema, rand.New(rand.NewSource(7)), 4, sys.Constants())
+	for _, rel := range sys.Schema.Relations {
+		if db.NumRows(rel.Name) != 4 {
+			t.Errorf("relation %s has %d rows", rel.Name, db.NumRows(rel.Name))
+		}
+		for _, id := range db.IDs(rel.Name) {
+			row, ok := db.Row(rel.Name, id)
+			if !ok {
+				t.Fatal("missing row")
+			}
+			for i, a := range rel.Attrs {
+				if a.Kind == has.ForeignKey {
+					if _, ok := db.Row(a.Ref, row[i]); !ok {
+						t.Errorf("dangling FK %s.%s", rel.Name, a.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunnerBasicFlow(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := orderDB(t, 3)
+	r := rand.New(rand.NewSource(11))
+	run, err := NewRunner(sys, db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial: root active, all null, first event = open(root).
+	if !run.IsActive("ProcessOrders") || run.IsActive("TakeOrder") {
+		t.Error("initial stages wrong")
+	}
+	if v, _ := run.Values().Lookup("cust_id"); !v.IsNull() {
+		t.Error("global pre-condition (null init) not applied")
+	}
+	if run.Trace[0].Event.AtomName() != "open:ProcessOrders" {
+		t.Error("first event must be the root opening")
+	}
+	if err := run.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Trace) < 10 {
+		t.Fatalf("run too short: %d steps", len(run.Trace))
+	}
+	// Semantics invariants along the trace:
+	// the first internal event must be Initialize (only applicable one).
+	if run.Trace[1].Event.Service != "Initialize" {
+		t.Errorf("first move should be Initialize, got %+v", run.Trace[1].Event)
+	}
+	for i, step := range run.Trace {
+		if step.Event.Kind == EvInternal && step.Event.Service == "StoreOrder" {
+			// Post-condition: cust_id null afterwards.
+			if v, _ := step.Vals.Lookup("cust_id"); !v.IsNull() {
+				t.Errorf("step %d: StoreOrder post-condition violated", i)
+			}
+		}
+		if step.Event.Kind == EvOpen && step.Event.Task == "ShipItem" {
+			if v, _ := step.Vals.Lookup("instock"); v != fol.ConstValue("Yes") {
+				t.Errorf("step %d: ShipItem opened without stock", i)
+			}
+		}
+	}
+}
+
+func TestRunnerStoreRetrieveRoundTrip(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := orderDB(t, 5)
+	found := false
+	for seed := int64(0); seed < 30 && !found; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		run, err := NewRunner(sys, db, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Run(300); err != nil {
+			t.Fatal(err)
+		}
+		stored := false
+		for _, step := range run.Trace {
+			if step.Event.Service == "StoreOrder" {
+				stored = true
+			}
+			if step.Event.Service == "RetrieveOrder" {
+				if !stored {
+					t.Fatal("retrieve before any store")
+				}
+				found = true
+				// Retrieved values are non-null ids (stored orders had
+				// cust_id != null, item_id != null).
+				if v, _ := step.Vals.Lookup("cust_id"); v.IsNull() {
+					t.Error("retrieved cust_id is null; stored orders are complete")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no run exercised the store/retrieve round trip")
+	}
+}
+
+func TestLocalRunExtraction(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := orderDB(t, 9)
+	r := rand.New(rand.NewSource(21))
+	run, err := NewRunner(sys, db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	// Root local run: starts with open, never closes.
+	roots := run.LocalRuns("ProcessOrders")
+	if len(roots) != 1 || roots[0].Closed {
+		t.Fatalf("root local runs: %d (closed=%v)", len(roots), len(roots) > 0 && roots[0].Closed)
+	}
+	for _, step := range roots[0].Steps {
+		if !step.Event.ObservableBy(roots[0].Task) {
+			t.Errorf("unobservable event %v in root local run", step.Event)
+		}
+		if step.Event.Kind == EvInternal && step.Event.Task != "ProcessOrders" {
+			t.Errorf("child internal event %v leaked into root local run", step.Event)
+		}
+	}
+	// TakeOrder local runs: each closed run ends with close(TakeOrder)
+	// and non-null outputs.
+	for _, lr := range run.LocalRuns("TakeOrder") {
+		if !lr.Closed {
+			continue
+		}
+		last := lr.Steps[len(lr.Steps)-1]
+		if last.Event.AtomName() != "close:TakeOrder" {
+			t.Error("closed run must end with the closing service")
+		}
+		if v, _ := last.Vals.Lookup("t_cust"); v.IsNull() {
+			t.Error("closing condition t_cust != null violated")
+		}
+	}
+}
+
+func TestCheckFiniteOnChildRun(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := orderDB(t, 13)
+	checked := 0
+	for seed := int64(0); seed < 40 && checked < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		run, err := NewRunner(sys, db, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Run(300); err != nil {
+			t.Fatal(err)
+		}
+		for _, lr := range run.LocalRuns("CheckCredit") {
+			if !lr.Closed {
+				continue
+			}
+			checked++
+			// Closing guard: decided at close.
+			ok, err := CheckFinite(lr, db,
+				ltl.MustParse(`G (close(CheckCredit) -> decided)`),
+				map[string]fol.Formula{"decided": fol.MustParse(`c_status != null`)},
+				nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Error("closing guard violated on a concrete run")
+			}
+			// G undecided must be violated on every closed run.
+			ok, err = CheckFinite(lr, db,
+				ltl.MustParse(`G undecided`),
+				map[string]fol.Formula{"undecided": fol.MustParse(`c_status == null`)},
+				nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Error("G undecided should fail on a closed CheckCredit run")
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no closed CheckCredit runs sampled")
+	}
+}
+
+func TestCheckGlobalsUniversal(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := orderDB(t, 17)
+	r := rand.New(rand.NewSource(5))
+	run, err := NewRunner(sys, db, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	var closed *LocalRun
+	for _, lr := range run.LocalRuns("TakeOrder") {
+		if lr.Closed {
+			closed = &lr
+			break
+		}
+	}
+	if closed == nil {
+		t.Skip("no closed TakeOrder run sampled")
+	}
+	// ∀i: G(close(TakeOrder) && t_item == i -> !isnull) — the closing
+	// condition forces t_item != null, so any i equal to it is non-null.
+	ok, err := CheckFinite(*closed, db,
+		ltl.MustParse(`G ((close(TakeOrder) && isi) -> !isnull)`),
+		map[string]fol.Formula{
+			"isi":    fol.MustParse(`t_item == i`),
+			"isnull": fol.MustParse(`i == null`),
+		},
+		[]has.Variable{has.IDV("i", "ITEMS")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("universal property should hold on the closed run")
+	}
+}

@@ -1,0 +1,164 @@
+// Package concrete implements the explicit (non-symbolic) semantics of
+// HAS*: database instances with key and foreign-key enforcement, full
+// configurations, the transition relation of Definition 27, random run
+// generation, and LTL-FO checking of concrete local runs. It is the
+// differential-testing substrate for the symbolic verifier and the
+// execution engine used by the examples.
+package concrete
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+// DB is a finite database instance satisfying the schema's key and
+// inclusion dependencies. It implements fol.Database.
+type DB struct {
+	Schema *has.Schema
+	rows   map[string]map[fol.Value][]fol.Value
+	data   []fol.Value // data-domain values for existential witnesses
+}
+
+// NewDB returns an empty instance.
+func NewDB(schema *has.Schema) *DB {
+	return &DB{Schema: schema, rows: map[string]map[fol.Value][]fol.Value{}}
+}
+
+// AddRow inserts a row. The id must be an ID value of rel; attrs follow the
+// declared attribute order; foreign keys must reference existing rows.
+func (d *DB) AddRow(rel string, id fol.Value, attrs []fol.Value) error {
+	r, ok := d.Schema.Relation(rel)
+	if !ok {
+		return fmt.Errorf("concrete: unknown relation %q", rel)
+	}
+	if id.Kind != fol.VID || id.Rel != rel {
+		return fmt.Errorf("concrete: id %s is not an identifier of %q", id, rel)
+	}
+	if len(attrs) != len(r.Attrs) {
+		return fmt.Errorf("concrete: relation %q expects %d attributes, got %d", rel, len(r.Attrs), len(attrs))
+	}
+	for i, a := range r.Attrs {
+		v := attrs[i]
+		switch a.Kind {
+		case has.NonKey:
+			if v.Kind != fol.VConst {
+				return fmt.Errorf("concrete: %s.%s must be a data value, got %s", rel, a.Name, v)
+			}
+		case has.ForeignKey:
+			if v.Kind != fol.VID || v.Rel != a.Ref {
+				return fmt.Errorf("concrete: %s.%s must reference %s, got %s", rel, a.Name, a.Ref, v)
+			}
+			if _, ok := d.rows[a.Ref][v]; !ok {
+				return fmt.Errorf("concrete: %s.%s dangles: %s not in %s", rel, a.Name, v, a.Ref)
+			}
+		}
+	}
+	if d.rows[rel] == nil {
+		d.rows[rel] = map[fol.Value][]fol.Value{}
+	}
+	if _, dup := d.rows[rel][id]; dup {
+		return fmt.Errorf("concrete: duplicate id %s in %q", id, rel)
+	}
+	d.rows[rel][id] = append([]fol.Value(nil), attrs...)
+	for _, v := range attrs {
+		if v.Kind == fol.VConst {
+			d.addData(v)
+		}
+	}
+	return nil
+}
+
+func (d *DB) addData(v fol.Value) {
+	for _, x := range d.data {
+		if x == v {
+			return
+		}
+	}
+	d.data = append(d.data, v)
+}
+
+// AddDataValue registers an extra data value (e.g. a specification
+// constant) for existential witnesses and run sampling.
+func (d *DB) AddDataValue(s string) { d.addData(fol.ConstValue(s)) }
+
+// Row implements fol.Database.
+func (d *DB) Row(rel string, id fol.Value) ([]fol.Value, bool) {
+	row, ok := d.rows[rel][id]
+	return row, ok
+}
+
+// IDs implements fol.Database.
+func (d *DB) IDs(rel string) []fol.Value {
+	ids := make([]fol.Value, 0, len(d.rows[rel]))
+	for id := range d.rows[rel] {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].ID < ids[j].ID })
+	return ids
+}
+
+// DataDomain implements fol.Database.
+func (d *DB) DataDomain() []fol.Value {
+	return append([]fol.Value(nil), d.data...)
+}
+
+// NumRows returns the row count of rel.
+func (d *DB) NumRows(rel string) int { return len(d.rows[rel]) }
+
+// RandomDB generates a database with rowsPerRel rows in each relation,
+// respecting foreign keys (the schema is acyclic, so relations are filled
+// in topological order) and drawing non-key values from the given constant
+// pool plus generated ones.
+func RandomDB(schema *has.Schema, r *rand.Rand, rowsPerRel int, constants []string) *DB {
+	db := NewDB(schema)
+	pool := append([]string(nil), constants...)
+	for i := 0; i < 3; i++ {
+		pool = append(pool, fmt.Sprintf("v%d", i))
+	}
+	for _, c := range pool {
+		db.AddDataValue(c)
+	}
+	// Topological order: referenced relations first.
+	var order []*has.Relation
+	state := map[string]int{}
+	var visit func(rel *has.Relation)
+	visit = func(rel *has.Relation) {
+		if state[rel.Name] != 0 {
+			return
+		}
+		state[rel.Name] = 1
+		for _, a := range rel.Attrs {
+			if a.Kind == has.ForeignKey {
+				ref, _ := schema.Relation(a.Ref)
+				visit(ref)
+			}
+		}
+		state[rel.Name] = 2
+		order = append(order, rel)
+	}
+	for _, rel := range schema.Relations {
+		visit(rel)
+	}
+	for _, rel := range order {
+		for i := 0; i < rowsPerRel; i++ {
+			id := fol.IDValue(rel.Name, i)
+			attrs := make([]fol.Value, len(rel.Attrs))
+			for j, a := range rel.Attrs {
+				if a.Kind == has.NonKey {
+					attrs[j] = fol.ConstValue(pool[r.Intn(len(pool))])
+				} else {
+					targets := db.IDs(a.Ref)
+					attrs[j] = targets[r.Intn(len(targets))]
+				}
+			}
+			if err := db.AddRow(rel.Name, id, attrs); err != nil {
+				panic("concrete: RandomDB generated an invalid row: " + err.Error())
+			}
+		}
+	}
+	return db
+}

@@ -1,0 +1,130 @@
+package concrete
+
+import (
+	"math/rand"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+)
+
+// GuidedReplay drives a run whose local run of the given task follows
+// exactly the given observable service sequence (atom names like
+// "call:Store", "open:Check", ...; the root task's own opening is implicit
+// in NewRunner). Symbolic counterexample traces list only the task's
+// observable transitions, so between two target atoms the replay may
+// insert moves that are NOT observable by the task (e.g. a child's
+// internal services needed before the child can close), up to fillLimit
+// filler steps per target. It reports false when the sequence cannot be
+// followed on this database (the data choices sampled may simply be
+// unlucky — callers retry with fresh seeds).
+func (run *Runner) GuidedReplay(task *has.Task, atoms []string) (bool, error) {
+	return run.guidedReplay(task, atoms, false)
+}
+
+// GuidedReplaySubsequence is like GuidedReplay but only requires the atom
+// sequence to appear as a subsequence of the task-observable events: any
+// non-matching move may serve as filler. Symbolic local-run
+// counterexamples abstract child tasks (their closing returns arbitrary
+// values), so a directly matching global run may not exist even when the
+// violating pattern is realizable — subsequence mode recovers those.
+func (run *Runner) GuidedReplaySubsequence(task *has.Task, atoms []string) (bool, error) {
+	return run.guidedReplay(task, atoms, true)
+}
+
+func (run *Runner) guidedReplay(task *has.Task, atoms []string, subsequence bool) (bool, error) {
+	const fillLimit = 24
+	for _, want := range atoms {
+		matched := false
+		for fill := 0; fill <= fillLimit; fill++ {
+			ms, err := run.moves()
+			if err != nil {
+				return false, err
+			}
+			var matching, filler []move
+			for _, m := range ms {
+				switch {
+				case m.event.AtomName() == want:
+					matching = append(matching, m)
+				case subsequence || !m.event.ObservableBy(task):
+					filler = append(filler, m)
+				}
+			}
+			if len(matching) > 0 {
+				m := matching[run.rng.Intn(len(matching))]
+				if err := m.apply(); err != nil {
+					return false, err
+				}
+				run.snapshot(m.event)
+				matched = true
+				break
+			}
+			if len(filler) == 0 {
+				return false, nil
+			}
+			m := filler[run.rng.Intn(len(filler))]
+			if err := m.apply(); err != nil {
+				return false, err
+			}
+			run.snapshot(m.event)
+		}
+		if !matched {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Witness is a concrete realization of a symbolic counterexample: a
+// database and a finite run whose local run of the verified task violates
+// the property.
+type Witness struct {
+	DB  *DB
+	Run *Runner
+	// LocalRun is the violating local run of the task.
+	LocalRun LocalRun
+}
+
+// FindWitness searches for a concrete witness of a finite symbolic
+// violation: the service-atom sequence of the violation prefix (excluding
+// the implicit root opening) is replayed over random databases until the
+// resulting closed local run of the task falsifies the property, or the
+// try budget runs out. A nil result does not refute the symbolic
+// counterexample — the sampler is incomplete — but a non-nil result is a
+// definitive concrete violation.
+func FindWitness(sys *has.System, task string, atoms []string,
+	formula ltl.Formula, conds map[string]fol.Formula, globals []has.Variable,
+	seed int64, tries int) (*Witness, error) {
+	t, ok := sys.Task(task)
+	if !ok {
+		return nil, &fol.EvalError{Msg: "unknown task " + task}
+	}
+	for i := 0; i < tries; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)*2654435761))
+		db := RandomDB(sys.Schema, rng, 2+i%3, sys.Constants())
+		run, err := NewRunner(sys, db, rng)
+		if err != nil {
+			continue // pre-condition unsatisfiable over this database
+		}
+		ok, err := run.GuidedReplay(t, atoms)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		for _, lr := range run.LocalRuns(t.Name) {
+			if !lr.Closed {
+				continue
+			}
+			sat, err := CheckFinite(lr, db, formula, conds, globals)
+			if err != nil {
+				return nil, err
+			}
+			if !sat {
+				return &Witness{DB: db, Run: run, LocalRun: lr}, nil
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,103 @@
+package concrete
+
+import (
+	"math/rand"
+	"testing"
+
+	"verifas/internal/fol"
+	"verifas/internal/ltl"
+	"verifas/internal/workflows"
+)
+
+func TestGuidedReplayFollowsSequence(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	atoms := []string{"call:Initialize", "open:TakeOrder", "close:TakeOrder"}
+	done := false
+	for seed := int64(0); seed < 20 && !done; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := RandomDB(sys.Schema, rng, 3, sys.Constants())
+		run, err := NewRunner(sys, db, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := run.GuidedReplay(sys.Root, atoms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		done = true
+		// The observable-by-root subsequence must equal the atom list.
+		var observed []string
+		for _, st := range run.Trace[1:] {
+			if st.Event.ObservableBy(sys.Root) {
+				observed = append(observed, st.Event.AtomName())
+			}
+		}
+		if len(observed) != len(atoms) {
+			t.Fatalf("observable steps %v, want %v", observed, atoms)
+		}
+		for i := range atoms {
+			if observed[i] != atoms[i] {
+				t.Errorf("step %d: %s, want %s", i, observed[i], atoms[i])
+			}
+		}
+	}
+	if !done {
+		t.Error("guided replay never succeeded on 20 databases")
+	}
+}
+
+func TestGuidedReplayRejectsImpossible(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	db := RandomDB(sys.Schema, rng, 3, sys.Constants())
+	run, err := NewRunner(sys, db, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ShipItem cannot open from the initial state.
+	ok, err := run.GuidedReplay(sys.Root, []string{"open:ShipItem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("impossible sequence accepted")
+	}
+}
+
+func TestFindWitnessForFiniteViolation(t *testing.T) {
+	// G(c_status == null) on CheckCredit is violated by every closed run;
+	// the symbolic trace is open(CheckCredit) → call(Check) →
+	// close(CheckCredit). The witness search must realize it concretely.
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := FindWitness(sys, "CheckCredit",
+		[]string{"call:Initialize", "open:TakeOrder", "call:EnterCustomer", "call:EnterItem",
+			"close:TakeOrder", "open:CheckCredit", "call:Check", "close:CheckCredit"},
+		ltl.MustParse(`G undecided`),
+		map[string]fol.Formula{"undecided": fol.MustParse(`c_status == null`)},
+		nil, 5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Skip("no witness sampled within the budget (sampler is incomplete)")
+	}
+	if !w.LocalRun.Closed {
+		t.Error("witness local run must be closed")
+	}
+	last := w.LocalRun.Steps[len(w.LocalRun.Steps)-1]
+	if v, _ := last.Vals.Lookup("c_status"); v.IsNull() {
+		t.Error("witness should end with a decided status")
+	}
+}

@@ -1,0 +1,532 @@
+package concrete
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+// EventKind discriminates the observable service applications of a run.
+type EventKind int
+
+const (
+	// EvOpen is a task's opening service.
+	EvOpen EventKind = iota
+	// EvClose is a task's closing service.
+	EvClose
+	// EvInternal is an internal service.
+	EvInternal
+)
+
+// Event is one transition of a concrete run.
+type Event struct {
+	Kind EventKind
+	// Task is the task opened/closed, or the owner of the internal
+	// service.
+	Task string
+	// Service is the internal service name (EvInternal only).
+	Service string
+}
+
+// AtomName returns the LTL service proposition of the event, matching the
+// naming used by the symbolic verifier.
+func (e Event) AtomName() string {
+	switch e.Kind {
+	case EvOpen:
+		return "open:" + e.Task
+	case EvClose:
+		return "close:" + e.Task
+	default:
+		return "call:" + e.Service
+	}
+}
+
+// ObservableBy reports whether the event is in ΣobsT of the named task.
+func (e Event) ObservableBy(t *has.Task) bool {
+	if e.Task == t.Name && e.Kind != EvInternal {
+		return true
+	}
+	if e.Kind == EvInternal && e.Task == t.Name {
+		return true
+	}
+	for _, c := range t.Children {
+		if e.Task == c.Name && e.Kind != EvInternal {
+			return true
+		}
+	}
+	return false
+}
+
+// TraceStep is one event with the post-transition valuation snapshot.
+type TraceStep struct {
+	Event Event
+	// Vals snapshots every artifact variable after the transition.
+	Vals fol.MapValuation
+}
+
+// Runner generates concrete runs of a HAS* over a fixed database.
+type Runner struct {
+	Sys *has.System
+	DB  *DB
+	rng *rand.Rand
+
+	val    fol.MapValuation
+	active map[string]bool
+	rels   map[string][][]fol.Value
+
+	// Trace records every transition taken.
+	Trace []TraceStep
+
+	// MaxEnum caps assignment enumeration per transition.
+	MaxEnum int
+}
+
+// NewRunner initializes a run: the root task opens with a valuation
+// satisfying the global pre-condition (or fails if none is found within
+// the enumeration budget), every other task inactive and all artifact
+// relations empty.
+func NewRunner(sys *has.System, db *DB, rng *rand.Rand) (*Runner, error) {
+	run := &Runner{
+		Sys: sys, DB: db, rng: rng,
+		val:     fol.MapValuation{},
+		active:  map[string]bool{},
+		rels:    map[string][][]fol.Value{},
+		MaxEnum: 20000,
+	}
+	for _, t := range sys.Tasks() {
+		for _, v := range t.Vars {
+			run.val[v.Name] = fol.NullValue()
+		}
+		for _, ar := range t.Relations {
+			run.rels[ar.Name] = nil
+		}
+	}
+	// Global pre-condition: find a satisfying assignment of the root's
+	// variables.
+	pre := sys.GlobalPre
+	if pre == nil {
+		pre = fol.True{}
+	}
+	free := sys.Root.Vars
+	assignment, ok, err := run.sampleAssignment(free, nil, func(nu fol.MapValuation) (bool, error) {
+		return fol.Eval(pre, db, nu)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("concrete: global pre-condition unsatisfiable over this database")
+	}
+	for k, v := range assignment {
+		run.val[k] = v
+	}
+	run.active[sys.Root.Name] = true
+	run.snapshot(Event{Kind: EvOpen, Task: sys.Root.Name})
+	return run, nil
+}
+
+func (run *Runner) snapshot(e Event) {
+	vals := make(fol.MapValuation, len(run.val))
+	for k, v := range run.val {
+		vals[k] = v
+	}
+	run.Trace = append(run.Trace, TraceStep{Event: e, Vals: vals})
+}
+
+// candidates returns the candidate values for a variable: the database
+// identifiers of its sort plus a fresh one (ids outside the active domain
+// exist), or the data domain plus fresh values, plus null.
+func (run *Runner) candidates(ty has.VarType) []fol.Value {
+	var out []fol.Value
+	if ty.IsID() {
+		out = append(out, run.DB.IDs(ty.Rel)...)
+		out = append(out, fol.IDValue(ty.Rel, 1<<20)) // fresh id
+	} else {
+		out = append(out, run.DB.DataDomain()...)
+		out = append(out, fol.ConstValue("\x00fresh"))
+	}
+	out = append(out, fol.NullValue())
+	return out
+}
+
+// sampleAssignment draws a uniformly-ish random assignment of the free
+// variables satisfying check, by shuffled bounded enumeration. fixed
+// overrides specific variables.
+func (run *Runner) sampleAssignment(free []has.Variable, fixed map[string]fol.Value, check func(fol.MapValuation) (bool, error)) (map[string]fol.Value, bool, error) {
+	var vars []has.Variable
+	for _, v := range free {
+		if _, isFixed := fixed[v.Name]; !isFixed {
+			vars = append(vars, v)
+		}
+	}
+	cands := make([][]fol.Value, len(vars))
+	for i, v := range vars {
+		cands[i] = run.candidates(v.Type)
+		run.rng.Shuffle(len(cands[i]), func(a, b int) { cands[i][a], cands[i][b] = cands[i][b], cands[i][a] })
+	}
+	nu := fol.MapValuation{}
+	for k, v := range run.val {
+		nu[k] = v
+	}
+	for k, v := range fixed {
+		nu[k] = v
+	}
+	// Phase 0: the all-null assignment — the overwhelmingly common case
+	// for initialization conditions — before anything expensive.
+	found := false
+	for _, v := range vars {
+		nu[v.Name] = fol.NullValue()
+	}
+	if ok, err := check(nu); err != nil {
+		return nil, false, err
+	} else if ok {
+		found = true
+	}
+	// Phase 1: independent random assignments (cheap, good odds for the
+	// loosely-constrained posts typical of real workflows).
+	for try := 0; try < run.MaxEnum/2 && !found; try++ {
+		for i, v := range vars {
+			nu[v.Name] = cands[i][run.rng.Intn(len(cands[i]))]
+		}
+		ok, err := check(nu)
+		if err != nil {
+			return nil, false, err
+		}
+		found = ok
+	}
+	// Phase 2: systematic (shuffled) DFS, capped. Complete for small
+	// variable counts; for large synthetic tasks the cap makes sampling
+	// an under-approximation, which is fine: every sampled run is a real
+	// run.
+	if !found {
+		budget := run.MaxEnum / 2
+		var rec func(i int) (bool, error)
+		rec = func(i int) (bool, error) {
+			if budget <= 0 {
+				return false, nil
+			}
+			if i == len(vars) {
+				budget--
+				return check(nu)
+			}
+			for _, c := range cands[i] {
+				nu[vars[i].Name] = c
+				ok, err := rec(i + 1)
+				if err != nil || ok {
+					return ok, err
+				}
+			}
+			return false, nil
+		}
+		ok, err := rec(0)
+		if err != nil {
+			return nil, false, err
+		}
+		found = ok
+	}
+	if !found {
+		return nil, false, nil
+	}
+	out := map[string]fol.Value{}
+	for _, v := range vars {
+		out[v.Name] = nu[v.Name]
+	}
+	for k, v := range fixed {
+		out[k] = v
+	}
+	return out, true, nil
+}
+
+// move is an applicable transition candidate.
+type move struct {
+	event Event
+	apply func() error
+}
+
+// Moves enumerates the currently applicable transitions (each already
+// carrying one sampled nondeterministic resolution).
+func (run *Runner) Moves() ([]Event, error) {
+	ms, err := run.moves()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Event, len(ms))
+	for i, m := range ms {
+		out[i] = m.event
+	}
+	return out, nil
+}
+
+func (run *Runner) moves() ([]move, error) {
+	var out []move
+	for _, t := range run.Sys.Tasks() {
+		t := t
+		if !run.active[t.Name] {
+			continue
+		}
+		childrenInactive := true
+		for _, c := range t.Children {
+			if run.active[c.Name] {
+				childrenInactive = false
+				break
+			}
+		}
+		if childrenInactive {
+			for _, svc := range t.Services {
+				m, ok, err := run.internalMove(t, svc)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, m)
+				}
+			}
+			if t.Parent() != nil {
+				cp := t.ClosingPre
+				if cp == nil {
+					cp = fol.True{}
+				}
+				ok, err := fol.Eval(cp, run.DB, run.val)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, run.closeMove(t))
+				}
+			}
+		}
+		for _, c := range t.Children {
+			c := c
+			if run.active[c.Name] {
+				continue
+			}
+			op := c.OpeningPre
+			if op == nil {
+				op = fol.True{}
+			}
+			ok, err := fol.Eval(op, run.DB, run.val)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, run.openMove(c))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (run *Runner) internalMove(t *has.Task, svc *has.Service) (move, bool, error) {
+	pre := svc.Pre
+	if pre == nil {
+		pre = fol.True{}
+	}
+	ok, err := fol.Eval(pre, run.DB, run.val)
+	if err != nil || !ok {
+		return move{}, false, err
+	}
+	post := svc.Post
+	if post == nil {
+		post = fol.True{}
+	}
+	// Propagated variables keep their values; inputs are always
+	// propagated (the validator guarantees ȳ ⊇ x̄in).
+	fixed := map[string]fol.Value{}
+	for _, y := range svc.Propagate {
+		fixed[y], _ = run.val.Lookup(y)
+	}
+	for _, in := range t.In {
+		fixed[in], _ = run.val.Lookup(in)
+	}
+
+	if svc.Update != nil && !svc.Update.Insert {
+		// Retrieval: pick a random stored tuple; its values overwrite z̄.
+		tuples := run.rels[svc.Update.Relation]
+		if len(tuples) == 0 {
+			return move{}, false, nil
+		}
+		idx := run.rng.Intn(len(tuples))
+		for i, z := range svc.Update.Vars {
+			fixed[z] = tuples[idx][i]
+		}
+		assignment, ok, err := run.sampleAssignment(t.Vars, fixed, func(nu fol.MapValuation) (bool, error) {
+			return fol.Eval(post, run.DB, nu)
+		})
+		if err != nil || !ok {
+			return move{}, ok, err
+		}
+		rel := svc.Update.Relation
+		return move{
+			event: Event{Kind: EvInternal, Task: t.Name, Service: svc.Name},
+			apply: func() error {
+				run.rels[rel] = append(append([][]fol.Value{}, run.rels[rel][:idx]...), run.rels[rel][idx+1:]...)
+				for k, v := range assignment {
+					run.val[k] = v
+				}
+				return nil
+			},
+		}, true, nil
+	}
+
+	assignment, ok, err := run.sampleAssignment(t.Vars, fixed, func(nu fol.MapValuation) (bool, error) {
+		return fol.Eval(post, run.DB, nu)
+	})
+	if err != nil || !ok {
+		return move{}, ok, err
+	}
+	var insertTuple []fol.Value
+	var insertRel string
+	if svc.Update != nil && svc.Update.Insert {
+		insertRel = svc.Update.Relation
+		for _, z := range svc.Update.Vars {
+			v, _ := run.val.Lookup(z)
+			insertTuple = append(insertTuple, v)
+		}
+	}
+	return move{
+		event: Event{Kind: EvInternal, Task: t.Name, Service: svc.Name},
+		apply: func() error {
+			if insertRel != "" {
+				run.rels[insertRel] = append(run.rels[insertRel], insertTuple)
+			}
+			for k, v := range assignment {
+				run.val[k] = v
+			}
+			return nil
+		},
+	}, true, nil
+}
+
+func (run *Runner) openMove(c *has.Task) move {
+	return move{
+		event: Event{Kind: EvOpen, Task: c.Name},
+		apply: func() error {
+			for _, v := range c.Vars {
+				if pv, ok := c.InMap[v.Name]; ok && c.IsInput(v.Name) {
+					run.val[v.Name], _ = run.val.Lookup(pv)
+				} else {
+					run.val[v.Name] = fol.NullValue()
+				}
+			}
+			for _, ar := range c.Relations {
+				run.rels[ar.Name] = nil
+			}
+			run.active[c.Name] = true
+			return nil
+		},
+	}
+}
+
+func (run *Runner) closeMove(t *has.Task) move {
+	return move{
+		event: Event{Kind: EvClose, Task: t.Name},
+		apply: func() error {
+			for _, out := range t.Out {
+				pv := t.OutMap[out]
+				run.val[pv], _ = run.val.Lookup(out)
+			}
+			for _, ar := range t.Relations {
+				run.rels[ar.Name] = nil
+			}
+			run.active[t.Name] = false
+			return nil
+		},
+	}
+}
+
+// Step applies one random applicable transition; it reports false when no
+// transition is applicable (the sampled branch deadlocks) or an error
+// occurred.
+func (run *Runner) Step() (bool, error) {
+	ms, err := run.moves()
+	if err != nil || len(ms) == 0 {
+		return false, err
+	}
+	m := ms[run.rng.Intn(len(ms))]
+	if err := m.apply(); err != nil {
+		return false, err
+	}
+	run.snapshot(m.event)
+	return true, nil
+}
+
+// Run takes up to n random steps.
+func (run *Runner) Run(n int) error {
+	for i := 0; i < n; i++ {
+		ok, err := run.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Values returns the current valuation (read-only view).
+func (run *Runner) Values() fol.MapValuation { return run.val }
+
+// RelationContents returns the current tuples of an artifact relation.
+func (run *Runner) RelationContents(name string) [][]fol.Value { return run.rels[name] }
+
+// IsActive reports whether a task is currently active.
+func (run *Runner) IsActive(task string) bool { return run.active[task] }
+
+// LocalRun is the local run of one task induced by a trace: its
+// observable steps with the task-variable snapshots.
+type LocalRun struct {
+	Task *has.Task
+	// Steps holds the observable transitions; Steps[0] is the task's
+	// opening.
+	Steps []TraceStep
+	// Closed reports whether the run ended with the task's closing
+	// service.
+	Closed bool
+}
+
+// LocalRuns extracts the local runs of the named task from the trace
+// (possibly several: a task can be called repeatedly). Incomplete trailing
+// runs are returned with Closed=false.
+func (run *Runner) LocalRuns(task string) []LocalRun {
+	t, ok := run.Sys.Task(task)
+	if !ok {
+		return nil
+	}
+	var out []LocalRun
+	var cur *LocalRun
+	for _, step := range run.Trace {
+		e := step.Event
+		if e.Kind == EvOpen && e.Task == t.Name {
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			cur = &LocalRun{Task: t, Steps: []TraceStep{step}}
+			continue
+		}
+		if cur == nil {
+			continue
+		}
+		if !e.ObservableBy(t) {
+			continue
+		}
+		cur.Steps = append(cur.Steps, step)
+		if e.Kind == EvClose && e.Task == t.Name {
+			cur.Closed = true
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	return out
+}
+
+// ServiceAtomPrefix reports whether an atom name is a service proposition.
+func ServiceAtomPrefix(atom string) bool {
+	return strings.HasPrefix(atom, "open:") || strings.HasPrefix(atom, "close:") || strings.HasPrefix(atom, "call:")
+}

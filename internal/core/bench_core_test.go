@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"verifas/internal/fol"
+	"verifas/internal/ltl"
+	"verifas/internal/workflows"
+)
+
+// BenchmarkVerifySafety measures the full pipeline on the paper's running
+// example with a safety property (compile + static analysis + search).
+func BenchmarkVerifySafety(b *testing.B) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Verify(sys, prop, Options{Timeout: 30 * time.Second})
+		if err != nil || !res.Holds {
+			b.Fatal("unexpected result")
+		}
+	}
+}
+
+// BenchmarkVerifyLiveness exercises the repeated-reachability module.
+func BenchmarkVerifyLiveness(b *testing.B) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Formula: ltl.MustParse(`F open(ShipItem)`),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Verify(sys, prop, Options{Timeout: 30 * time.Second})
+		if err != nil || res.Holds {
+			b.Fatal("unexpected result")
+		}
+	}
+}
+
+// BenchmarkVerifyNoPruning quantifies the ⪯ pruning win on the same
+// property (Table 3's SP row in miniature).
+func BenchmarkVerifyNoPruning(b *testing.B) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Formula: ltl.MustParse(`F open(ShipItem)`),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Verify(sys, prop, Options{NoStatePruning: true, Timeout: 30 * time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+	"verifas/internal/spinlike"
+	"verifas/internal/synth"
+	"verifas/internal/workflows"
+)
+
+func xVerify(t *testing.T, sys *has.System, prop *core.Property, opts core.Options) *core.Result {
+	t.Helper()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opts.MaxStates = 300_000
+	opts.Timeout = 60 * time.Second
+	res, err := core.Verify(sys, prop, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TimedOut {
+		t.Fatalf("verification timed out after %d states", res.Stats.StatesExplored)
+	}
+	return res
+}
+
+// TestCrossCheckSpinlike compares VERIFAS-NoSet with the bounded
+// explicit-state baseline on the SAME abstraction (artifact relations
+// ignored, children havocked). Every violation the bounded checker finds
+// is witnessed by a run over finitely many values, hence a real run:
+// whenever spinlike reports VIOLATED and VERIFAS-NoSet reports HOLDS,
+// VERIFAS is unsound. (The converse direction may legitimately differ: a
+// violation can require more data values than the bound.)
+func TestCrossCheckSpinlike(t *testing.T) {
+	props := []*core.Property{
+		{
+			Name:    "guard",
+			Task:    "ProcessOrders",
+			Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+			Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+		},
+		{
+			Name:    "liveness",
+			Task:    "ProcessOrders",
+			Formula: ltl.MustParse(`F open(Restock)`),
+		},
+		{
+			Name:    "until",
+			Task:    "ProcessOrders",
+			Conds:   map[string]fol.Formula{"init": fol.MustParse(`status == "Init"`)},
+			Formula: ltl.MustParse(`!open(TakeOrder) U init`),
+		},
+		{
+			Name:    "fair",
+			Task:    "ProcessOrders",
+			Conds:   map[string]fol.Formula{"placed": fol.MustParse(`status == "OrderPlaced"`)},
+			Formula: ltl.MustParse(`G F placed`),
+		},
+	}
+	for _, buggy := range []bool{false, true} {
+		sys := workflows.OrderFulfillment(buggy)
+		if err := sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, prop := range props {
+			vres, err := core.Verify(sys, prop, core.Options{
+				IgnoreSets: true,
+				MaxStates:  300_000,
+				Timeout:    60 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", prop.Name, err)
+			}
+			sres, err := spinlike.Verify(sys, &spinlike.Property{
+				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
+			}, spinlike.Options{FreshPerSort: 1, MaxStates: 150_000, Timeout: 60 * time.Second})
+			if err != nil {
+				t.Fatalf("%s: %v", prop.Name, err)
+			}
+			if vres.Stats.TimedOut || sres.TimedOut {
+				t.Logf("%s (buggy=%v): skipped (budget)", prop.Name, buggy)
+				continue
+			}
+			if !sres.Holds && vres.Holds {
+				t.Errorf("%s (buggy=%v): bounded checker finds a violation but VERIFAS-NoSet claims the property holds (UNSOUND)", prop.Name, buggy)
+			}
+			t.Logf("%s (buggy=%v): verifas=%v spinlike=%v", prop.Name, buggy, vres.Holds, sres.Holds)
+		}
+	}
+}
+
+// TestCrossCheckSynthetic repeats the cross-check on small random
+// specifications and simple service-proposition properties.
+func TestCrossCheckSynthetic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cross-check")
+	}
+	p := synth.Params{
+		Relations:       2,
+		Tasks:           2,
+		VarsPerTask:     4,
+		ServicesPerTask: 3,
+		AtomsPerCond:    2,
+		NonKeyAttrs:     1,
+		Constants:       3,
+	}
+	checked := 0
+	for seed := int64(0); seed < 8; seed++ {
+		sys := synth.GenerateValid(p, seed*31+5, 2, 10)
+		if err := sys.Validate(); err != nil {
+			continue
+		}
+		child := sys.Root.Children[0].Name
+		for _, f := range []ltl.Formula{
+			ltl.MustParse(`false`),
+			ltl.MustParse(`G !close(` + child + `)`),
+			ltl.MustParse(`F open(` + child + `)`),
+		} {
+			prop := &core.Property{Task: sys.Root.Name, Formula: f}
+			vres, err := core.Verify(sys, prop, core.Options{IgnoreSets: true, MaxStates: 100_000, Timeout: 20 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sres, err := spinlike.Verify(sys, &spinlike.Property{Task: prop.Task, Formula: f},
+				spinlike.Options{FreshPerSort: 1, MaxStates: 60_000, MaxBranch: 1 << 15, Timeout: 20 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vres.Stats.TimedOut || sres.TimedOut {
+				continue
+			}
+			checked++
+			if !sres.Holds && vres.Holds {
+				t.Errorf("seed %d / %s: bounded violation missed by VERIFAS (UNSOUND)", seed, ltl.String(f))
+			}
+		}
+	}
+	t.Logf("cross-checked %d (spec, property) pairs", checked)
+	if checked == 0 {
+		t.Skip("all cross-checks hit budgets")
+	}
+}
+
+// TestAggressiveRRConfirmed documents the Appendix C behaviour: with
+// confirmation on (the default for AggressiveRR), any violation reported
+// agrees with the classical method.
+func TestAggressiveRRConfirmed(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	props := []*core.Property{
+		{Task: "ProcessOrders", Formula: ltl.MustParse(`F open(ShipItem)`)},
+		{Task: "ProcessOrders", Formula: ltl.MustParse(`F close(TakeOrder)`)},
+		{
+			Task:    "ProcessOrders",
+			Conds:   map[string]fol.Formula{"p": fol.MustParse(`status == "Init"`)},
+			Formula: ltl.MustParse(`G F p`),
+		},
+	}
+	for _, prop := range props {
+		classical := xVerify(t, sys, prop, core.Options{})
+		aggressive := xVerify(t, sys, prop, core.Options{AggressiveRR: true})
+		// A confirmed aggressive violation must agree with the classical
+		// verdict; an aggressive "holds" may in principle be wrong (the
+		// documented limitation), so only the violation side is checked.
+		if !aggressive.Holds && classical.Holds {
+			t.Errorf("%s: aggressive RR reports a violation the classical method rejects", ltl.String(prop.Formula))
+		}
+		t.Logf("%s: classical=%v aggressive=%v", ltl.String(prop.Formula), classical.Holds, aggressive.Holds)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"verifas/internal/concrete"
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+	"verifas/internal/workflows"
+)
+
+// TestDifferentialConcreteVsSymbolic cross-checks the symbolic verifier
+// against explicit concrete execution: whenever the verifier claims a
+// property HOLDS for a task, no sampled concrete local run of that task
+// may falsify it (on any database, here random ones). This exercises the
+// whole stack: condition compilation, partial isomorphism types, the
+// product construction and the pruning machinery.
+func TestDifferentialConcreteVsSymbolic(t *testing.T) {
+	type pc struct {
+		name string
+		task string
+		prop *Property
+	}
+	mkProps := func() []pc {
+		return []pc{
+			{
+				"store-resets", "ProcessOrders",
+				&Property{
+					Task:    "ProcessOrders",
+					Conds:   map[string]fol.Formula{"reset": fol.MustParse(`cust_id == null && item_id == null && status == "Init"`)},
+					Formula: ltl.MustParse(`G (call(StoreOrder) -> reset)`),
+				},
+			},
+			{
+				"ship-guarded", "ProcessOrders",
+				&Property{
+					Task:    "ProcessOrders",
+					Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+					Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+				},
+			},
+			{
+				"restock-before-ship", "ProcessOrders",
+				&Property{
+					Task:    "ProcessOrders",
+					Globals: []has.Variable{has.IDV("i", "ITEMS")},
+					Conds: map[string]fol.Formula{
+						"p": fol.MustParse(`item_id == i && instock == "No"`),
+						"q": fol.MustParse(`item_id == i`),
+						"r": fol.MustParse(`item_id == i`),
+					},
+					Formula: ltl.MustParse(`G ((close(TakeOrder) && p) -> (!(open(ShipItem) && q) U (open(Restock) && r)))`),
+				},
+			},
+			{
+				"credit-decided", "CheckCredit",
+				&Property{
+					Task:    "CheckCredit",
+					Conds:   map[string]fol.Formula{"decided": fol.MustParse(`c_status != null`)},
+					Formula: ltl.MustParse(`G (close(CheckCredit) -> decided)`),
+				},
+			},
+			{
+				"credit-verdict-matches-record", "CheckCredit",
+				&Property{
+					Task: "CheckCredit",
+					Conds: map[string]fol.Formula{
+						"passed":  fol.MustParse(`c_status == "Passed"`),
+						"good":    fol.MustParse(`CREDIT_RECORD(c_record, "Good")`),
+						"checked": fol.MustParse(`c_record != null`),
+					},
+					Formula: ltl.MustParse(`G ((close(CheckCredit) && passed && checked) -> good)`),
+				},
+			},
+			{
+				"restock-returns-yes", "Restock",
+				&Property{
+					Task:    "Restock",
+					Conds:   map[string]fol.Formula{"yes": fol.MustParse(`r_instock == "Yes"`)},
+					Formula: ltl.MustParse(`G (close(Restock) -> yes)`),
+				},
+			},
+			{
+				"take-order-complete", "TakeOrder",
+				&Property{
+					Task:    "TakeOrder",
+					Conds:   map[string]fol.Formula{"complete": fol.MustParse(`t_cust != null && t_item != null`)},
+					Formula: ltl.MustParse(`G (close(TakeOrder) -> complete)`),
+				},
+			},
+		}
+	}
+
+	for _, buggy := range []bool{false, true} {
+		sys := workflows.OrderFulfillment(buggy)
+		if err := sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		verdicts := map[string]bool{}
+		props := mkProps()
+		for _, p := range props {
+			res, err := Verify(sys, p.prop, Options{MaxStates: 300_000, Timeout: 60 * time.Second})
+			if err != nil {
+				t.Fatalf("%s: %v", p.name, err)
+			}
+			if res.Stats.TimedOut {
+				t.Fatalf("%s: timed out", p.name)
+			}
+			verdicts[p.name] = res.Holds
+		}
+
+		// Sample concrete runs and check every closed local run.
+		violatedConcretely := map[string]bool{}
+		for seed := int64(0); seed < 25; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			db := concrete.RandomDB(sys.Schema, r, 2+int(seed%3), sys.Constants())
+			run, err := concrete.NewRunner(sys, db, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := run.Run(150); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range props {
+				for _, lr := range run.LocalRuns(p.task) {
+					if !lr.Closed {
+						continue
+					}
+					ok, err := concrete.CheckFinite(lr, db, p.prop.Formula, p.prop.Conds, p.prop.Globals)
+					if err != nil {
+						t.Fatalf("%s: %v", p.name, err)
+					}
+					if !ok {
+						violatedConcretely[p.name] = true
+						if verdicts[p.name] {
+							t.Errorf("UNSOUND (buggy=%v): verifier claims %q holds but a concrete run violates it (seed %d)", buggy, p.name, seed)
+						}
+					}
+				}
+			}
+		}
+		t.Logf("buggy=%v verdicts=%v concrete-violations=%v", buggy, verdicts, violatedConcretely)
+	}
+}
+
+// TestDifferentialRootInvariants samples root-task prefixes and checks
+// state invariants that the verifier proved as safety properties. Root
+// local runs never close, so instead of full LTL finite-trace checking we
+// assert the per-snapshot conditions directly.
+func TestDifferentialRootInvariants(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Verified: G(open(ShipItem) -> instock == "Yes").
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+	}
+	res, err := Verify(sys, prop, Options{MaxStates: 300_000})
+	if err != nil || !res.Holds {
+		t.Fatalf("setup: expected property to hold (err=%v)", err)
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db := concrete.RandomDB(sys.Schema, r, 3, sys.Constants())
+		run, err := concrete.NewRunner(sys, db, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Run(200); err != nil {
+			t.Fatal(err)
+		}
+		for _, lr := range run.LocalRuns("ProcessOrders") {
+			for _, step := range lr.Steps {
+				if step.Event.AtomName() == "open:ShipItem" {
+					if v, _ := step.Vals.Lookup("instock"); v != fol.ConstValue("Yes") {
+						t.Fatalf("seed %d: concrete run opens ShipItem without stock — contradicts verified safety property", seed)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"time"
+
+	"verifas/internal/ltl"
+	"verifas/internal/symbolic"
+	"verifas/internal/vass"
+)
+
+// repeatedReachability implements the infinite-run module (paper Section
+// 3.8 and Appendix C): it decides whether an accepting Büchi state is
+// repeatedly reachable, i.e. lies on a cycle of the coverability graph.
+//
+// The default strategy is the classical one: a ≤-pruned Karp-Miller
+// search with acceleration yields a coverability set, and an accepting
+// state is repeatedly reachable iff it lies on a cycle of the coverability
+// graph (paper Section 3.3, Blockelet-Schmitz). This is sound and
+// complete.
+//
+// With AggressiveRR the Appendix C construction runs instead: a second
+// search pruned with the strict relation ⪯+ and no acceleration,
+// additionally pruning against the first phase's ω states (which are
+// inherently repeatedly reachable and were already handled by the
+// acceleration shortcut). Violations it finds are re-confirmed classically
+// unless NoRRConfirmation is set; its "holds" verdicts are not — the
+// paper's completeness argument for ⪯+ is informal, and differential
+// testing exposed real violations it can miss, which is why it is opt-in.
+func repeatedReachability(ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, deadline time.Time) (*Violation, int, bool, error) {
+	if !opts.AggressiveRR {
+		return rrClassical(ts, buchi, opts, maxStates, deadline)
+	}
+	v, states, timedOut, err := rrAggressive(ts, buchi, phase1, opts, maxStates, deadline)
+	if err != nil || timedOut || v == nil {
+		return v, states, timedOut, err
+	}
+	if opts.NoRRConfirmation {
+		return v, states, false, nil
+	}
+	cv, cstates, ctimed, err := rrClassical(ts, buchi, opts, maxStates, deadline)
+	states += cstates
+	if err != nil {
+		return nil, states, false, err
+	}
+	if ctimed {
+		// The confirmation ran out of budget; report the aggressive
+		// finding but note the budget exhaustion.
+		return v, states, true, nil
+	}
+	return cv, states, false, nil
+}
+
+// rrClassical: ≤-pruned Karp-Miller with acceleration; the active nodes
+// form a coverability set, and an accepting state is repeatedly reachable
+// iff it lies on a cycle of the coverability graph (paper Section 3.3).
+func rrClassical(ts *symbolic.TaskSystem, buchi *ltl.Buchi, opts Options, maxStates int, deadline time.Time) (*Violation, int, bool, error) {
+	prod := newProduct(ts, buchi, OrderLeq)
+	prod.deadline = deadline
+	tree, err := vass.Explore(prod, vass.Options{
+		Prune:      true,
+		Accelerate: true,
+		UseIndex:   !opts.NoIndexes,
+		MaxStates:  maxStates,
+		Deadline:   deadline,
+	})
+	states := tree.Created
+	if err == vass.ErrBudget {
+		return nil, states, true, nil
+	}
+	return cycleViolation(ts, prod, tree.Active()), states, false, nil
+}
+
+// rrAggressive: the Appendix C second phase with ⪯+ pruning, no
+// acceleration, pruning against the first phase's ω states.
+func rrAggressive(ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, deadline time.Time) (*Violation, int, bool, error) {
+	prod := newProduct(ts, buchi, OrderPrecedesStrict)
+	prod.deadline = deadline
+	var omegaDoms []vass.State
+	for _, n := range phase1.Active() {
+		if n.S.(*PState).PSI.HasOmega() {
+			omegaDoms = append(omegaDoms, n.S)
+		}
+	}
+	tree, err := vass.Explore(prod, vass.Options{
+		Prune:           true,
+		Accelerate:      false,
+		UseIndex:        !opts.NoIndexes,
+		MaxStates:       maxStates,
+		Deadline:        deadline,
+		ExtraDominators: omegaDoms,
+	})
+	states := tree.Created
+	if err == vass.ErrBudget {
+		return nil, states, true, nil
+	}
+	return cycleViolation(ts, prod, tree.Active()), states, false, nil
+}
+
+// cycleViolation extracts an accepting state on a cycle of the
+// coverability graph, if any, and builds the counterexample lasso.
+func cycleViolation(ts *symbolic.TaskSystem, prod *product, active []*vass.Node) *Violation {
+	cyc := vass.CycleNodes(prod, active)
+	for n := range cyc {
+		if !prod.Accepting(n.S.(*PState)) {
+			continue
+		}
+		v := &Violation{Kind: "cycle", Prefix: tracePath(ts, n)}
+		for _, label := range vass.CycleWitness(prod, active, n) {
+			if l, ok := label.(Label); ok {
+				v.Cycle = append(v.Cycle, Step{Service: l.Ref})
+			}
+		}
+		return v
+	}
+	return nil
+}

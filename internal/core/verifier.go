@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+	"verifas/internal/static"
+	"verifas/internal/symbolic"
+	"verifas/internal/vass"
+)
+
+// Property is an LTL-FO property ∀ȳ φ_f of one task (paper Section 2.1):
+// an LTL formula over service propositions and named condition
+// propositions, the conditions f interpreting them (quantifier-free, over
+// the task's variables and the globals ȳ), and the universally quantified
+// global variables.
+type Property struct {
+	Name string
+	// Task names the task whose local runs are verified.
+	Task string
+	// Globals are the universally quantified variables ȳ.
+	Globals []has.Variable
+	// Conds interprets the condition propositions.
+	Conds map[string]fol.Formula
+	// Formula is the LTL skeleton.
+	Formula ltl.Formula
+}
+
+// Options configure the verifier; the zero value enables every
+// optimization (the full VERIFAS configuration).
+type Options struct {
+	// NoStatePruning disables the ⪯-based aggressive pruning (SP, paper
+	// Section 3.5), falling back to the coverage order ≤.
+	NoStatePruning bool
+	// NoStaticAnalysis disables the constraint-graph edge filter (SA,
+	// Section 3.7).
+	NoStaticAnalysis bool
+	// NoIndexes disables the Trie/inverted-list candidate indexes (DSS,
+	// Section 3.6).
+	NoIndexes bool
+	// IgnoreSets verifies with artifact relations ignored (VERIFAS-NoSet).
+	IgnoreSets bool
+	// SkipRepeatedReachability turns off the infinite-run module
+	// (Section 3.8); only finite-run violations are then detected.
+	SkipRepeatedReachability bool
+	// AggressiveRR opts into the Appendix C ⪯+ second search for
+	// repeated reachability instead of the default classical
+	// coverability-set cycle detection (≤-pruned with acceleration).
+	// The ⪯+ construction is faster but can miss violations whose
+	// cycles are pruned against ω states (the paper's own completeness
+	// argument for it is informal); findings ARE re-confirmed classically
+	// unless NoRRConfirmation is set, but a "holds" verdict from it is
+	// not re-checked. Off by default.
+	AggressiveRR bool
+	// NoRRConfirmation skips re-confirming an infinite violation found by
+	// the aggressive ⪯+ phase with the classical method.
+	NoRRConfirmation bool
+	// MaxStates bounds each search phase (0 = DefaultMaxStates).
+	MaxStates int
+	// Timeout bounds the whole verification (0 = none).
+	Timeout time.Duration
+}
+
+// DefaultMaxStates bounds each search phase unless overridden.
+const DefaultMaxStates = 2_000_000
+
+// Step is one transition of a counterexample trace.
+type Step struct {
+	Service symbolic.ServiceRef
+	// State describes the reached symbolic state (constraints on the
+	// artifact variables).
+	State string
+}
+
+// Violation describes a counterexample: a symbolic local run violating the
+// property.
+type Violation struct {
+	// Kind is "finite" (the run closes in a Qfin state), "pumping"
+	// (an accepting state recurs via a counter-pumping cycle found during
+	// acceleration), or "cycle" (an accepting cycle of the coverability
+	// graph).
+	Kind string
+	// Prefix is the stem of the run.
+	Prefix []Step
+	// Cycle is the repeated part for infinite violations.
+	Cycle []Step
+}
+
+// Stats reports search effort.
+type Stats struct {
+	BuchiStates    int
+	StatesExplored int
+	Pruned         int
+	Skipped        int
+	Accelerations  int
+	RRStates       int
+	Elapsed        time.Duration
+	TimedOut       bool
+}
+
+// Result is the outcome of a verification.
+type Result struct {
+	// Holds is true when every local run of the task satisfies the
+	// property. It is false when a violation was found OR the search
+	// timed out (check Stats.TimedOut and Violation).
+	Holds     bool
+	Violation *Violation
+	Stats     Stats
+}
+
+// Verify checks that every local run of the property's task satisfies the
+// property (paper Section 3). The system must already be validated.
+func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
+	start := time.Now()
+	task, ok := sys.Task(prop.Task)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown task %q", prop.Task)
+	}
+	if err := validateProperty(sys, task, prop); err != nil {
+		return nil, err
+	}
+
+	// Büchi automaton of the NEGATED property.
+	buchi := ltl.Translate(ltl.Not(prop.Formula))
+
+	// Compile the task's symbolic semantics with the property bound.
+	ts, err := symbolic.CompileTask(sys, task, symbolic.PropertyBinding{
+		Globals: prop.Globals,
+		Conds:   prop.Conds,
+	}, symbolic.Options{IgnoreSets: opts.IgnoreSets})
+	if err != nil {
+		return nil, err
+	}
+	if !opts.NoStaticAnalysis {
+		ts.SetFilter(static.Analyze(ts))
+	}
+
+	res := &Result{}
+	res.Stats.BuchiStates = buchi.NumStates()
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+
+	// ---- Phase 1: reachability with on-the-fly violation detection.
+	order := OrderPrecedes
+	if opts.NoStatePruning {
+		order = OrderLeq
+	}
+	prod := newProduct(ts, buchi, order)
+	prod.deadline = deadline
+
+	var finViolation *vass.Node
+	var pumpAncestor *vass.Node
+	var pumpState *PState
+	anyAccepting := false
+
+	tree, exploreErr := vass.Explore(prod, vass.Options{
+		Prune:      true,
+		Accelerate: true,
+		UseIndex:   !opts.NoIndexes,
+		MaxStates:  maxStates,
+		Deadline:   deadline,
+		OnNode: func(n *vass.Node) bool {
+			ps := n.S.(*PState)
+			if prod.FinViolation(ps) {
+				finViolation = n
+				return true
+			}
+			if prod.Accepting(ps) {
+				anyAccepting = true
+			}
+			return false
+		},
+		OnAccelerate: func(anc *vass.Node, accelerated vass.State) bool {
+			// The tree path from the ancestor to the current node is a
+			// pumpable cycle: every Büchi node on it recurs infinitely
+			// often. If any is accepting, the property is violated
+			// (Appendix C: ω states are inherently repeatedly
+			// reachable).
+			if opts.SkipRepeatedReachability {
+				return false
+			}
+			if prod.Accepting(anc.S.(*PState)) {
+				pumpAncestor = anc
+				pumpState = accelerated.(*PState)
+				return true
+			}
+			return false
+		},
+	})
+	res.Stats.StatesExplored = tree.Created
+	res.Stats.Pruned = tree.Pruned
+	res.Stats.Skipped = tree.Skipped
+	res.Stats.Accelerations = tree.Accelerations
+	if exploreErr == vass.ErrBudget {
+		res.Stats.TimedOut = true
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	if finViolation != nil {
+		res.Violation = &Violation{Kind: "finite", Prefix: tracePath(ts, finViolation)}
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if pumpAncestor != nil {
+		_ = pumpState
+		prefix := tracePath(ts, pumpAncestor)
+		res.Violation = &Violation{Kind: "pumping", Prefix: prefix}
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// ---- Phase 2: repeated reachability for infinite-run violations.
+	if !opts.SkipRepeatedReachability && anyAccepting {
+		v, rrStates, timedOut, err := repeatedReachability(ts, buchi, tree, opts, maxStates, deadline)
+		res.Stats.RRStates = rrStates
+		if err != nil {
+			return nil, err
+		}
+		if timedOut {
+			res.Stats.TimedOut = true
+			res.Stats.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if v != nil {
+			res.Violation = v
+			res.Stats.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+
+	res.Holds = true
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// validateProperty type-checks the property against the system and task.
+func validateProperty(sys *has.System, task *has.Task, prop *Property) error {
+	scope := has.TaskScope(task)
+	seen := map[string]bool{}
+	for _, g := range prop.Globals {
+		if _, clash := scope[g.Name]; clash || seen[g.Name] {
+			return fmt.Errorf("core: global variable %q clashes", g.Name)
+		}
+		seen[g.Name] = true
+		if g.Type.IsID() {
+			if _, ok := sys.Schema.Relation(g.Type.Rel); !ok {
+				return fmt.Errorf("core: global %q has unknown ID sort %q", g.Name, g.Type.Rel)
+			}
+		}
+		scope = scope.With(g)
+	}
+	for name, f := range prop.Conds {
+		if err := sys.CheckCondition(f, scope, "property condition "+name); err != nil {
+			return err
+		}
+	}
+	// Every LTL atom is either a service proposition of the task or a
+	// defined condition.
+	svc := serviceAtomSet(task)
+	for _, a := range ltl.Atoms(prop.Formula) {
+		if svc[a] {
+			continue
+		}
+		if _, ok := prop.Conds[a]; !ok {
+			return fmt.Errorf("core: atom %q is neither a service proposition of task %s nor a defined condition", a, task.Name)
+		}
+	}
+	return nil
+}
+
+func serviceAtomSet(task *has.Task) map[string]bool {
+	out := map[string]bool{
+		"open:" + task.Name:  true,
+		"close:" + task.Name: true,
+	}
+	for _, s := range task.Services {
+		out["call:"+s.Name] = true
+	}
+	for _, c := range task.Children {
+		out["open:"+c.Name] = true
+		out["close:"+c.Name] = true
+	}
+	return out
+}
+
+// tracePath renders the tree path to a node as a counterexample prefix.
+func tracePath(ts *symbolic.TaskSystem, n *vass.Node) []Step {
+	var out []Step
+	for _, nd := range n.Path() {
+		ps := nd.S.(*PState)
+		ref := ts.OpenRef()
+		if nd.Label != nil {
+			ref = nd.Label.(Label).Ref
+		}
+		out = append(out, Step{Service: ref, State: ps.PSI.Tau.String()})
+	}
+	return out
+}

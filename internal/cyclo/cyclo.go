@@ -1,0 +1,215 @@
+// Package cyclo adapts McCabe's cyclomatic complexity to HAS*
+// specifications, following the paper's Section 4.2: for each task T and
+// each non-ID variable x of T, the services of T are projected onto {x},
+// yielding a finite transition graph with x as the state variable (its
+// nodes are the constants compared with x, null, and a fresh
+// representative); the cyclomatic complexity of that control-flow graph is
+// |E| - |V| + 2, and the complexity M(A) of the specification is the
+// maximum over all such projections.
+package cyclo
+
+import (
+	"sort"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+// Complexity returns M(A), the maximum cyclomatic complexity over every
+// (task, non-ID variable) control-flow projection, along with the
+// maximizing task and variable (for diagnostics).
+func Complexity(sys *has.System) (m int, task, variable string) {
+	m = 1 // a program with no decision points has complexity 1
+	for _, t := range sys.Tasks() {
+		for _, v := range t.Vars {
+			if v.Type.IsID() {
+				continue
+			}
+			c := projectionComplexity(t, v.Name)
+			if c > m {
+				m, task, variable = c, t.Name, v.Name
+			}
+		}
+	}
+	return m, task, variable
+}
+
+// value is a node of the projected control-flow graph: a constant, null,
+// or the fresh representative standing for all other values.
+type value struct {
+	kind int // 0 = null, 1 = constant, 2 = fresh
+	c    string
+}
+
+// projectionComplexity builds the transition graph of variable x in task t
+// and returns |E| - |V| + 2 (counting only nodes incident to an edge).
+func projectionComplexity(t *has.Task, x string) int {
+	// Domain: constants compared with x anywhere in the task's own
+	// conditions, plus null and a fresh representative.
+	constSet := map[string]bool{}
+	addConsts := func(f fol.Formula) {
+		collectComparedConsts(f, x, constSet)
+	}
+	for _, svc := range t.Services {
+		addConsts(svc.Pre)
+		addConsts(svc.Post)
+	}
+	var domain []value
+	domain = append(domain, value{kind: 0})
+	consts := make([]string, 0, len(constSet))
+	for c := range constSet {
+		consts = append(consts, c)
+	}
+	sort.Strings(consts)
+	for _, c := range consts {
+		domain = append(domain, value{kind: 1, c: c})
+	}
+	domain = append(domain, value{kind: 2})
+
+	edges := map[[2]int]bool{}
+	addEdge := func(u, v int) { edges[[2]int{u, v}] = true }
+
+	isInput := t.IsInput(x)
+	for _, svc := range t.Services {
+		propagated := isInput
+		for _, y := range svc.Propagate {
+			if y == x {
+				propagated = true
+			}
+		}
+		for ui, u := range domain {
+			if !satisfiable(svc.Pre, x, u) {
+				continue
+			}
+			if propagated && svc.Update == nil {
+				addEdge(ui, ui)
+				continue
+			}
+			for vi, v := range domain {
+				if satisfiable(svc.Post, x, v) {
+					addEdge(ui, vi)
+				}
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return 1
+	}
+	nodes := map[int]bool{}
+	for e := range edges {
+		nodes[e[0]] = true
+		nodes[e[1]] = true
+	}
+	c := len(edges) - len(nodes) + 2
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// collectComparedConsts gathers constants equated or disequated with x.
+func collectComparedConsts(f fol.Formula, x string, out map[string]bool) {
+	switch g := f.(type) {
+	case fol.Eq:
+		if g.L.Kind == fol.TVar && g.L.Name == x && g.R.Kind == fol.TConst {
+			out[g.R.Name] = true
+		}
+		if g.R.Kind == fol.TVar && g.R.Name == x && g.L.Kind == fol.TConst {
+			out[g.L.Name] = true
+		}
+	case fol.Not:
+		collectComparedConsts(g.F, x, out)
+	case fol.And:
+		for _, sub := range g.Fs {
+			collectComparedConsts(sub, x, out)
+		}
+	case fol.Or:
+		for _, sub := range g.Fs {
+			collectComparedConsts(sub, x, out)
+		}
+	case fol.Implies:
+		collectComparedConsts(g.L, x, out)
+		collectComparedConsts(g.R, x, out)
+	case fol.Exists:
+		collectComparedConsts(g.Body, x, out)
+	}
+}
+
+// satisfiable evaluates the projection of f onto {x} at the given value:
+// atoms not comparing x with a constant or null are treated as true
+// (projected away); the rest evaluate against v.
+func satisfiable(f fol.Formula, x string, v value) bool {
+	if f == nil {
+		return true
+	}
+	return evalProj(f, x, v, false)
+}
+
+func evalProj(f fol.Formula, x string, v value, neg bool) bool {
+	switch g := f.(type) {
+	case fol.True:
+		return !neg
+	case fol.False:
+		return neg
+	case fol.Eq:
+		val, relevant := projAtom(g, x, v)
+		if !relevant {
+			return true // projected away: unconstrained in both polarities
+		}
+		return val != neg
+	case fol.Rel:
+		return true // projected away
+	case fol.Not:
+		return evalProj(g.F, x, v, !neg)
+	case fol.And:
+		for _, sub := range g.Fs {
+			ok := evalProj(sub, x, v, neg)
+			if neg {
+				if ok {
+					return true
+				}
+			} else if !ok {
+				return false
+			}
+		}
+		return !neg
+	case fol.Or:
+		for _, sub := range g.Fs {
+			ok := evalProj(sub, x, v, neg)
+			if neg {
+				if !ok {
+					return false
+				}
+			} else if ok {
+				return true
+			}
+		}
+		return neg
+	case fol.Implies:
+		return evalProj(fol.MkOr(fol.MkNot(g.L), g.R), x, v, neg)
+	case fol.Exists:
+		return evalProj(g.Body, x, v, neg)
+	}
+	return true
+}
+
+// projAtom evaluates an x-vs-constant/null equality; relevant=false when
+// the atom does not constrain x alone.
+func projAtom(g fol.Eq, x string, v value) (val, relevant bool) {
+	var other fol.Term
+	if g.L.Kind == fol.TVar && g.L.Name == x {
+		other = g.R
+	} else if g.R.Kind == fol.TVar && g.R.Name == x {
+		other = g.L
+	} else {
+		return false, false
+	}
+	switch other.Kind {
+	case fol.TNull:
+		return v.kind == 0, true
+	case fol.TConst:
+		return v.kind == 1 && v.c == other.Name, true
+	default:
+		return false, false // x = y: projected away
+	}
+}

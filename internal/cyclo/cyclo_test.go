@@ -1,0 +1,154 @@
+package cyclo
+
+import (
+	"testing"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/workflows"
+)
+
+// linearSystem builds a root task whose status variable steps through a
+// chain of n constants: s0 -> s1 -> ... -> s(n-1). Each step service adds
+// exactly one edge; with one node per constant plus null the complexity is
+// |E| - |V| + 2.
+func linearSystem(t *testing.T, n int) *has.System {
+	t.Helper()
+	schema := has.NewSchema(has.RelDef("R", has.NK("A")))
+	root := &has.Task{
+		Name: "Main",
+		Vars: []has.Variable{has.V("status")},
+	}
+	consts := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
+	root.Services = append(root.Services, &has.Service{
+		Name: "Start",
+		Pre:  fol.EqVNull("status"),
+		Post: fol.EqVC("status", consts[0]),
+	})
+	for i := 0; i+1 < n; i++ {
+		root.Services = append(root.Services, &has.Service{
+			Name: "Step" + consts[i],
+			Pre:  fol.EqVC("status", consts[i]),
+			Post: fol.EqVC("status", consts[i+1]),
+		})
+	}
+	sys := &has.System{Name: "linear", Schema: schema, Root: root,
+		GlobalPre: fol.EqVNull("status")}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestLinearChainComplexity(t *testing.T) {
+	// Chain of 4 constants: edges = {null->s0, s0->s1, s1->s2, s2->s3},
+	// nodes = {null, s0..s3}: 4 - 5 + 2 = 1.
+	sys := linearSystem(t, 4)
+	m, _, _ := Complexity(sys)
+	if m != 1 {
+		t.Errorf("linear chain complexity = %d, want 1", m)
+	}
+}
+
+func TestBranchingIncreasesComplexity(t *testing.T) {
+	schema := has.NewSchema(has.RelDef("R", has.NK("A")))
+	mk := func(branches int) *has.System {
+		root := &has.Task{Name: "Main", Vars: []has.Variable{has.V("s")}}
+		consts := []string{"a", "b", "c", "d", "e"}
+		for i := 0; i < branches; i++ {
+			root.Services = append(root.Services,
+				&has.Service{
+					Name: "go" + consts[i],
+					Pre:  fol.EqVNull("s"),
+					Post: fol.EqVC("s", consts[i]),
+				},
+				&has.Service{
+					Name: "back" + consts[i],
+					Pre:  fol.EqVC("s", consts[i]),
+					Post: fol.EqVNull("s"),
+				})
+		}
+		sys := &has.System{Name: "branchy", Schema: schema, Root: root,
+			GlobalPre: fol.EqVNull("s")}
+		if err := sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	m2, _, _ := Complexity(mk(2))
+	m4, _, _ := Complexity(mk(4))
+	// branches b: edges 2b, nodes b+1: M = 2b - (b+1) + 2 = b + 1.
+	if m2 != 3 || m4 != 5 {
+		t.Errorf("complexities = %d, %d; want 3, 5", m2, m4)
+	}
+	if m4 <= m2 {
+		t.Error("more branching must increase complexity")
+	}
+}
+
+func TestUnconstrainedPostIsHavoc(t *testing.T) {
+	// A service with post=true can move s anywhere: a complete graph over
+	// the domain.
+	schema := has.NewSchema(has.RelDef("R", has.NK("A")))
+	root := &has.Task{
+		Name: "Main",
+		Vars: []has.Variable{has.V("s")},
+		Services: []*has.Service{{
+			Name: "chaos",
+			Pre:  fol.MustParse(`s == "a" || s == "b" || s == null`),
+			Post: fol.MustParse(`true`),
+		}},
+	}
+	sys := &has.System{Name: "havoc", Schema: schema, Root: root,
+		GlobalPre: fol.EqVNull("s")}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, _, _ := Complexity(sys)
+	// Domain {null, a, b, fresh}: pre satisfiable on null, a, b (3 nodes)
+	// each to all 4 values: 12 edges, 4 nodes: 12-4+2 = 10.
+	if m != 10 {
+		t.Errorf("havoc complexity = %d, want 10", m)
+	}
+}
+
+func TestRealSuiteComplexities(t *testing.T) {
+	// The hand-written suite should land in the "well-designed" band the
+	// paper highlights (M ≤ 15 for readable workflows).
+	for _, e := range workflows.All() {
+		sys := e.Build()
+		if err := sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		m, task, v := Complexity(sys)
+		t.Logf("%-24s M=%d (task %s, var %s)", e.Name, m, task, v)
+		if m < 1 || m > 40 {
+			t.Errorf("%s: complexity %d out of sane range", e.Name, m)
+		}
+	}
+}
+
+func TestPropagatedVariableSelfLoop(t *testing.T) {
+	// A propagated variable cannot change: only self-loops, complexity 1.
+	schema := has.NewSchema(has.RelDef("R", has.NK("A")))
+	root := &has.Task{
+		Name: "Main",
+		Vars: []has.Variable{has.V("s")},
+		Services: []*has.Service{{
+			Name:      "keep",
+			Pre:       fol.MustParse(`s == "a" || s == "b"`),
+			Post:      fol.MustParse(`true`),
+			Propagate: []string{"s"},
+		}},
+	}
+	sys := &has.System{Name: "prop", Schema: schema, Root: root,
+		GlobalPre: fol.EqVNull("s")}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, _, _ := Complexity(sys)
+	// Self-loops on a and b: edges 2, nodes 2: 2-2+2 = 2.
+	if m != 2 {
+		t.Errorf("complexity = %d, want 2", m)
+	}
+}

@@ -1,0 +1,470 @@
+// Package fol implements the quantifier-free first-order condition language
+// of HAS* (Li, Deutsch, Vianu: "VERIFAS: A Practical Verifier for Artifact
+// Systems", VLDB 2017, Section 2).
+//
+// A condition is a boolean combination of atoms over a database schema and
+// equality. Atoms are equalities between terms (variables, constants, the
+// special constant null) and relation atoms R(x, y1..ym, z1..zn). Existential
+// quantification is supported as a shorthand (the paper simulates it by
+// adding variables; we evaluate witnesses natively and project them away in
+// the symbolic representation).
+//
+// The package is self-contained: it knows nothing about tasks or services.
+// Schema-dependent validation lives in package has; symbolic evaluation in
+// package symbolic; concrete evaluation hooks are provided here through
+// small interfaces.
+package fol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TermKind discriminates the kinds of terms appearing in conditions.
+type TermKind int
+
+const (
+	// TVar is a variable reference (artifact variable, global property
+	// variable, or existentially quantified witness).
+	TVar TermKind = iota
+	// TConst is a data constant from DOMval, written "..." in the
+	// concrete syntax.
+	TConst
+	// TNull is the special constant null.
+	TNull
+)
+
+// Term is a variable, constant, or null occurrence in a condition.
+type Term struct {
+	Kind TermKind
+	// Name is the variable name for TVar and the literal value for
+	// TConst. It is empty for TNull.
+	Name string
+}
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{Kind: TVar, Name: name} }
+
+// Const returns a data-constant term.
+func Const(v string) Term { return Term{Kind: TConst, Name: v} }
+
+// Null returns the null constant term.
+func Null() Term { return Term{Kind: TNull} }
+
+// IsNull reports whether the term is the null constant.
+func (t Term) IsNull() bool { return t.Kind == TNull }
+
+// String renders the term in the concrete syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case TVar:
+		return t.Name
+	case TConst:
+		return fmt.Sprintf("%q", t.Name)
+	default:
+		return "null"
+	}
+}
+
+// Formula is the interface implemented by all condition AST nodes.
+//
+// The concrete node types are True, False, Eq, Rel, Not, And, Or, Implies,
+// and Exists. Formulas are immutable once built; all transformations
+// (NNF, DNF, substitution) return new trees.
+type Formula interface {
+	fString(sb *strings.Builder)
+	// isFormula is a marker to keep the set of implementations closed.
+	isFormula()
+}
+
+// True is the trivially true condition.
+type True struct{}
+
+// False is the trivially false condition.
+type False struct{}
+
+// Eq is an equality atom L = R between two terms.
+type Eq struct {
+	L, R Term
+}
+
+// Rel is a relation atom R(args...). By the HAS* convention the first
+// argument is the key (ID) position and the remaining arguments follow the
+// schema's declared attribute order (non-key attributes, then foreign keys).
+type Rel struct {
+	Name string
+	Args []Term
+}
+
+// Not is logical negation.
+type Not struct {
+	F Formula
+}
+
+// And is an n-ary conjunction. An empty conjunction is true.
+type And struct {
+	Fs []Formula
+}
+
+// Or is an n-ary disjunction. An empty disjunction is false.
+type Or struct {
+	Fs []Formula
+}
+
+// Implies is logical implication L -> R.
+type Implies struct {
+	L, R Formula
+}
+
+// QuantVar is a typed existentially quantified variable. Rel is the
+// relation name whose ID domain the variable ranges over; the empty string
+// denotes a data (DOMval) variable.
+type QuantVar struct {
+	Name string
+	Rel  string
+}
+
+// Exists is existential quantification over one or more typed variables.
+// Conditions must use Exists positively (never under an odd number of
+// negations); package has enforces this during validation.
+type Exists struct {
+	Vars []QuantVar
+	Body Formula
+}
+
+func (True) isFormula()    {}
+func (False) isFormula()   {}
+func (Eq) isFormula()      {}
+func (Rel) isFormula()     {}
+func (Not) isFormula()     {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Implies) isFormula() {}
+func (Exists) isFormula()  {}
+
+// Convenience constructors.
+
+// MkAnd builds a conjunction, flattening nested Ands and dropping Trues.
+func MkAnd(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch g := f.(type) {
+		case True:
+		case And:
+			out = append(out, g.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return True{}
+	case 1:
+		return out[0]
+	}
+	return And{Fs: out}
+}
+
+// MkOr builds a disjunction, flattening nested Ors and dropping Falses.
+func MkOr(fs ...Formula) Formula {
+	var out []Formula
+	for _, f := range fs {
+		switch g := f.(type) {
+		case False:
+		case Or:
+			out = append(out, g.Fs...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return False{}
+	case 1:
+		return out[0]
+	}
+	return Or{Fs: out}
+}
+
+// MkNot builds a negation, removing double negations.
+func MkNot(f Formula) Formula {
+	if n, ok := f.(Not); ok {
+		return n.F
+	}
+	switch f.(type) {
+	case True:
+		return False{}
+	case False:
+		return True{}
+	}
+	return Not{F: f}
+}
+
+// EqVV is shorthand for an equality between two variables.
+func EqVV(a, b string) Formula { return Eq{L: Var(a), R: Var(b)} }
+
+// EqVC is shorthand for an equality between a variable and a constant.
+func EqVC(a, c string) Formula { return Eq{L: Var(a), R: Const(c)} }
+
+// EqVNull is shorthand for an equality between a variable and null.
+func EqVNull(a string) Formula { return Eq{L: Var(a), R: Null()} }
+
+// NeqVV is shorthand for a disequality between two variables.
+func NeqVV(a, b string) Formula { return MkNot(EqVV(a, b)) }
+
+// NeqVC is shorthand for a disequality between a variable and a constant.
+func NeqVC(a, c string) Formula { return MkNot(EqVC(a, c)) }
+
+// NeqVNull is shorthand for a disequality between a variable and null.
+func NeqVNull(a string) Formula { return MkNot(EqVNull(a)) }
+
+// String rendering.
+
+func (True) fString(sb *strings.Builder)  { sb.WriteString("true") }
+func (False) fString(sb *strings.Builder) { sb.WriteString("false") }
+
+func (e Eq) fString(sb *strings.Builder) {
+	sb.WriteString(e.L.String())
+	sb.WriteString(" == ")
+	sb.WriteString(e.R.String())
+}
+
+func (r Rel) fString(sb *strings.Builder) {
+	sb.WriteString(r.Name)
+	sb.WriteByte('(')
+	for i, a := range r.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteByte(')')
+}
+
+func (n Not) fString(sb *strings.Builder) {
+	if e, ok := n.F.(Eq); ok {
+		sb.WriteString(e.L.String())
+		sb.WriteString(" != ")
+		sb.WriteString(e.R.String())
+		return
+	}
+	sb.WriteString("!(")
+	n.F.fString(sb)
+	sb.WriteByte(')')
+}
+
+func (a And) fString(sb *strings.Builder) {
+	if len(a.Fs) == 0 {
+		sb.WriteString("true")
+		return
+	}
+	sb.WriteByte('(')
+	for i, f := range a.Fs {
+		if i > 0 {
+			sb.WriteString(" && ")
+		}
+		f.fString(sb)
+	}
+	sb.WriteByte(')')
+}
+
+func (o Or) fString(sb *strings.Builder) {
+	if len(o.Fs) == 0 {
+		sb.WriteString("false")
+		return
+	}
+	sb.WriteByte('(')
+	for i, f := range o.Fs {
+		if i > 0 {
+			sb.WriteString(" || ")
+		}
+		f.fString(sb)
+	}
+	sb.WriteByte(')')
+}
+
+func (im Implies) fString(sb *strings.Builder) {
+	sb.WriteByte('(')
+	im.L.fString(sb)
+	sb.WriteString(" -> ")
+	im.R.fString(sb)
+	sb.WriteByte(')')
+}
+
+func (ex Exists) fString(sb *strings.Builder) {
+	sb.WriteString("exists ")
+	for i, v := range ex.Vars {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.Name)
+		if v.Rel != "" {
+			sb.WriteString(" : ")
+			sb.WriteString(v.Rel)
+		} else {
+			sb.WriteString(" : val")
+		}
+	}
+	sb.WriteString(" (")
+	ex.Body.fString(sb)
+	sb.WriteByte(')')
+}
+
+// String renders any formula in the concrete syntax accepted by Parse.
+func String(f Formula) string {
+	var sb strings.Builder
+	f.fString(&sb)
+	return sb.String()
+}
+
+// FreeVars returns the sorted set of free variable names in f.
+func FreeVars(f Formula) []string {
+	set := map[string]bool{}
+	collectFree(f, map[string]bool{}, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFree(f Formula, bound map[string]bool, out map[string]bool) {
+	switch g := f.(type) {
+	case True, False:
+	case Eq:
+		collectTerm(g.L, bound, out)
+		collectTerm(g.R, bound, out)
+	case Rel:
+		for _, a := range g.Args {
+			collectTerm(a, bound, out)
+		}
+	case Not:
+		collectFree(g.F, bound, out)
+	case And:
+		for _, sub := range g.Fs {
+			collectFree(sub, bound, out)
+		}
+	case Or:
+		for _, sub := range g.Fs {
+			collectFree(sub, bound, out)
+		}
+	case Implies:
+		collectFree(g.L, bound, out)
+		collectFree(g.R, bound, out)
+	case Exists:
+		inner := make(map[string]bool, len(bound)+len(g.Vars))
+		for k := range bound {
+			inner[k] = true
+		}
+		for _, v := range g.Vars {
+			inner[v.Name] = true
+		}
+		collectFree(g.Body, inner, out)
+	}
+}
+
+func collectTerm(t Term, bound, out map[string]bool) {
+	if t.Kind == TVar && !bound[t.Name] {
+		out[t.Name] = true
+	}
+}
+
+// Constants returns the sorted set of data constants occurring in f.
+func Constants(f Formula) []string {
+	set := map[string]bool{}
+	collectConsts(f, set)
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectConsts(f Formula, out map[string]bool) {
+	switch g := f.(type) {
+	case Eq:
+		if g.L.Kind == TConst {
+			out[g.L.Name] = true
+		}
+		if g.R.Kind == TConst {
+			out[g.R.Name] = true
+		}
+	case Rel:
+		for _, a := range g.Args {
+			if a.Kind == TConst {
+				out[a.Name] = true
+			}
+		}
+	case Not:
+		collectConsts(g.F, out)
+	case And:
+		for _, sub := range g.Fs {
+			collectConsts(sub, out)
+		}
+	case Or:
+		for _, sub := range g.Fs {
+			collectConsts(sub, out)
+		}
+	case Implies:
+		collectConsts(g.L, out)
+		collectConsts(g.R, out)
+	case Exists:
+		collectConsts(g.Body, out)
+	}
+}
+
+// RenameVars returns f with every free occurrence of a variable renamed
+// according to ren. Variables not in ren are left unchanged. Bound variables
+// are never renamed (and capture is the caller's responsibility to avoid;
+// the has-level validator guarantees quantified names are globally fresh).
+func RenameVars(f Formula, ren map[string]string) Formula {
+	rt := func(t Term) Term {
+		if t.Kind == TVar {
+			if nn, ok := ren[t.Name]; ok {
+				return Var(nn)
+			}
+		}
+		return t
+	}
+	switch g := f.(type) {
+	case True, False:
+		return f
+	case Eq:
+		return Eq{L: rt(g.L), R: rt(g.R)}
+	case Rel:
+		args := make([]Term, len(g.Args))
+		for i, a := range g.Args {
+			args[i] = rt(a)
+		}
+		return Rel{Name: g.Name, Args: args}
+	case Not:
+		return Not{F: RenameVars(g.F, ren)}
+	case And:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = RenameVars(sub, ren)
+		}
+		return And{Fs: fs}
+	case Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = RenameVars(sub, ren)
+		}
+		return Or{Fs: fs}
+	case Implies:
+		return Implies{L: RenameVars(g.L, ren), R: RenameVars(g.R, ren)}
+	case Exists:
+		inner := make(map[string]string, len(ren))
+		for k, v := range ren {
+			inner[k] = v
+		}
+		for _, v := range g.Vars {
+			delete(inner, v.Name)
+		}
+		return Exists{Vars: g.Vars, Body: RenameVars(g.Body, inner)}
+	}
+	panic(fmt.Sprintf("fol: unknown formula type %T", f))
+}

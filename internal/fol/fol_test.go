@@ -1,0 +1,477 @@
+package fol
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// A tiny in-memory database used by evaluation tests. One relation
+// R(ID, A) with two rows, and one relation S(ID, B, F) where F is a
+// foreign key into R.
+type testDB struct {
+	rows map[string]map[Value][]Value
+}
+
+func newTestDB() *testDB {
+	r0, r1 := IDValue("R", 0), IDValue("R", 1)
+	s0 := IDValue("S", 0)
+	return &testDB{rows: map[string]map[Value][]Value{
+		"R": {
+			r0: {ConstValue("good")},
+			r1: {ConstValue("bad")},
+		},
+		"S": {
+			s0: {ConstValue("x"), r0},
+		},
+	}}
+}
+
+func (d *testDB) Row(rel string, id Value) ([]Value, bool) {
+	row, ok := d.rows[rel][id]
+	return row, ok
+}
+
+func (d *testDB) IDs(rel string) []Value {
+	var out []Value
+	for id := range d.rows[rel] {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (d *testDB) DataDomain() []Value {
+	return []Value{ConstValue("good"), ConstValue("bad"), ConstValue("x")}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		`true`,
+		`false`,
+		`x == y`,
+		`x != null`,
+		`x == "Init"`,
+		`R(x, y)`,
+		`!R(x, y)`,
+		`(x == y && y != z)`,
+		`(x == y || y == z)`,
+		`(x == y -> z == "a")`,
+		`exists n : val, r : CREDIT (CUSTOMERS(c, n, r) && CREDIT(r, "Good"))`,
+		`(a == b && (c == d || e != f) && !(R(g, h)))`,
+	}
+	for _, src := range cases {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		s := String(f)
+		g, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", src, s, err)
+		}
+		if String(g) != s {
+			t.Errorf("print/parse not idempotent: %q -> %q -> %q", src, s, String(g))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`x ==`,
+		`x = y extra`,
+		`(x == y`,
+		`x & y`,
+		`exists (x == y)`,
+		`"unterminated`,
+		`R(x,)`,
+		`x`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", src)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// -> binds loosest, then ||, then &&, then !.
+	f := MustParse(`a == b && c == d || e == f -> !g == h`)
+	im, ok := f.(Implies)
+	if !ok {
+		t.Fatalf("top node is %T, want Implies", f)
+	}
+	if _, ok := im.L.(Or); !ok {
+		t.Fatalf("lhs is %T, want Or", im.L)
+	}
+	if _, ok := im.R.(Not); !ok {
+		t.Fatalf("rhs is %T, want Not", im.R)
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	db := newTestDB()
+	nu := MapValuation{
+		"x": IDValue("R", 0),
+		"y": IDValue("R", 1),
+		"v": ConstValue("good"),
+		"n": NullValue(),
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`true`, true},
+		{`false`, false},
+		{`x == x`, true},
+		{`x == y`, false},
+		{`x != y`, true},
+		{`n == null`, true},
+		{`x == null`, false},
+		{`v == "good"`, true},
+		{`v == "bad"`, false},
+		{`R(x, v)`, true},
+		{`R(y, v)`, false},
+		{`R(n, v)`, false}, // null key argument: atom is false
+		{`R(x, n)`, false}, // null attribute argument: atom is false
+		{`!R(n, v)`, true},
+		{`x == y || v == "good"`, true},
+		{`x == y && v == "good"`, false},
+		{`x == y -> v == "bad"`, true},
+		{`exists w : val (R(x, w) && w == "good")`, true},
+		{`exists w : val (R(x, w) && w == "bad")`, false},
+		{`exists r : R (R(r, "bad"))`, true},
+		{`exists r : R (R(r, "ugly"))`, false},
+		{`exists s : S, r : R (S(s, "x", r) && R(r, "good"))`, true},
+	}
+	for _, c := range cases {
+		f := MustParse(c.src)
+		got, err := Eval(f, db, nu)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalUnboundVariable(t *testing.T) {
+	db := newTestDB()
+	if _, err := Eval(MustParse(`zz == null`), db, MapValuation{}); err == nil {
+		t.Fatal("expected error for unbound variable")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := MustParse(`exists w : val (R(x, w) && w == y) && z != null`)
+	got := FreeVars(f)
+	want := []string{"x", "y", "z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FreeVars = %v, want %v", got, want)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	f := MustParse(`x == "b" && (y != "a" || R(z, "c"))`)
+	got := Constants(f)
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Constants = %v, want %v", got, want)
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	f := MustParse(`x == y && exists x : val (x == z)`)
+	g := RenameVars(f, map[string]string{"x": "x2", "z": "z2"})
+	want := `(x2 == y && exists x : val (x == z2))`
+	if String(g) != want {
+		t.Errorf("RenameVars = %s, want %s", String(g), want)
+	}
+}
+
+func TestHasNegatedExists(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`exists w : val (w == x)`, false},
+		{`!exists w : val (w == x)`, true},
+		{`exists w : val (w == x) -> y == z`, true}, // lhs of -> is negative
+		{`y == z -> exists w : val (w == x)`, false},
+		{`!!exists w : val (w == x)`, false},
+	}
+	for _, c := range cases {
+		if got := HasNegatedExists(MustParse(c.src)); got != c.want {
+			t.Errorf("HasNegatedExists(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// randFormula builds a random quantifier-free formula over the variables
+// a,b,c,d (value sorted) and constants "p","q".
+func randFormula(r *rand.Rand, depth int) Formula {
+	vars := []string{"a", "b", "c", "d"}
+	consts := []string{"p", "q"}
+	if depth == 0 || r.Intn(3) == 0 {
+		l := Var(vars[r.Intn(len(vars))])
+		var rt Term
+		switch r.Intn(3) {
+		case 0:
+			rt = Var(vars[r.Intn(len(vars))])
+		case 1:
+			rt = Const(consts[r.Intn(len(consts))])
+		default:
+			rt = Null()
+		}
+		at := Eq{L: l, R: rt}
+		if r.Intn(2) == 0 {
+			return MkNot(at)
+		}
+		return at
+	}
+	switch r.Intn(4) {
+	case 0:
+		return MkAnd(randFormula(r, depth-1), randFormula(r, depth-1))
+	case 1:
+		return MkOr(randFormula(r, depth-1), randFormula(r, depth-1))
+	case 2:
+		return MkNot(randFormula(r, depth-1))
+	default:
+		return Implies{L: randFormula(r, depth-1), R: randFormula(r, depth-1)}
+	}
+}
+
+func randValuation(r *rand.Rand) MapValuation {
+	domain := []Value{ConstValue("p"), ConstValue("q"), ConstValue("r"), NullValue()}
+	nu := MapValuation{}
+	for _, v := range []string{"a", "b", "c", "d"} {
+		nu[v] = domain[r.Intn(len(domain))]
+	}
+	return nu
+}
+
+type emptyDB struct{}
+
+func (emptyDB) Row(string, Value) ([]Value, bool) { return nil, false }
+func (emptyDB) IDs(string) []Value                { return nil }
+func (emptyDB) DataDomain() []Value {
+	return []Value{ConstValue("p"), ConstValue("q"), ConstValue("r")}
+}
+
+// Property: NNF preserves truth under every valuation.
+func TestQuickNNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := randFormula(rr, 3)
+		g := NNF(f)
+		for i := 0; i < 20; i++ {
+			nu := randValuation(r)
+			b1, err1 := Eval(f, emptyDB{}, nu)
+			b2, err2 := Eval(g, emptyDB{}, nu)
+			if err1 != nil || err2 != nil || b1 != b2 {
+				t.Logf("mismatch on %s vs NNF %s under %v", String(f), String(g), nu)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the DNF conjuncts are jointly equivalent to the formula.
+func TestQuickDNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := randFormula(rr, 3)
+		matrix := NNF(f)
+		conjs, ok := DNF(matrix, DefaultDNFLimit)
+		if !ok {
+			return true // blowup guard tripped; nothing to check
+		}
+		for i := 0; i < 20; i++ {
+			nu := randValuation(r)
+			want, err := Eval(f, emptyDB{}, nu)
+			if err != nil {
+				return false
+			}
+			got := false
+			for _, c := range conjs {
+				all := true
+				for _, lit := range c {
+					var lf Formula = Eq{L: lit.L, R: lit.R}
+					if lit.IsRel {
+						lf = Rel{Name: lit.Rel, Args: lit.Args}
+					}
+					if lit.Neg {
+						lf = MkNot(lf)
+					}
+					b, err := Eval(lf, emptyDB{}, nu)
+					if err != nil {
+						return false
+					}
+					if !b {
+						all = false
+						break
+					}
+				}
+				if all {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				t.Logf("DNF mismatch on %s", String(f))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NNF output contains negation only on atoms.
+func TestQuickNNFShape(t *testing.T) {
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := NNF(randFormula(rr, 4))
+		return nnfShaped(f)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func nnfShaped(f Formula) bool {
+	switch g := f.(type) {
+	case True, False, Eq, Rel:
+		return true
+	case Not:
+		switch g.F.(type) {
+		case Eq, Rel:
+			return true
+		}
+		return false
+	case And:
+		for _, sub := range g.Fs {
+			if !nnfShaped(sub) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, sub := range g.Fs {
+			if !nnfShaped(sub) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return nnfShaped(g.Body)
+	}
+	return false
+}
+
+func TestToPrenex(t *testing.T) {
+	f := MustParse(`exists w : val (w == x) && (y == z || exists u : R (R(u, w2)))`)
+	p := ToPrenex(f, "ex")
+	if len(p.Witnesses) != 2 {
+		t.Fatalf("witnesses = %v, want 2", p.Witnesses)
+	}
+	if p.Witnesses[0].Rel != "" || p.Witnesses[1].Rel != "R" {
+		t.Errorf("witness sorts wrong: %v", p.Witnesses)
+	}
+	for _, w := range p.Witnesses {
+		if !strings.HasPrefix(w.Name, "ex#") {
+			t.Errorf("witness name %q not renamed apart", w.Name)
+		}
+	}
+	// Matrix is quantifier-free.
+	if strings.Contains(String(p.Matrix), "exists") {
+		t.Errorf("matrix still quantified: %s", String(p.Matrix))
+	}
+}
+
+func TestDNFLimit(t *testing.T) {
+	// (a==b || a==c) repeated n times conjunctively explodes to 2^n.
+	var fs []Formula
+	for i := 0; i < 20; i++ {
+		fs = append(fs, MkOr(EqVV("a", "b"), EqVV("a", "c")))
+	}
+	if _, ok := DNF(MkAnd(fs...), 1024); ok {
+		t.Error("expected DNF limit to trip")
+	}
+}
+
+func TestMkHelpers(t *testing.T) {
+	if _, ok := MkAnd().(True); !ok {
+		t.Error("empty MkAnd should be True")
+	}
+	if _, ok := MkOr().(False); !ok {
+		t.Error("empty MkOr should be False")
+	}
+	if _, ok := MkNot(True{}).(False); !ok {
+		t.Error("MkNot(True) should be False")
+	}
+	if _, ok := MkNot(MkNot(EqVV("a", "b"))).(Eq); !ok {
+		t.Error("double negation should cancel")
+	}
+	// Flattening.
+	f := MkAnd(EqVV("a", "b"), MkAnd(EqVV("c", "d"), EqVV("e", "f")))
+	if a, ok := f.(And); !ok || len(a.Fs) != 3 {
+		t.Errorf("MkAnd should flatten, got %s", String(f))
+	}
+}
+
+func TestConvenienceConstructors(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{EqVC("x", "c"), `x == "c"`},
+		{EqVNull("x"), `x == null`},
+		{NeqVV("x", "y"), `x != y`},
+		{NeqVC("x", "c"), `x != "c"`},
+		{NeqVNull("x"), `x != null`},
+	}
+	for _, c := range cases {
+		if got := String(c.f); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	if !Null().IsNull() || Var("x").IsNull() || Const("c").IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	cases := []struct {
+		l    Literal
+		want string
+	}{
+		{Literal{L: Var("x"), R: Var("y")}, "x == y"},
+		{Literal{Neg: true, L: Var("x"), R: Null()}, "x != null"},
+		{Literal{IsRel: true, Rel: "R", Args: []Term{Var("x"), Const("c")}}, `R(x, "c")`},
+		{Literal{Neg: true, IsRel: true, Rel: "R", Args: []Term{Var("x")}}, `!R(x)`},
+	}
+	for _, c := range cases {
+		if got := c.l.String(); got != c.want {
+			t.Errorf("Literal.String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEvalErrorMessage(t *testing.T) {
+	err := &EvalError{Msg: "boom"}
+	if err.Error() != "fol: boom" {
+		t.Errorf("EvalError = %q", err.Error())
+	}
+}

@@ -1,0 +1,271 @@
+package fol
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file implements the normal forms used by the verifier:
+//
+//   - negation normal form (NNF), pushing negations to the atoms;
+//   - prenex form for the positive existential quantifiers, producing a
+//     quantifier-free matrix plus a witness list;
+//   - disjunctive normal form over literals, the conj(φ) operator of the
+//     paper's Appendix A, which drives symbolic condition evaluation.
+
+// Literal is an atomic constraint in negation normal form: an (in)equality
+// between two terms or a (negated) relation atom.
+type Literal struct {
+	// Neg marks a negated literal (disequality or negated relation atom).
+	Neg bool
+	// IsRel distinguishes relation atoms from equalities.
+	IsRel bool
+	// L, R are the terms of an (in)equality when !IsRel.
+	L, R Term
+	// Rel, Args describe a relation atom when IsRel.
+	Rel  string
+	Args []Term
+}
+
+// String renders the literal in concrete syntax.
+func (l Literal) String() string {
+	if l.IsRel {
+		s := String(Rel{Name: l.Rel, Args: l.Args})
+		if l.Neg {
+			return "!" + s
+		}
+		return s
+	}
+	op := " == "
+	if l.Neg {
+		op = " != "
+	}
+	return l.L.String() + op + l.R.String()
+}
+
+// NNF returns the negation normal form of f: negations are pushed to the
+// atoms, implications are eliminated, and double negations removed.
+// Exists nodes are preserved; a negated Exists is reported as an error by
+// Validate-time checks in package has, and here conservatively panics since
+// it cannot be represented.
+func NNF(f Formula) Formula {
+	return nnf(f, false)
+}
+
+func nnf(f Formula, neg bool) Formula {
+	switch g := f.(type) {
+	case True:
+		if neg {
+			return False{}
+		}
+		return True{}
+	case False:
+		if neg {
+			return True{}
+		}
+		return False{}
+	case Eq:
+		if neg {
+			return Not{F: g}
+		}
+		return g
+	case Rel:
+		if neg {
+			return Not{F: g}
+		}
+		return g
+	case Not:
+		return nnf(g.F, !neg)
+	case And:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = nnf(sub, neg)
+		}
+		if neg {
+			return MkOr(fs...)
+		}
+		return MkAnd(fs...)
+	case Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = nnf(sub, neg)
+		}
+		if neg {
+			return MkAnd(fs...)
+		}
+		return MkOr(fs...)
+	case Implies:
+		// L -> R  ==  !L || R
+		return nnf(MkOr(MkNot(g.L), g.R), neg)
+	case Exists:
+		if neg {
+			panic("fol: negated existential quantifier has no NNF in this fragment (universal quantification is not supported)")
+		}
+		return Exists{Vars: g.Vars, Body: nnf(g.Body, false)}
+	}
+	panic(fmt.Sprintf("fol: unknown formula type %T", f))
+}
+
+// HasNegatedExists reports whether f contains an existential quantifier
+// under an odd number of negations (after implication elimination), which
+// would make NNF undefined for this fragment.
+func HasNegatedExists(f Formula) bool {
+	return negExists(f, false)
+}
+
+func negExists(f Formula, neg bool) bool {
+	switch g := f.(type) {
+	case Not:
+		return negExists(g.F, !neg)
+	case And:
+		for _, sub := range g.Fs {
+			if negExists(sub, neg) {
+				return true
+			}
+		}
+	case Or:
+		for _, sub := range g.Fs {
+			if negExists(sub, neg) {
+				return true
+			}
+		}
+	case Implies:
+		return negExists(g.L, !neg) || negExists(g.R, neg)
+	case Exists:
+		return neg || negExists(g.Body, neg)
+	}
+	return false
+}
+
+// Prenex holds the prenex normal form of a positive-existential condition:
+// a list of (renamed-apart) witness variables and a quantifier-free matrix.
+type Prenex struct {
+	Witnesses []QuantVar
+	Matrix    Formula
+}
+
+// ToPrenex converts an NNF formula (no negated Exists) into prenex form,
+// pulling all existential quantifiers to the front. Quantified variables are
+// renamed apart using the given prefix so that distinct quantifier
+// occurrences never clash; the prefix must be chosen so the generated names
+// (prefix + "#" + n) cannot collide with artifact or global variable names.
+func ToPrenex(f Formula, prefix string) Prenex {
+	p := &prenexer{prefix: prefix}
+	matrix := p.walk(NNF(f))
+	return Prenex{Witnesses: p.witnesses, Matrix: matrix}
+}
+
+type prenexer struct {
+	prefix    string
+	n         int
+	witnesses []QuantVar
+}
+
+func (p *prenexer) walk(f Formula) Formula {
+	switch g := f.(type) {
+	case Exists:
+		ren := make(map[string]string, len(g.Vars))
+		for _, v := range g.Vars {
+			fresh := p.prefix + "#" + strconv.Itoa(p.n)
+			p.n++
+			ren[v.Name] = fresh
+			p.witnesses = append(p.witnesses, QuantVar{Name: fresh, Rel: v.Rel})
+		}
+		return p.walk(RenameVars(g.Body, ren))
+	case And:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = p.walk(sub)
+		}
+		return MkAnd(fs...)
+	case Or:
+		fs := make([]Formula, len(g.Fs))
+		for i, sub := range g.Fs {
+			fs[i] = p.walk(sub)
+		}
+		return MkOr(fs...)
+	case Not, Eq, Rel, True, False:
+		return f
+	}
+	panic(fmt.Sprintf("fol: unexpected node %T in prenex walk (input must be NNF)", f))
+}
+
+// DNF computes the conj(φ) operator of the paper: the set of conjuncts of
+// the disjunctive normal form of a quantifier-free NNF matrix, each conjunct
+// being a list of literals. A formula equivalent to false yields an empty
+// list; a formula equivalent to true yields one empty conjunct.
+//
+// The expansion is capped at maxConjuncts to guard against pathological
+// blowup; when exceeded, DNF returns ok=false and the caller should fall
+// back to incremental evaluation (in practice the paper's workloads stay
+// tiny — conditions have a handful of atoms).
+func DNF(matrix Formula, maxConjuncts int) (conjuncts [][]Literal, ok bool) {
+	cs, ok := dnf(matrix, maxConjuncts)
+	if !ok {
+		return nil, false
+	}
+	return cs, true
+}
+
+func dnf(f Formula, limit int) ([][]Literal, bool) {
+	switch g := f.(type) {
+	case True:
+		return [][]Literal{{}}, true
+	case False:
+		return nil, true
+	case Eq:
+		return [][]Literal{{{L: g.L, R: g.R}}}, true
+	case Rel:
+		return [][]Literal{{{IsRel: true, Rel: g.Name, Args: g.Args}}}, true
+	case Not:
+		switch a := g.F.(type) {
+		case Eq:
+			return [][]Literal{{{Neg: true, L: a.L, R: a.R}}}, true
+		case Rel:
+			return [][]Literal{{{Neg: true, IsRel: true, Rel: a.Name, Args: a.Args}}}, true
+		default:
+			panic(fmt.Sprintf("fol: non-atomic negation %T in DNF input (must be NNF)", g.F))
+		}
+	case Or:
+		var out [][]Literal
+		for _, sub := range g.Fs {
+			cs, ok := dnf(sub, limit)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, cs...)
+			if len(out) > limit {
+				return nil, false
+			}
+		}
+		return out, true
+	case And:
+		out := [][]Literal{{}}
+		for _, sub := range g.Fs {
+			cs, ok := dnf(sub, limit)
+			if !ok {
+				return nil, false
+			}
+			var next [][]Literal
+			for _, base := range out {
+				for _, c := range cs {
+					merged := make([]Literal, 0, len(base)+len(c))
+					merged = append(merged, base...)
+					merged = append(merged, c...)
+					next = append(next, merged)
+					if len(next) > limit {
+						return nil, false
+					}
+				}
+			}
+			out = next
+		}
+		return out, true
+	}
+	panic(fmt.Sprintf("fol: unexpected node %T in DNF input (must be quantifier-free NNF)", f))
+}
+
+// DefaultDNFLimit is the conjunct cap used by callers that have no special
+// requirements. Conditions in realistic HAS* specifications have at most a
+// handful of atoms, so this limit is effectively never reached.
+const DefaultDNFLimit = 4096

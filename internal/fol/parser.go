@@ -1,0 +1,364 @@
+package fol
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a condition in the concrete syntax:
+//
+//	formula  := implies
+//	implies  := or [ "->" implies ]
+//	or       := and { ("||" | "or") and }
+//	and      := unary { ("&&" | "and") unary }
+//	unary    := ("!" | "not") unary | primary
+//	primary  := "(" formula ")"
+//	          | "true" | "false"
+//	          | "exists" qvar {"," qvar} "(" formula ")"
+//	          | IDENT "(" term {"," term} ")"        relation atom
+//	          | term ("==" | "=" | "!=") term        (in)equality
+//	qvar     := IDENT ":" (IDENT | "val")
+//	term     := IDENT | STRING | "null"
+//
+// Operator precedence is, from loosest to tightest: ->, ||, &&, !.
+func Parse(input string) (Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse parses a condition and panics on error. It is intended for
+// building the hand-written workflow suite and for tests.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokPunct // one of ( ) , : == = != ! && || ->
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == ':':
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokPunct, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokPunct, "!", i})
+				i++
+			}
+		case c == '=':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokPunct, "==", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokPunct, "=", i})
+				i++
+			}
+		case c == '&':
+			if i+1 < n && input[i+1] == '&' {
+				toks = append(toks, token{tokPunct, "&&", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("fol: lex error at %d: single '&'", i)
+			}
+		case c == '|':
+			if i+1 < n && input[i+1] == '|' {
+				toks = append(toks, token{tokPunct, "||", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("fol: lex error at %d: single '|'", i)
+			}
+		case c == '-':
+			if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{tokPunct, "->", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("fol: lex error at %d: single '-'", i)
+			}
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != '"' {
+				if input[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("fol: lex error at %d: unterminated string", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("fol: lex error at %d: unexpected character %q", i, string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("fol: parse error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tokPunct || t.kind == tokIdent) && t.text == text {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errorf("expected %q, found %q", text, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseFormula() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("->") {
+		r, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{l}
+	for p.accept("||") || p.accept("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, r)
+	}
+	if len(fs) == 1 {
+		return l, nil
+	}
+	return MkOr(fs...), nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{l}
+	for p.accept("&&") || p.accept("and") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, r)
+	}
+	if len(fs) == 1 {
+		return l, nil
+	}
+	return MkAnd(fs...), nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	if p.accept("!") || p.accept("not") {
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return MkNot(f), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Formula, error) {
+	t := p.peek()
+	switch {
+	case t.text == "(" && t.kind == tokPunct:
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case t.kind == tokIdent && t.text == "true":
+		p.next()
+		return True{}, nil
+	case t.kind == tokIdent && t.text == "false":
+		p.next()
+		return False{}, nil
+	case t.kind == tokIdent && t.text == "exists":
+		p.next()
+		return p.parseExists()
+	}
+	// Either a relation atom IDENT(...) or an (in)equality.
+	if t.kind == tokIdent && t.text != "null" && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+		name := p.next().text
+		p.next() // '('
+		var args []Term
+		for {
+			a, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Rel{Name: name, Args: args}, nil
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept("==") || p.accept("="):
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return Eq{L: l, R: r}, nil
+	case p.accept("!="):
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return MkNot(Eq{L: l, R: r}), nil
+	}
+	return nil, p.errorf("expected comparison operator after term %s", l)
+}
+
+func (p *parser) parseExists() (Formula, error) {
+	var vars []QuantVar
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errorf("expected quantified variable name, found %q", t.text)
+		}
+		name := p.next().text
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		ty := p.peek()
+		if ty.kind != tokIdent {
+			return nil, p.errorf("expected sort after ':', found %q", ty.text)
+		}
+		p.next()
+		rel := ty.text
+		if rel == "val" {
+			rel = ""
+		}
+		vars = append(vars, QuantVar{Name: name, Rel: rel})
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	body, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return Exists{Vars: vars, Body: body}, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.next()
+		return Const(t.text), nil
+	case t.kind == tokIdent && t.text == "null":
+		p.next()
+		return Null(), nil
+	case t.kind == tokIdent:
+		p.next()
+		return Var(t.text), nil
+	}
+	return Term{}, p.errorf("expected term, found %q", t.text)
+}

@@ -1,0 +1,237 @@
+package fol
+
+import "fmt"
+
+// ValueKind discriminates concrete values.
+type ValueKind int
+
+const (
+	// VNull is the null value.
+	VNull ValueKind = iota
+	// VConst is a data value from DOMval, identified by its text.
+	VConst
+	// VID is an identifier from DOMid. IDs are relation-scoped: the
+	// domains Dom(R.ID) are pairwise disjoint, so a VID carries the
+	// relation name and a number unique within it.
+	VID
+)
+
+// Value is a concrete value from DOMid ∪ DOMval ∪ {null}. The zero Value is
+// null. Values are comparable with ==.
+type Value struct {
+	Kind ValueKind
+	Str  string // constant text for VConst
+	Rel  string // owning relation for VID
+	ID   int    // identifier number within Rel for VID
+}
+
+// NullValue returns the null value.
+func NullValue() Value { return Value{} }
+
+// ConstValue returns the data value with the given text.
+func ConstValue(s string) Value { return Value{Kind: VConst, Str: s} }
+
+// IDValue returns the n-th identifier of relation rel.
+func IDValue(rel string, n int) Value { return Value{Kind: VID, Rel: rel, ID: n} }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.Kind == VNull }
+
+// String renders the value for debugging and counterexample display.
+func (v Value) String() string {
+	switch v.Kind {
+	case VNull:
+		return "null"
+	case VConst:
+		return fmt.Sprintf("%q", v.Str)
+	default:
+		return fmt.Sprintf("%s#%d", v.Rel, v.ID)
+	}
+}
+
+// Valuation supplies values for free variables during concrete evaluation.
+type Valuation interface {
+	// Lookup returns the value of the named variable and whether it is
+	// defined.
+	Lookup(name string) (Value, bool)
+}
+
+// MapValuation is a Valuation backed by a plain map.
+type MapValuation map[string]Value
+
+// Lookup implements Valuation.
+func (m MapValuation) Lookup(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Database exposes the read-only database instance to concrete evaluation.
+type Database interface {
+	// Row returns the attribute values (in schema attribute order,
+	// excluding the ID itself) of the row of rel with the given id, and
+	// whether such a row exists.
+	Row(rel string, id Value) ([]Value, bool)
+	// IDs returns all row identifiers of rel, used to enumerate
+	// existential witnesses of ID sorts.
+	IDs(rel string) []Value
+	// DataDomain returns the data values available as witnesses for
+	// DOMval-sorted existentials (the active data domain plus the
+	// constants of the specification and property).
+	DataDomain() []Value
+}
+
+// EvalError reports a malformed formula discovered during concrete
+// evaluation (an unbound variable or unknown relation). Well-formed,
+// validated specifications never produce it.
+type EvalError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *EvalError) Error() string { return "fol: " + e.Msg }
+
+// Eval evaluates a condition on a database and valuation with the standard
+// semantics of the paper: relation atoms with any null argument are false;
+// existentials range over the relation's IDs plus null (ID sorts) or the
+// data domain plus null (value sorts).
+func Eval(f Formula, db Database, nu Valuation) (bool, error) {
+	e := evaluator{db: db, extra: map[string]Value{}}
+	return e.eval(f, nu)
+}
+
+type evaluator struct {
+	db    Database
+	extra map[string]Value // witness bindings, shadowing nu
+}
+
+func (e *evaluator) term(t Term, nu Valuation) (Value, error) {
+	switch t.Kind {
+	case TNull:
+		return NullValue(), nil
+	case TConst:
+		return ConstValue(t.Name), nil
+	default:
+		if v, ok := e.extra[t.Name]; ok {
+			return v, nil
+		}
+		v, ok := nu.Lookup(t.Name)
+		if !ok {
+			return Value{}, &EvalError{Msg: "unbound variable " + t.Name}
+		}
+		return v, nil
+	}
+}
+
+func (e *evaluator) eval(f Formula, nu Valuation) (bool, error) {
+	switch g := f.(type) {
+	case True:
+		return true, nil
+	case False:
+		return false, nil
+	case Eq:
+		l, err := e.term(g.L, nu)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.term(g.R, nu)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case Rel:
+		if len(g.Args) == 0 {
+			return false, &EvalError{Msg: "relation atom " + g.Name + " with no arguments"}
+		}
+		id, err := e.term(g.Args[0], nu)
+		if err != nil {
+			return false, err
+		}
+		if id.IsNull() {
+			return false, nil
+		}
+		row, ok := e.db.Row(g.Name, id)
+		if !ok {
+			return false, nil
+		}
+		if len(row) != len(g.Args)-1 {
+			return false, &EvalError{Msg: fmt.Sprintf("relation %s: atom has %d attribute args, schema has %d", g.Name, len(g.Args)-1, len(row))}
+		}
+		for i, a := range g.Args[1:] {
+			v, err := e.term(a, nu)
+			if err != nil {
+				return false, err
+			}
+			if v.IsNull() || v != row[i] {
+				return false, nil
+			}
+		}
+		return true, nil
+	case Not:
+		b, err := e.eval(g.F, nu)
+		return !b, err
+	case And:
+		for _, sub := range g.Fs {
+			b, err := e.eval(sub, nu)
+			if err != nil || !b {
+				return false, err
+			}
+		}
+		return true, nil
+	case Or:
+		for _, sub := range g.Fs {
+			b, err := e.eval(sub, nu)
+			if err != nil {
+				return false, err
+			}
+			if b {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Implies:
+		l, err := e.eval(g.L, nu)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return e.eval(g.R, nu)
+	case Exists:
+		return e.evalExists(g.Vars, g.Body, nu)
+	}
+	return false, &EvalError{Msg: fmt.Sprintf("unknown formula node %T", f)}
+}
+
+func (e *evaluator) evalExists(vars []QuantVar, body Formula, nu Valuation) (bool, error) {
+	if len(vars) == 0 {
+		return e.eval(body, nu)
+	}
+	v := vars[0]
+	var candidates []Value
+	if v.Rel != "" {
+		candidates = append(candidates, e.db.IDs(v.Rel)...)
+	} else {
+		candidates = append(candidates, e.db.DataDomain()...)
+	}
+	candidates = append(candidates, NullValue())
+	prev, had := e.extra[v.Name]
+	defer func() {
+		if had {
+			e.extra[v.Name] = prev
+		} else {
+			delete(e.extra, v.Name)
+		}
+	}()
+	for _, c := range candidates {
+		e.extra[v.Name] = c
+		b, err := e.evalExists(vars[1:], body, nu)
+		if err != nil {
+			return false, err
+		}
+		if b {
+			return true, nil
+		}
+	}
+	return false, nil
+}

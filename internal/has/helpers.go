@@ -1,0 +1,32 @@
+package has
+
+// Small constructors used pervasively when building specifications in code.
+
+// NK returns a non-key attribute.
+func NK(name string) Attr { return Attr{Name: name, Kind: NonKey} }
+
+// FK returns a foreign-key attribute referencing rel.
+func FK(name, rel string) Attr { return Attr{Name: name, Kind: ForeignKey, Ref: rel} }
+
+// Rel returns a relation with the given attributes (ID is implicit).
+func RelDef(name string, attrs ...Attr) *Relation {
+	return &Relation{Name: name, Attrs: attrs}
+}
+
+// V returns a DOMval-sorted variable.
+func V(name string) Variable { return Variable{Name: name} }
+
+// IDV returns an ID-sorted variable over rel.
+func IDV(name, rel string) Variable {
+	return Variable{Name: name, Type: IDType(rel)}
+}
+
+// Insert returns the update +S(z̄).
+func Insert(rel string, vars ...string) *Update {
+	return &Update{Insert: true, Relation: rel, Vars: vars}
+}
+
+// Retrieve returns the update -S(z̄).
+func Retrieve(rel string, vars ...string) *Update {
+	return &Update{Insert: false, Relation: rel, Vars: vars}
+}

@@ -1,0 +1,307 @@
+// Package ltl implements linear-time temporal logic: formula ASTs, a
+// parser, negation/normal forms, finite-trace evaluation, and the
+// Gerth-Peled-Vardi-Wolper tableau construction of Büchi automata with the
+// finite-word acceptance set Qfin used by VERIFAS to verify both finite and
+// infinite local runs (paper Section 2.1).
+//
+// The package is purely propositional: atoms are strings. The LTL-FO layer
+// (property.go) binds atoms to FO conditions and to the observable-service
+// propositions of a task.
+package ltl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Formula is a propositional LTL formula.
+type Formula interface {
+	lString(sb *strings.Builder)
+	isLTL()
+}
+
+// TrueF is the constant true.
+type TrueF struct{}
+
+// FalseF is the constant false.
+type FalseF struct{}
+
+// Atom is a proposition, identified by name. Service propositions use the
+// reserved prefixes "open:", "close:" and "call:" (see property.go).
+type Atom struct {
+	Name string
+}
+
+// NotF is negation.
+type NotF struct{ F Formula }
+
+// AndF is binary conjunction.
+type AndF struct{ L, R Formula }
+
+// OrF is binary disjunction.
+type OrF struct{ L, R Formula }
+
+// ImpliesF is implication.
+type ImpliesF struct{ L, R Formula }
+
+// X is the next operator.
+type X struct{ F Formula }
+
+// F_ is the eventually operator.
+type F_ struct{ F Formula }
+
+// G is the always operator.
+type G struct{ F Formula }
+
+// U is the until operator (L U R).
+type U struct{ L, R Formula }
+
+// R_ is the release operator (L R R), the dual of until.
+type R_ struct{ L, R Formula }
+
+func (TrueF) isLTL()    {}
+func (FalseF) isLTL()   {}
+func (Atom) isLTL()     {}
+func (NotF) isLTL()     {}
+func (AndF) isLTL()     {}
+func (OrF) isLTL()      {}
+func (ImpliesF) isLTL() {}
+func (X) isLTL()        {}
+func (F_) isLTL()       {}
+func (G) isLTL()        {}
+func (U) isLTL()        {}
+func (R_) isLTL()       {}
+
+func (TrueF) lString(sb *strings.Builder)  { sb.WriteString("true") }
+func (FalseF) lString(sb *strings.Builder) { sb.WriteString("false") }
+func (a Atom) lString(sb *strings.Builder) {
+	// Service propositions are stored as "open:T" / "close:T" / "call:S";
+	// render them back in the parseable call syntax.
+	for _, pfx := range []string{"open:", "close:", "call:"} {
+		if strings.HasPrefix(a.Name, pfx) {
+			sb.WriteString(pfx[:len(pfx)-1])
+			sb.WriteByte('(')
+			sb.WriteString(a.Name[len(pfx):])
+			sb.WriteByte(')')
+			return
+		}
+	}
+	sb.WriteString(a.Name)
+}
+func (n NotF) lString(sb *strings.Builder) {
+	sb.WriteString("!")
+	wrap(n.F, sb)
+}
+func (f AndF) lString(sb *strings.Builder) {
+	wrap(f.L, sb)
+	sb.WriteString(" && ")
+	wrap(f.R, sb)
+}
+func (f OrF) lString(sb *strings.Builder) {
+	wrap(f.L, sb)
+	sb.WriteString(" || ")
+	wrap(f.R, sb)
+}
+func (f ImpliesF) lString(sb *strings.Builder) {
+	wrap(f.L, sb)
+	sb.WriteString(" -> ")
+	wrap(f.R, sb)
+}
+func (f X) lString(sb *strings.Builder) {
+	sb.WriteString("X ")
+	wrap(f.F, sb)
+}
+func (f F_) lString(sb *strings.Builder) {
+	sb.WriteString("F ")
+	wrap(f.F, sb)
+}
+func (f G) lString(sb *strings.Builder) {
+	sb.WriteString("G ")
+	wrap(f.F, sb)
+}
+func (f U) lString(sb *strings.Builder) {
+	wrap(f.L, sb)
+	sb.WriteString(" U ")
+	wrap(f.R, sb)
+}
+func (f R_) lString(sb *strings.Builder) {
+	wrap(f.L, sb)
+	sb.WriteString(" R ")
+	wrap(f.R, sb)
+}
+
+func wrap(f Formula, sb *strings.Builder) {
+	switch f.(type) {
+	case TrueF, FalseF, Atom:
+		f.lString(sb)
+	default:
+		sb.WriteByte('(')
+		f.lString(sb)
+		sb.WriteByte(')')
+	}
+}
+
+// String renders the formula in the syntax accepted by Parse.
+func String(f Formula) string {
+	var sb strings.Builder
+	f.lString(&sb)
+	return sb.String()
+}
+
+// Not returns the negation of f, removing double negations.
+func Not(f Formula) Formula {
+	switch g := f.(type) {
+	case NotF:
+		return g.F
+	case TrueF:
+		return FalseF{}
+	case FalseF:
+		return TrueF{}
+	}
+	return NotF{F: f}
+}
+
+// Atoms returns the sorted set of atom names occurring in f.
+func Atoms(f Formula) []string {
+	set := map[string]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Atom:
+			set[g.Name] = true
+		case NotF:
+			walk(g.F)
+		case AndF:
+			walk(g.L)
+			walk(g.R)
+		case OrF:
+			walk(g.L)
+			walk(g.R)
+		case ImpliesF:
+			walk(g.L)
+			walk(g.R)
+		case X:
+			walk(g.F)
+		case F_:
+			walk(g.F)
+		case G:
+			walk(g.F)
+		case U:
+			walk(g.L)
+			walk(g.R)
+		case R_:
+			walk(g.L)
+			walk(g.R)
+		}
+	}
+	walk(f)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize rewrites f into negation normal form over the core operators
+// {true, false, atom, !atom, &&, ||, X, U, R}: implications are eliminated,
+// F/G are expanded to U/R, and negations pushed to the atoms.
+func Normalize(f Formula) Formula {
+	return norm(f, false)
+}
+
+func norm(f Formula, neg bool) Formula {
+	switch g := f.(type) {
+	case TrueF:
+		if neg {
+			return FalseF{}
+		}
+		return TrueF{}
+	case FalseF:
+		if neg {
+			return TrueF{}
+		}
+		return FalseF{}
+	case Atom:
+		if neg {
+			return NotF{F: g}
+		}
+		return g
+	case NotF:
+		return norm(g.F, !neg)
+	case AndF:
+		l, r := norm(g.L, neg), norm(g.R, neg)
+		if neg {
+			return mkOr(l, r)
+		}
+		return mkAnd(l, r)
+	case OrF:
+		l, r := norm(g.L, neg), norm(g.R, neg)
+		if neg {
+			return mkAnd(l, r)
+		}
+		return mkOr(l, r)
+	case ImpliesF:
+		return norm(OrF{L: NotF{F: g.L}, R: g.R}, neg)
+	case X:
+		return X{F: norm(g.F, neg)}
+	case F_:
+		// F ψ = true U ψ ; !Fψ = false R !ψ
+		if neg {
+			return R_{L: FalseF{}, R: norm(g.F, true)}
+		}
+		return U{L: TrueF{}, R: norm(g.F, false)}
+	case G:
+		// G ψ = false R ψ ; !Gψ = true U !ψ
+		if neg {
+			return U{L: TrueF{}, R: norm(g.F, true)}
+		}
+		return R_{L: FalseF{}, R: norm(g.F, false)}
+	case U:
+		l, r := norm(g.L, neg), norm(g.R, neg)
+		if neg {
+			return R_{L: l, R: r}
+		}
+		return U{L: l, R: r}
+	case R_:
+		l, r := norm(g.L, neg), norm(g.R, neg)
+		if neg {
+			return U{L: l, R: r}
+		}
+		return R_{L: l, R: r}
+	}
+	panic(fmt.Sprintf("ltl: unknown formula %T", f))
+}
+
+func mkAnd(l, r Formula) Formula {
+	if _, ok := l.(FalseF); ok {
+		return FalseF{}
+	}
+	if _, ok := r.(FalseF); ok {
+		return FalseF{}
+	}
+	if _, ok := l.(TrueF); ok {
+		return r
+	}
+	if _, ok := r.(TrueF); ok {
+		return l
+	}
+	return AndF{L: l, R: r}
+}
+
+func mkOr(l, r Formula) Formula {
+	if _, ok := l.(TrueF); ok {
+		return TrueF{}
+	}
+	if _, ok := r.(TrueF); ok {
+		return TrueF{}
+	}
+	if _, ok := l.(FalseF); ok {
+		return r
+	}
+	if _, ok := r.(FalseF); ok {
+		return l
+	}
+	return OrF{L: l, R: r}
+}

@@ -1,0 +1,29 @@
+package ltl
+
+import "testing"
+
+func BenchmarkTranslateSafety(b *testing.B) {
+	f := MustParse(`G ((close(TakeOrder) && p) -> (!(open(ShipItem) && q) U (open(Restock) && r)))`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Translate(Not(f))
+	}
+}
+
+func BenchmarkTranslateFairness(b *testing.B) {
+	f := MustParse(`(G F p -> G F q) && (F G r -> G F p)`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Translate(Not(f))
+	}
+}
+
+func BenchmarkEvalLasso(b *testing.B) {
+	f := MustParse(`G (p -> F q)`)
+	prefix := letterSeq([]uint8{1, 0, 2})
+	loop := letterSeq([]uint8{1, 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EvalLasso(f, prefix, loop)
+	}
+}

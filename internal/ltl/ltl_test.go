@@ -1,0 +1,337 @@
+package ltl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		`true`,
+		`false`,
+		`p`,
+		`!p`,
+		`G p`,
+		`F p`,
+		`X p`,
+		`p U q`,
+		`p R q`,
+		`G (p -> F q)`,
+		`(p U q) && G (p -> X (p U q))`,
+		`G F p -> G F q`,
+		`open(TakeOrder)`,
+		`G ((close(TakeOrder) && p) -> (!(open(ShipItem) && q) U (open(Restock) && r)))`,
+		`call(Check) || close(T)`,
+	}
+	for _, src := range cases {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		s := String(f)
+		g, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", src, s, err)
+		}
+		if String(g) != s {
+			t.Errorf("print/parse not idempotent: %q -> %q -> %q", src, s, String(g))
+		}
+	}
+}
+
+func TestParseServiceAtoms(t *testing.T) {
+	f := MustParse(`open(A) && close(B) && call(C)`)
+	atoms := Atoms(f)
+	want := []string{"call:C", "close:B", "open:A"}
+	if len(atoms) != 3 {
+		t.Fatalf("Atoms = %v", atoms)
+	}
+	for i := range want {
+		if atoms[i] != want[i] {
+			t.Fatalf("Atoms = %v, want %v", atoms, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{``, `(p`, `p &&`, `p U`, `open(`, `open()`, `p q`, `|`, `p -`} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestNormalizeShapes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`!(p && q)`, `!p || !q`},
+		{`!(p || q)`, `!p && !q`},
+		{`!G p`, `true U !p`},
+		{`!F p`, `false R !p`},
+		{`!X p`, `X !p`},
+		{`!(p U q)`, `!p R !q`},
+		{`!(p R q)`, `!p U !q`},
+		{`p -> q`, `!p || q`},
+		{`!!p`, `p`},
+		{`F p`, `true U p`},
+		{`G p`, `false R p`},
+	}
+	for _, c := range cases {
+		got := String(Normalize(MustParse(c.in)))
+		want := String(MustParse(c.want))
+		if got != want {
+			t.Errorf("Normalize(%s) = %s, want %s", c.in, got, want)
+		}
+	}
+}
+
+func letterSeq(bits []uint8) []Letter {
+	out := make([]Letter, len(bits))
+	for i, b := range bits {
+		m := MapLetter{}
+		if b&1 != 0 {
+			m["p"] = true
+		}
+		if b&2 != 0 {
+			m["q"] = true
+		}
+		if b&4 != 0 {
+			m["r"] = true
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func TestEvalFiniteBasics(t *testing.T) {
+	cases := []struct {
+		f     string
+		trace []uint8
+		want  bool
+	}{
+		{`G p`, []uint8{1, 1, 1}, true},
+		{`G p`, []uint8{1, 0, 1}, false},
+		{`F q`, []uint8{1, 0, 2}, true},
+		{`F q`, []uint8{1, 0, 1}, false},
+		{`X p`, []uint8{0, 1}, true},
+		{`X p`, []uint8{1}, false}, // strong next at last position
+		{`p U q`, []uint8{1, 1, 2}, true},
+		{`p U q`, []uint8{1, 1, 1}, false}, // q never happens
+		{`p U q`, []uint8{1, 0, 2}, false}, // p gap before q
+		{`p R q`, []uint8{2, 2, 2}, true},  // q to the end, p never
+		{`p R q`, []uint8{2, 3, 0}, true},  // released by p at pos 1
+		{`p R q`, []uint8{2, 0, 1}, false},
+		{`true`, []uint8{}, true},
+		{`G p`, []uint8{}, true},
+		{`F p`, []uint8{}, false},
+		{`p`, []uint8{}, false},
+	}
+	for _, c := range cases {
+		got := EvalFinite(MustParse(c.f), letterSeq(c.trace))
+		if got != c.want {
+			t.Errorf("EvalFinite(%s, %v) = %v, want %v", c.f, c.trace, got, c.want)
+		}
+	}
+}
+
+func TestEvalLassoBasics(t *testing.T) {
+	cases := []struct {
+		f            string
+		prefix, loop []uint8
+		want         bool
+	}{
+		{`G p`, []uint8{1}, []uint8{1, 1}, true},
+		{`G p`, []uint8{1}, []uint8{1, 0}, false},
+		{`F q`, []uint8{0}, []uint8{0, 2}, true},
+		{`F q`, []uint8{2}, []uint8{0}, true},
+		{`F q`, []uint8{0}, []uint8{0}, false},
+		{`G F p`, []uint8{}, []uint8{0, 1}, true},
+		{`G F p`, []uint8{1, 1}, []uint8{0}, false},
+		{`F G p`, []uint8{0}, []uint8{1}, true},
+		{`F G p`, []uint8{1}, []uint8{1, 0}, false},
+		{`p U q`, []uint8{1, 1}, []uint8{2}, true},
+		{`p U q`, []uint8{1}, []uint8{1}, false},
+		{`p R q`, []uint8{}, []uint8{2}, true},
+		{`X X p`, []uint8{0, 0}, []uint8{1}, true},
+	}
+	for _, c := range cases {
+		got := EvalLasso(MustParse(c.f), letterSeq(c.prefix), letterSeq(c.loop))
+		if got != c.want {
+			t.Errorf("EvalLasso(%s, %v, %v) = %v, want %v", c.f, c.prefix, c.loop, got, c.want)
+		}
+	}
+}
+
+func TestTranslateTrivial(t *testing.T) {
+	bt := Translate(MustParse(`true`))
+	if len(bt.Initial) == 0 {
+		t.Fatal("true automaton has no initial states")
+	}
+	if !bt.AcceptsFinite(letterSeq([]uint8{0})) {
+		t.Error("true automaton must accept any finite word")
+	}
+	if !bt.AcceptsLasso(nil, letterSeq([]uint8{0})) {
+		t.Error("true automaton must accept any lasso")
+	}
+	bf := Translate(MustParse(`false`))
+	if bf.AcceptsFinite(letterSeq([]uint8{0})) || bf.AcceptsLasso(nil, letterSeq([]uint8{0})) {
+		t.Error("false automaton must accept nothing")
+	}
+}
+
+// randLTL builds a random LTL formula over atoms p, q, r.
+func randLTL(r *rand.Rand, depth int) Formula {
+	atoms := []string{"p", "q", "r"}
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Atom{Name: atoms[r.Intn(3)]}
+		case 1:
+			return NotF{F: Atom{Name: atoms[r.Intn(3)]}}
+		case 2:
+			return TrueF{}
+		default:
+			return Atom{Name: atoms[r.Intn(3)]}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return AndF{L: randLTL(r, depth-1), R: randLTL(r, depth-1)}
+	case 1:
+		return OrF{L: randLTL(r, depth-1), R: randLTL(r, depth-1)}
+	case 2:
+		return Not(randLTL(r, depth-1))
+	case 3:
+		return X{F: randLTL(r, depth-1)}
+	case 4:
+		return F_{F: randLTL(r, depth-1)}
+	case 5:
+		return G{F: randLTL(r, depth-1)}
+	case 6:
+		return U{L: randLTL(r, depth-1), R: randLTL(r, depth-1)}
+	default:
+		return R_{L: randLTL(r, depth-1), R: randLTL(r, depth-1)}
+	}
+}
+
+// Property: the Büchi automaton agrees with direct finite-trace evaluation.
+func TestQuickBuchiFiniteAgreement(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randLTL(r, 3)
+		b := Translate(f)
+		for i := 0; i < 15; i++ {
+			n := 1 + r.Intn(5)
+			bits := make([]uint8, n)
+			for j := range bits {
+				bits[j] = uint8(r.Intn(8))
+			}
+			trace := letterSeq(bits)
+			want := EvalFinite(f, trace)
+			got := b.AcceptsFinite(trace)
+			if got != want {
+				t.Logf("formula %s trace %v: automaton=%v direct=%v", String(f), bits, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Büchi automaton agrees with direct lasso evaluation.
+func TestQuickBuchiLassoAgreement(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randLTL(r, 3)
+		b := Translate(f)
+		for i := 0; i < 10; i++ {
+			np, nl := r.Intn(4), 1+r.Intn(3)
+			pb := make([]uint8, np)
+			for j := range pb {
+				pb[j] = uint8(r.Intn(8))
+			}
+			lb := make([]uint8, nl)
+			for j := range lb {
+				lb[j] = uint8(r.Intn(8))
+			}
+			prefix, loop := letterSeq(pb), letterSeq(lb)
+			want := EvalLasso(f, prefix, loop)
+			got := b.AcceptsLasso(prefix, loop)
+			if got != want {
+				t.Logf("formula %s prefix %v loop %v: automaton=%v direct=%v", String(f), pb, lb, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The negation duality: automaton of !f accepts exactly what f's rejects.
+func TestQuickNegationDuality(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randLTL(r, 2)
+		bNeg := Translate(Not(f))
+		for i := 0; i < 10; i++ {
+			np, nl := r.Intn(3), 1+r.Intn(3)
+			pb := make([]uint8, np)
+			for j := range pb {
+				pb[j] = uint8(r.Intn(8))
+			}
+			lb := make([]uint8, nl)
+			for j := range lb {
+				lb[j] = uint8(r.Intn(8))
+			}
+			prefix, loop := letterSeq(pb), letterSeq(lb)
+			sat := EvalLasso(f, prefix, loop)
+			rej := bNeg.AcceptsLasso(prefix, loop)
+			if sat == rej {
+				t.Logf("duality violated for %s", String(f))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQfinExamples(t *testing.T) {
+	// On finite words, G p accepted iff p everywhere; F p iff p somewhere.
+	bg := Translate(MustParse(`G p`))
+	if !bg.AcceptsFinite(letterSeq([]uint8{1, 1})) {
+		t.Error("G p should accept pp")
+	}
+	if bg.AcceptsFinite(letterSeq([]uint8{1, 0})) {
+		t.Error("G p should reject p·¬p")
+	}
+	bu := Translate(MustParse(`p U q`))
+	if !bu.AcceptsFinite(letterSeq([]uint8{1, 2})) {
+		t.Error("p U q should accept p·q")
+	}
+	if bu.AcceptsFinite(letterSeq([]uint8{1, 1})) {
+		t.Error("p U q should reject pp (q pending at end)")
+	}
+	bx := Translate(MustParse(`X p`))
+	if bx.AcceptsFinite(letterSeq([]uint8{1})) {
+		t.Error("X p should reject a single-letter word (strong next)")
+	}
+}
+
+func TestAtomsAndString(t *testing.T) {
+	f := MustParse(`G (p -> F q)`)
+	a := Atoms(f)
+	if len(a) != 2 || a[0] != "p" || a[1] != "q" {
+		t.Errorf("Atoms = %v", a)
+	}
+	if Translate(f).String() == "" {
+		t.Error("String should render")
+	}
+}

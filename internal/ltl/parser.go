@@ -1,0 +1,250 @@
+package ltl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an LTL formula:
+//
+//	formula := implies
+//	implies := or [ "->" implies ]
+//	or      := and { ("||" | "or") and }
+//	and     := until { ("&&" | "and") until }
+//	until   := unary { ("U" | "R") unary }     (right-associative)
+//	unary   := ("!" | "not" | "G" | "F" | "X") unary | primary
+//	primary := "(" formula ")" | "true" | "false" | atom
+//	atom    := IDENT | ("open"|"close"|"call") "(" IDENT ")"
+//
+// open(T), close(T) and call(S) denote the observable-service propositions
+// of LTL-FO and parse to atoms named "open:T", "close:S", "call:S".
+func Parse(input string) (Formula, error) {
+	p := &lparser{src: input}
+	p.lex()
+	if p.err != nil {
+		return nil, p.err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != "" {
+		return nil, fmt.Errorf("ltl: unexpected trailing input %q", p.peek())
+	}
+	return f, nil
+}
+
+// MustParse parses an LTL formula and panics on error.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type lparser struct {
+	src  string
+	toks []string
+	i    int
+	err  error
+}
+
+func (p *lparser) lex() {
+	i, n := 0, len(p.src)
+	for i < n {
+		c := p.src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')':
+			p.toks = append(p.toks, string(c))
+			i++
+		case c == '!':
+			p.toks = append(p.toks, "!")
+			i++
+		case c == '&' && i+1 < n && p.src[i+1] == '&':
+			p.toks = append(p.toks, "&&")
+			i += 2
+		case c == '|' && i+1 < n && p.src[i+1] == '|':
+			p.toks = append(p.toks, "||")
+			i += 2
+		case c == '-' && i+1 < n && p.src[i+1] == '>':
+			p.toks = append(p.toks, "->")
+			i += 2
+		case c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)):
+			j := i
+			for j < n && (p.src[j] == '_' || unicode.IsLetter(rune(p.src[j])) || unicode.IsDigit(rune(p.src[j]))) {
+				j++
+			}
+			p.toks = append(p.toks, p.src[i:j])
+			i = j
+		default:
+			p.err = fmt.Errorf("ltl: lex error at %d: unexpected %q", i, string(c))
+			return
+		}
+	}
+}
+
+func (p *lparser) peek() string {
+	if p.i < len(p.toks) {
+		return p.toks[p.i]
+	}
+	return ""
+}
+
+func (p *lparser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.i++
+	}
+	return t
+}
+
+func (p *lparser) accept(t string) bool {
+	if p.peek() == t {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *lparser) parseFormula() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("->") {
+		r, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		return ImpliesF{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *lparser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") || p.accept("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = OrF{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *lparser) parseAnd() (Formula, error) {
+	l, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") || p.accept("and") {
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		l = AndF{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *lparser) parseUntil() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept("U"):
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		return U{L: l, R: r}, nil
+	case p.accept("R"):
+		r, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		return R_{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *lparser) parseUnary() (Formula, error) {
+	switch {
+	case p.accept("!") || p.accept("not"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	case p.accept("G"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return G{F: f}, nil
+	case p.accept("F"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return F_{F: f}, nil
+	case p.accept("X"):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return X{F: f}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *lparser) parsePrimary() (Formula, error) {
+	t := p.peek()
+	switch {
+	case t == "(":
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, fmt.Errorf("ltl: expected ')', found %q", p.peek())
+		}
+		return f, nil
+	case t == "true":
+		p.next()
+		return TrueF{}, nil
+	case t == "false":
+		p.next()
+		return FalseF{}, nil
+	case t == "open" || t == "close" || t == "call":
+		if p.i+1 < len(p.toks) && p.toks[p.i+1] == "(" {
+			kind := p.next()
+			p.next() // '('
+			name := p.next()
+			if name == "" || name == ")" {
+				return nil, fmt.Errorf("ltl: expected name in %s(...)", kind)
+			}
+			if !p.accept(")") {
+				return nil, fmt.Errorf("ltl: expected ')' after %s(%s", kind, name)
+			}
+			return Atom{Name: kind + ":" + name}, nil
+		}
+		fallthrough
+	default:
+		if t == "" || t == ")" || strings.ContainsAny(t, "()") {
+			return nil, fmt.Errorf("ltl: expected formula, found %q", t)
+		}
+		p.next()
+		return Atom{Name: t}, nil
+	}
+}

@@ -1,0 +1,274 @@
+package ltl
+
+// Trace evaluation, used by the concrete run checker and as an independent
+// oracle for the Büchi construction in tests.
+
+// EvalFinite evaluates f on a finite trace under finite-word LTL semantics
+// with strong next: X at the last position is false, U requires its right
+// argument to occur within the word, R holds if its right argument holds to
+// the end of the word. The empty trace satisfies exactly the formulas for
+// which emptySat holds (G/R vacuously true, atoms/X/U/F false).
+func EvalFinite(f Formula, trace []Letter) bool {
+	nf := Normalize(f)
+	memo := map[evalKey]bool{}
+	if len(trace) == 0 {
+		return emptySat(nf)
+	}
+	return evalFin(nf, 0, trace, memo)
+}
+
+type evalKey struct {
+	f   string
+	pos int
+}
+
+func evalFin(f Formula, i int, tr []Letter, memo map[evalKey]bool) bool {
+	k := evalKey{key(f), i}
+	if v, ok := memo[k]; ok {
+		return v
+	}
+	var res bool
+	switch g := f.(type) {
+	case TrueF:
+		res = true
+	case FalseF:
+		res = false
+	case Atom:
+		res = tr[i].Holds(g.Name)
+	case NotF:
+		a := g.F.(Atom)
+		res = !tr[i].Holds(a.Name)
+	case AndF:
+		res = evalFin(g.L, i, tr, memo) && evalFin(g.R, i, tr, memo)
+	case OrF:
+		res = evalFin(g.L, i, tr, memo) || evalFin(g.R, i, tr, memo)
+	case X:
+		res = i+1 < len(tr) && evalFin(g.F, i+1, tr, memo)
+	case U:
+		res = false
+		for j := i; j < len(tr); j++ {
+			if evalFin(g.R, j, tr, memo) {
+				res = true
+				break
+			}
+			if !evalFin(g.L, j, tr, memo) {
+				break
+			}
+		}
+	case R_:
+		res = true
+		for j := i; j < len(tr); j++ {
+			if !evalFin(g.R, j, tr, memo) {
+				res = false
+				break
+			}
+			if evalFin(g.L, j, tr, memo) {
+				break
+			}
+		}
+	default:
+		panic("ltl: unexpected node in normalized formula")
+	}
+	memo[k] = res
+	return res
+}
+
+// EvalLasso evaluates f on the infinite word prefix · loop^ω. The loop must
+// be non-empty.
+func EvalLasso(f Formula, prefix, loop []Letter) bool {
+	if len(loop) == 0 {
+		panic("ltl: EvalLasso requires a non-empty loop")
+	}
+	nf := Normalize(f)
+	all := make([]Letter, 0, len(prefix)+len(loop))
+	all = append(all, prefix...)
+	all = append(all, loop...)
+	succ := func(i int) int {
+		if i+1 < len(all) {
+			return i + 1
+		}
+		return len(prefix)
+	}
+	memo := map[evalKey]bool{}
+	var eval func(f Formula, i int) bool
+	eval = func(f Formula, i int) bool {
+		k := evalKey{key(f), i}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		var res bool
+		switch g := f.(type) {
+		case TrueF:
+			res = true
+		case FalseF:
+			res = false
+		case Atom:
+			res = all[i].Holds(g.Name)
+		case NotF:
+			a := g.F.(Atom)
+			res = !all[i].Holds(a.Name)
+		case AndF:
+			res = eval(g.L, i) && eval(g.R, i)
+		case OrF:
+			res = eval(g.L, i) || eval(g.R, i)
+		case X:
+			res = eval(g.F, succ(i))
+		case U:
+			// Scan forward; every reachable position is seen within
+			// len(all)+len(loop) steps.
+			res = false
+			j := i
+			for step := 0; step <= len(all)+len(loop); step++ {
+				if eval(g.R, j) {
+					res = true
+					break
+				}
+				if !eval(g.L, j) {
+					break
+				}
+				j = succ(j)
+			}
+		case R_:
+			res = true
+			j := i
+			for step := 0; step <= len(all)+len(loop); step++ {
+				if !eval(g.R, j) {
+					res = false
+					break
+				}
+				if eval(g.L, j) {
+					break
+				}
+				j = succ(j)
+			}
+		default:
+			panic("ltl: unexpected node in normalized formula")
+		}
+		memo[k] = res
+		return res
+	}
+	return eval(nf, 0)
+}
+
+// AcceptsFinite reports whether the automaton accepts the finite trace
+// (some run over the trace ends in a FinAccepting state). The empty trace
+// is accepted iff some initial... — by convention local runs are never
+// empty (they start with the opening service), so the empty trace is
+// rejected.
+func (b *Buchi) AcceptsFinite(trace []Letter) bool {
+	if len(trace) == 0 {
+		return false
+	}
+	cur := map[int]bool{}
+	for _, q := range b.Initial {
+		if b.States[q].Satisfies(trace[0]) {
+			cur[q] = true
+		}
+	}
+	for i := 1; i < len(trace); i++ {
+		next := map[int]bool{}
+		for q := range cur {
+			for _, r := range b.States[q].Succs {
+				if !next[r] && b.States[r].Satisfies(trace[i]) {
+					next[r] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for q := range cur {
+		if b.States[q].FinAccepting {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptsLasso reports whether the automaton accepts prefix · loop^ω: some
+// run visits an accepting state infinitely often. Decided by searching for
+// a reachable accepting cycle in the product of the automaton with the
+// lasso's position structure.
+func (b *Buchi) AcceptsLasso(prefix, loop []Letter) bool {
+	if len(loop) == 0 {
+		panic("ltl: AcceptsLasso requires a non-empty loop")
+	}
+	all := make([]Letter, 0, len(prefix)+len(loop))
+	all = append(all, prefix...)
+	all = append(all, loop...)
+	succPos := func(i int) int {
+		if i+1 < len(all) {
+			return i + 1
+		}
+		return len(prefix)
+	}
+	n := len(b.States)
+	type pstate struct{ q, i int }
+	enc := func(p pstate) int { return p.q*len(all) + p.i }
+	// Reachable product states.
+	reach := map[int]bool{}
+	var stack []pstate
+	for _, q := range b.Initial {
+		if len(all) > 0 && b.States[q].Satisfies(all[0]) {
+			p := pstate{q, 0}
+			if !reach[enc(p)] {
+				reach[enc(p)] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	succs := func(p pstate) []pstate {
+		var out []pstate
+		ni := succPos(p.i)
+		for _, r := range b.States[p.q].Succs {
+			if b.States[r].Satisfies(all[ni]) {
+				out = append(out, pstate{r, ni})
+			}
+		}
+		return out
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs(p) {
+			if !reach[enc(s)] {
+				reach[enc(s)] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	// For each reachable accepting product state in the loop region,
+	// check whether it can reach itself.
+	for code := range reach {
+		q, i := code/len(all), code%len(all)
+		if !b.States[q].Accepting || i < len(prefix) {
+			continue
+		}
+		start := pstate{q, i}
+		seen := map[int]bool{}
+		st := succs(start)
+		var dfs []pstate
+		dfs = append(dfs, st...)
+		found := false
+		for len(dfs) > 0 && !found {
+			p := dfs[len(dfs)-1]
+			dfs = dfs[:len(dfs)-1]
+			if p == start {
+				found = true
+				break
+			}
+			if seen[enc(p)] {
+				continue
+			}
+			seen[enc(p)] = true
+			dfs = append(dfs, succs(p)...)
+		}
+		if found {
+			return true
+		}
+	}
+	_ = n
+	return false
+}

@@ -1,0 +1,121 @@
+// Package maxflow provides a Dinic max-flow solver used by VERIFAS to
+// decide the ⪯ pruning relation between partial symbolic instances (paper
+// Section 3.5): whether the stored-tuple multiset of one instance can be
+// mapped one-to-one onto less-restrictive tuples of another.
+package maxflow
+
+import "math"
+
+// Inf is the capacity representing an unbounded edge.
+const Inf int64 = math.MaxInt64 / 4
+
+// Graph is a flow network under construction. Nodes are dense ints
+// allocated by AddNode.
+type Graph struct {
+	head []int32
+	next []int32
+	to   []int32
+	cap  []int64
+
+	level []int32
+	iter  []int32
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	g := &Graph{head: make([]int32, n)}
+	for i := range g.head {
+		g.head[i] = -1
+	}
+	return g
+}
+
+// AddNode adds a node and returns its index.
+func (g *Graph) AddNode() int {
+	g.head = append(g.head, -1)
+	return len(g.head) - 1
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.head) }
+
+// AddEdge adds a directed edge u->v with the given capacity (and the
+// implicit residual reverse edge).
+func (g *Graph) AddEdge(u, v int, capacity int64) {
+	g.push(u, v, capacity)
+	g.push(v, u, 0)
+}
+
+func (g *Graph) push(u, v int, c int64) {
+	g.next = append(g.next, g.head[u])
+	g.to = append(g.to, int32(v))
+	g.cap = append(g.cap, c)
+	g.head[u] = int32(len(g.to) - 1)
+}
+
+func (g *Graph) bfs(s, t int) bool {
+	g.level = make([]int32, len(g.head))
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := []int32{int32(s)}
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := g.head[u]; e != -1; e = g.next[e] {
+			v := g.to[e]
+			if g.cap[e] > 0 && g.level[v] < 0 {
+				g.level[v] = g.level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(u, t int, f int64) int64 {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] != -1; g.iter[u] = g.next[g.iter[u]] {
+		e := g.iter[u]
+		v := int(g.to[e])
+		if g.cap[e] > 0 && g.level[v] == g.level[u]+1 {
+			d := g.dfs(v, t, min64(f, g.cap[e]))
+			if d > 0 {
+				g.cap[e] -= d
+				g.cap[e^1] += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxFlow computes the maximum s-t flow. The graph's capacities are
+// consumed; build a fresh graph per query.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	var flow int64
+	for g.bfs(s, t) {
+		g.iter = append([]int32(nil), g.head...)
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+			if flow >= Inf {
+				return Inf
+			}
+		}
+	}
+	return flow
+}

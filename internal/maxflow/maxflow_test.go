@@ -1,0 +1,149 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if f := g.MaxFlow(0, 2); f != 3 {
+		t.Errorf("MaxFlow = %d, want 3", f)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example.
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Errorf("MaxFlow = %d, want 23", f)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	if f := g.MaxFlow(0, 3); f != 0 {
+		t.Errorf("MaxFlow = %d, want 0", f)
+	}
+}
+
+func TestInfiniteMiddle(t *testing.T) {
+	// Bipartite with infinite middle edges: flow limited by the sides.
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 3, Inf)
+	g.AddEdge(1, 4, Inf)
+	g.AddEdge(2, 4, Inf)
+	g.AddEdge(3, 5, 4)
+	g.AddEdge(4, 5, 1)
+	if f := g.MaxFlow(0, 5); f != 3 {
+		t.Errorf("MaxFlow = %d, want 3", f)
+	}
+}
+
+// brute computes max flow on small graphs by Ford-Fulkerson with DFS over
+// an adjacency matrix, as an independent oracle.
+func brute(n int, caps map[[2]int]int64, s, t int) int64 {
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+	}
+	for k, v := range caps {
+		c[k[0]][k[1]] += v
+	}
+	var flow int64
+	for {
+		// find augmenting path
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		stack := []int{s}
+		for len(stack) > 0 && parent[t] == -1 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := 0; v < n; v++ {
+				if c[u][v] > 0 && parent[v] == -1 {
+					parent[v] = u
+					stack = append(stack, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return flow
+		}
+		aug := int64(1 << 62)
+		for v := t; v != s; v = parent[v] {
+			if c[parent[v]][v] < aug {
+				aug = c[parent[v]][v]
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			c[parent[v]][v] -= aug
+			c[v][parent[v]] += aug
+		}
+		flow += aug
+	}
+}
+
+// Property: Dinic agrees with a brute-force Ford-Fulkerson oracle on random
+// small graphs.
+func TestQuickAgainstBrute(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(7)
+		caps := map[[2]int]int64{}
+		g := NewGraph(n)
+		edges := r.Intn(20)
+		for i := 0; i < edges; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(r.Intn(10))
+			caps[[2]int{u, v}] += c
+			g.AddEdge(u, v, c)
+		}
+		want := brute(n, caps, 0, n-1)
+		got := g.MaxFlow(0, n-1)
+		if got != want {
+			t.Logf("n=%d caps=%v: dinic=%d brute=%d", n, caps, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := NewGraph(1)
+	a := g.AddNode()
+	b := g.AddNode()
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	g.AddEdge(0, a, 7)
+	g.AddEdge(a, b, 5)
+	if f := g.MaxFlow(0, b); f != 5 {
+		t.Errorf("MaxFlow = %d, want 5", f)
+	}
+}

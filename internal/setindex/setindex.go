@@ -1,0 +1,173 @@
+// Package setindex provides the data-structure support of paper Section
+// 3.6: fast subset and superset queries over collections of edge sets,
+// using inverted lists (subset queries [34]) and a trie (superset queries
+// [40]). The verifier uses them to prefilter candidates for the ⪯
+// comparisons when maintaining the set of active states.
+package setindex
+
+// MaxIndexed caps how many elements of a stored set feed the inverted
+// lists. Larger sets are indexed by their first MaxIndexed elements only,
+// which keeps the lists short; the subset query then over-approximates
+// (callers re-verify candidates), remaining correct as a prefilter.
+const MaxIndexed = 48
+
+// Index stores integer-identified sorted uint64 sets and answers subset
+// and superset queries. Ids must be assigned densely (0, 1, 2, ...): the
+// hit counters of the subset query are epoch-stamped dense arrays, which
+// keeps the hot path free of map operations.
+type Index struct {
+	inv     map[uint64][]int32 // element -> ids of sets containing it
+	size    []int32            // id -> set cardinality
+	empties []int32            // ids of empty sets
+	trie    *tnode
+
+	counts []int32
+	stamps []uint32
+	epoch  uint32
+}
+
+type tnode struct {
+	label    uint64
+	children []*tnode
+	ids      []int32
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		inv:  map[uint64][]int32{},
+		trie: &tnode{},
+	}
+}
+
+// Insert stores the set under the given id. The set must be sorted
+// ascending and duplicate-free, and ids must be assigned densely in
+// insertion order (0, 1, 2, ...).
+func (x *Index) Insert(id int, set []uint64) {
+	if id != len(x.size) {
+		panic("setindex: ids must be dense and sequential")
+	}
+	id32 := int32(id)
+	indexed := set
+	if len(indexed) > MaxIndexed {
+		indexed = indexed[:MaxIndexed]
+	}
+	x.size = append(x.size, int32(len(indexed)))
+	x.counts = append(x.counts, 0)
+	x.stamps = append(x.stamps, 0)
+	if len(indexed) == 0 {
+		x.empties = append(x.empties, id32)
+	}
+	for _, e := range indexed {
+		x.inv[e] = append(x.inv[e], id32)
+	}
+	n := x.trie
+	for _, e := range set {
+		n = n.child(e, true)
+	}
+	n.ids = append(n.ids, id32)
+}
+
+func (n *tnode) child(label uint64, create bool) *tnode {
+	// Children kept sorted by label; linear scan (fan-out is small).
+	lo, hi := 0, len(n.children)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.children[mid].label < label {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.children) && n.children[lo].label == label {
+		return n.children[lo]
+	}
+	if !create {
+		return nil
+	}
+	c := &tnode{label: label}
+	n.children = append(n.children, nil)
+	copy(n.children[lo+1:], n.children[lo:])
+	n.children[lo] = c
+	return c
+}
+
+// Subsets returns the ids of stored sets whose indexed prefix is a subset
+// of q (q sorted) — a superset of the true subset ids when sets exceed
+// MaxIndexed; exact otherwise.
+func (x *Index) Subsets(q []uint64) []int {
+	var out []int
+	x.SubsetsSeq(q, func(id int) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// SubsetsSeq streams subset candidates to yield in discovery order; yield
+// returning false stops the query early (used by existence checks).
+func (x *Index) SubsetsSeq(q []uint64, yield func(id int) bool) {
+	x.epoch++
+	for _, id := range x.empties {
+		if !yield(int(id)) {
+			return
+		}
+	}
+	for _, e := range q {
+		for _, id := range x.inv[e] {
+			if x.stamps[id] != x.epoch {
+				x.stamps[id] = x.epoch
+				x.counts[id] = 1
+			} else {
+				x.counts[id]++
+			}
+			if x.counts[id] == x.size[id] {
+				if !yield(int(id)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Supersets returns the ids of stored sets that are supersets of q
+// (q sorted). Queries longer than MaxIndexed are truncated, making the
+// result an over-approximation (callers re-verify).
+func (x *Index) Supersets(q []uint64) []int {
+	if len(q) > MaxIndexed {
+		q = q[:MaxIndexed]
+	}
+	var out []int
+	var dfs func(n *tnode, i int)
+	dfs = func(n *tnode, i int) {
+		if i == len(q) {
+			collect(n, &out)
+			return
+		}
+		target := q[i]
+		for _, c := range n.children {
+			switch {
+			case c.label < target:
+				dfs(c, i) // skip an extra element of the stored set
+			case c.label == target:
+				dfs(c, i+1)
+			default:
+				return // children sorted; nothing further can match
+			}
+		}
+	}
+	dfs(x.trie, 0)
+	return out
+}
+
+func collect(n *tnode, out *[]int) {
+	for _, id := range n.ids {
+		*out = append(*out, int(id))
+	}
+	for _, c := range n.children {
+		collect(c, out)
+	}
+}
+
+// Len returns the number of stored sets.
+func (x *Index) Len() int { return len(x.size) }

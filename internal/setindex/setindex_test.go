@@ -1,0 +1,185 @@
+package setindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mkSet(vals ...uint64) []uint64 {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var out []uint64
+	for i, v := range vals {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestBasicQueries(t *testing.T) {
+	x := New()
+	sets := [][]uint64{
+		mkSet(),        // 0
+		mkSet(1),       // 1
+		mkSet(1, 2),    // 2
+		mkSet(2, 3),    // 3
+		mkSet(1, 2, 3), // 4
+	}
+	for i, s := range sets {
+		x.Insert(i, s)
+	}
+	if x.Len() != 5 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+
+	subs := x.Subsets(mkSet(1, 2))
+	wantSubs := map[int]bool{0: true, 1: true, 2: true}
+	if len(subs) != 3 {
+		t.Fatalf("Subsets(1,2) = %v", subs)
+	}
+	for _, id := range subs {
+		if !wantSubs[id] {
+			t.Errorf("unexpected subset id %d", id)
+		}
+	}
+
+	sups := x.Supersets(mkSet(1, 2))
+	wantSups := map[int]bool{2: true, 4: true}
+	if len(sups) != 2 {
+		t.Fatalf("Supersets(1,2) = %v", sups)
+	}
+	for _, id := range sups {
+		if !wantSups[id] {
+			t.Errorf("unexpected superset id %d", id)
+		}
+	}
+
+	// Empty query: all sets are supersets; only empty sets are subsets.
+	if got := x.Supersets(nil); len(got) != 5 {
+		t.Errorf("Supersets(∅) = %v", got)
+	}
+	if got := x.Subsets(nil); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Subsets(∅) = %v", got)
+	}
+}
+
+// Over-approximation property: with truncation, every true subset /
+// superset must still be returned.
+func TestTruncationOverApproximates(t *testing.T) {
+	x := New()
+	big := make([]uint64, MaxIndexed+20)
+	for i := range big {
+		big[i] = uint64(i)
+	}
+	x.Insert(0, big)
+	x.Insert(1, mkSet(1, 2))
+	// big ⊆ big: must be found even though only a prefix is indexed.
+	found := false
+	for _, id := range x.Subsets(big) {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("truncated set missing from its own subset query")
+	}
+	// Supersets of a long query include the stored long set.
+	found = false
+	for _, id := range x.Supersets(big) {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("long superset query missed the stored long set")
+	}
+}
+
+func TestSubsetsSeqEarlyExit(t *testing.T) {
+	x := New()
+	x.Insert(0, mkSet(1))
+	x.Insert(1, mkSet(2))
+	x.Insert(2, mkSet(1, 2))
+	n := 0
+	x.SubsetsSeq(mkSet(1, 2), func(id int) bool {
+		n++
+		return false // stop immediately
+	})
+	if n != 1 {
+		t.Errorf("early exit visited %d candidates", n)
+	}
+}
+
+func isSubset(a, b []uint64) bool {
+	j := 0
+	for _, e := range a {
+		for j < len(b) && b[j] < e {
+			j++
+		}
+		if j >= len(b) || b[j] != e {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Property: index queries agree with brute force on random collections.
+func TestQuickAgainstBrute(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := New()
+		var sets [][]uint64
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			var vals []uint64
+			for j := r.Intn(6); j > 0; j-- {
+				vals = append(vals, uint64(r.Intn(10)))
+			}
+			s := mkSet(vals...)
+			sets = append(sets, s)
+			x.Insert(i, s)
+		}
+		for q := 0; q < 10; q++ {
+			var vals []uint64
+			for j := r.Intn(6); j > 0; j-- {
+				vals = append(vals, uint64(r.Intn(10)))
+			}
+			query := mkSet(vals...)
+			gotSubs := map[int]bool{}
+			for _, id := range x.Subsets(query) {
+				gotSubs[id] = true
+			}
+			gotSups := map[int]bool{}
+			for _, id := range x.Supersets(query) {
+				gotSups[id] = true
+			}
+			for i, s := range sets {
+				if isSubset(s, query) != gotSubs[i] {
+					t.Logf("subset mismatch set=%v query=%v", s, query)
+					return false
+				}
+				if isSubset(query, s) != gotSups[i] {
+					t.Logf("superset mismatch set=%v query=%v", s, query)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateSets(t *testing.T) {
+	x := New()
+	x.Insert(0, mkSet(5, 6))
+	x.Insert(1, mkSet(5, 6))
+	sups := x.Supersets(mkSet(5))
+	if len(sups) != 2 {
+		t.Errorf("both duplicate sets should be returned: %v", sups)
+	}
+}

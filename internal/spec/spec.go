@@ -1,0 +1,555 @@
+// Package spec implements a human-readable textual format for HAS*
+// specifications and LTL-FO properties, with a parser and printer. The
+// format is used by the command-line tools and the synthetic-workflow
+// generator output:
+//
+//	system OrderFulfillment
+//
+//	schema {
+//	  relation CREDIT_RECORD(status)
+//	  relation CUSTOMERS(name, address, record -> CREDIT_RECORD)
+//	}
+//
+//	task ProcessOrders {
+//	  vars cust_id: CUSTOMERS, status: val
+//	  relation ORDERS(o_cust: CUSTOMERS, o_status: val)
+//	  service StoreOrder {
+//	    pre cust_id != null
+//	    post cust_id == null && status == "Init"
+//	    insert ORDERS(cust_id, status)
+//	  }
+//	  task CheckCredit {
+//	    vars c_cust: CUSTOMERS, c_status: val
+//	    in c_cust = cust_id
+//	    out c_status = status
+//	    opening status == "OrderPlaced"
+//	    closing c_status != null
+//	    service Check { ... }
+//	  }
+//	}
+//
+//	global-pre cust_id == null && status == null
+//
+//	property decided of CheckCredit {
+//	  global g: CUSTOMERS
+//	  define ok := c_status != null
+//	  formula G (close(CheckCredit) -> ok)
+//	}
+//
+// Comments run from '#' to end of line. Conditions extend to the end of
+// the line and use the fol syntax; formulas use the ltl syntax.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"verifas/internal/core"
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+)
+
+// File is a parsed specification file: one system and any number of
+// properties.
+type File struct {
+	System     *has.System
+	Properties []*core.Property
+}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("spec: line %d: %s", e.Line, e.Msg)
+}
+
+type parser struct {
+	lines []string
+	i     int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.i, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses a specification file. The returned system is validated.
+func Parse(src string) (*File, error) {
+	p := &parser{}
+	for _, line := range strings.Split(src, "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		p.lines = append(p.lines, strings.TrimSpace(line))
+	}
+	f := &File{}
+	for p.i < len(p.lines) {
+		line := p.next()
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "system "):
+			if f.System != nil {
+				return nil, p.errf("duplicate system declaration")
+			}
+			f.System = &has.System{Name: strings.TrimSpace(strings.TrimPrefix(line, "system "))}
+		case strings.HasPrefix(line, "schema"):
+			if f.System == nil {
+				return nil, p.errf("schema before system declaration")
+			}
+			if !strings.HasSuffix(line, "{") {
+				return nil, p.errf("expected '{' after schema")
+			}
+			schema, err := p.parseSchema()
+			if err != nil {
+				return nil, err
+			}
+			f.System.Schema = schema
+		case strings.HasPrefix(line, "task "):
+			if f.System == nil || f.System.Schema == nil {
+				return nil, p.errf("task before schema")
+			}
+			if f.System.Root != nil {
+				return nil, p.errf("multiple root tasks")
+			}
+			t, err := p.parseTask(line)
+			if err != nil {
+				return nil, err
+			}
+			f.System.Root = t
+		case strings.HasPrefix(line, "global-pre "):
+			if f.System == nil {
+				return nil, p.errf("global-pre before system")
+			}
+			cond, err := fol.Parse(strings.TrimPrefix(line, "global-pre "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			f.System.GlobalPre = cond
+		case strings.HasPrefix(line, "property "):
+			prop, err := p.parseProperty(line)
+			if err != nil {
+				return nil, err
+			}
+			f.Properties = append(f.Properties, prop)
+		default:
+			return nil, p.errf("unexpected %q", line)
+		}
+	}
+	if f.System == nil {
+		return nil, &ParseError{Line: 1, Msg: "missing system declaration"}
+	}
+	if f.System.Schema == nil || f.System.Root == nil {
+		return nil, &ParseError{Line: len(p.lines), Msg: "incomplete system (schema and root task required)"}
+	}
+	if err := f.System.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) next() string {
+	line := p.lines[p.i]
+	p.i++
+	return line
+}
+
+func (p *parser) parseSchema() (*has.Schema, error) {
+	var rels []*has.Relation
+	for p.i < len(p.lines) {
+		line := p.next()
+		switch {
+		case line == "":
+		case line == "}":
+			return has.NewSchema(rels...), nil
+		case strings.HasPrefix(line, "relation "):
+			rel, err := parseRelationDecl(strings.TrimPrefix(line, "relation "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			rels = append(rels, rel)
+		default:
+			return nil, p.errf("unexpected %q in schema", line)
+		}
+	}
+	return nil, p.errf("unterminated schema block")
+}
+
+// parseRelationDecl parses NAME(attr, attr -> REF, ...).
+func parseRelationDecl(s string) (*has.Relation, error) {
+	name, args, err := splitCall(s)
+	if err != nil {
+		return nil, err
+	}
+	rel := &has.Relation{Name: name}
+	for _, a := range args {
+		if a == "" {
+			return nil, fmt.Errorf("empty attribute in relation %s", name)
+		}
+		if idx := strings.Index(a, "->"); idx >= 0 {
+			rel.Attrs = append(rel.Attrs, has.FK(strings.TrimSpace(a[:idx]), strings.TrimSpace(a[idx+2:])))
+		} else {
+			rel.Attrs = append(rel.Attrs, has.NK(strings.TrimSpace(a)))
+		}
+	}
+	return rel, nil
+}
+
+// splitCall parses "NAME(a, b, c)" into name and comma-separated args.
+func splitCall(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("expected NAME(...), got %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	body := s[open+1 : len(s)-1]
+	if strings.TrimSpace(body) == "" {
+		return name, nil, nil
+	}
+	parts := strings.Split(body, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return name, parts, nil
+}
+
+// parseTypedList parses "a: T, b: val, ...".
+func parseTypedList(s string) ([]has.Variable, error) {
+	var out []has.Variable
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idx := strings.IndexByte(part, ':')
+		if idx < 0 {
+			return nil, fmt.Errorf("expected name: type, got %q", part)
+		}
+		name := strings.TrimSpace(part[:idx])
+		ty := strings.TrimSpace(part[idx+1:])
+		if ty == "val" {
+			out = append(out, has.V(name))
+		} else {
+			out = append(out, has.IDV(name, ty))
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseTask(header string) (*has.Task, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(header, "task "))
+	if !strings.HasSuffix(rest, "{") {
+		return nil, p.errf("expected '{' after task name")
+	}
+	t := &has.Task{Name: strings.TrimSpace(strings.TrimSuffix(rest, "{"))}
+	t.InMap = map[string]string{}
+	t.OutMap = map[string]string{}
+	for p.i < len(p.lines) {
+		line := p.next()
+		switch {
+		case line == "":
+		case line == "}":
+			return t, nil
+		case strings.HasPrefix(line, "vars "):
+			vars, err := parseTypedList(strings.TrimPrefix(line, "vars "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			t.Vars = append(t.Vars, vars...)
+		case strings.HasPrefix(line, "relation "):
+			name, args, err := splitCall(strings.TrimPrefix(line, "relation "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			ar := &has.ArtifactRelation{Name: name}
+			for _, a := range args {
+				vs, err := parseTypedList(a)
+				if err != nil || len(vs) != 1 {
+					return nil, p.errf("bad artifact relation attribute %q", a)
+				}
+				ar.Attrs = append(ar.Attrs, vs[0])
+			}
+			t.Relations = append(t.Relations, ar)
+		case strings.HasPrefix(line, "in "):
+			child, parent, err := parseMapping(strings.TrimPrefix(line, "in "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			t.In = append(t.In, child)
+			t.InMap[child] = parent
+		case strings.HasPrefix(line, "out "):
+			child, parent, err := parseMapping(strings.TrimPrefix(line, "out "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			t.Out = append(t.Out, child)
+			t.OutMap[child] = parent
+		case strings.HasPrefix(line, "opening "):
+			cond, err := fol.Parse(strings.TrimPrefix(line, "opening "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			t.OpeningPre = cond
+		case strings.HasPrefix(line, "closing "):
+			cond, err := fol.Parse(strings.TrimPrefix(line, "closing "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			t.ClosingPre = cond
+		case strings.HasPrefix(line, "service "):
+			svc, err := p.parseService(line)
+			if err != nil {
+				return nil, err
+			}
+			t.Services = append(t.Services, svc)
+		case strings.HasPrefix(line, "task "):
+			child, err := p.parseTask(line)
+			if err != nil {
+				return nil, err
+			}
+			t.Children = append(t.Children, child)
+		default:
+			return nil, p.errf("unexpected %q in task %s", line, t.Name)
+		}
+	}
+	return nil, p.errf("unterminated task block %s", t.Name)
+}
+
+// parseMapping parses "child = parent".
+func parseMapping(s string) (string, string, error) {
+	idx := strings.IndexByte(s, '=')
+	if idx < 0 {
+		return "", "", fmt.Errorf("expected childVar = parentVar, got %q", s)
+	}
+	return strings.TrimSpace(s[:idx]), strings.TrimSpace(s[idx+1:]), nil
+}
+
+func (p *parser) parseService(header string) (*has.Service, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(header, "service "))
+	if !strings.HasSuffix(rest, "{") {
+		return nil, p.errf("expected '{' after service name")
+	}
+	svc := &has.Service{Name: strings.TrimSpace(strings.TrimSuffix(rest, "{"))}
+	for p.i < len(p.lines) {
+		line := p.next()
+		switch {
+		case line == "":
+		case line == "}":
+			return svc, nil
+		case strings.HasPrefix(line, "pre "):
+			cond, err := fol.Parse(strings.TrimPrefix(line, "pre "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			svc.Pre = cond
+		case strings.HasPrefix(line, "post "):
+			cond, err := fol.Parse(strings.TrimPrefix(line, "post "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			svc.Post = cond
+		case strings.HasPrefix(line, "propagate "):
+			for _, v := range strings.Split(strings.TrimPrefix(line, "propagate "), ",") {
+				if v = strings.TrimSpace(v); v != "" {
+					svc.Propagate = append(svc.Propagate, v)
+				}
+			}
+		case strings.HasPrefix(line, "insert "), strings.HasPrefix(line, "retrieve "):
+			insert := strings.HasPrefix(line, "insert ")
+			body := strings.TrimPrefix(strings.TrimPrefix(line, "insert "), "retrieve ")
+			name, args, err := splitCall(body)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			svc.Update = &has.Update{Insert: insert, Relation: name, Vars: args}
+		default:
+			return nil, p.errf("unexpected %q in service %s", line, svc.Name)
+		}
+	}
+	return nil, p.errf("unterminated service block %s", svc.Name)
+}
+
+func (p *parser) parseProperty(header string) (*core.Property, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(header, "property "))
+	if !strings.HasSuffix(rest, "{") {
+		return nil, p.errf("expected '{' after property header")
+	}
+	rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+	idx := strings.Index(rest, " of ")
+	if idx < 0 {
+		return nil, p.errf("expected 'property NAME of TASK {'")
+	}
+	prop := &core.Property{
+		Name:  strings.TrimSpace(rest[:idx]),
+		Task:  strings.TrimSpace(rest[idx+4:]),
+		Conds: map[string]fol.Formula{},
+	}
+	for p.i < len(p.lines) {
+		line := p.next()
+		switch {
+		case line == "":
+		case line == "}":
+			if prop.Formula == nil {
+				return nil, p.errf("property %s has no formula", prop.Name)
+			}
+			return prop, nil
+		case strings.HasPrefix(line, "global "):
+			vars, err := parseTypedList(strings.TrimPrefix(line, "global "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			prop.Globals = append(prop.Globals, vars...)
+		case strings.HasPrefix(line, "define "):
+			body := strings.TrimPrefix(line, "define ")
+			idx := strings.Index(body, ":=")
+			if idx < 0 {
+				return nil, p.errf("expected 'define NAME := condition'")
+			}
+			name := strings.TrimSpace(body[:idx])
+			cond, err := fol.Parse(strings.TrimSpace(body[idx+2:]))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			prop.Conds[name] = cond
+		case strings.HasPrefix(line, "formula "):
+			f, err := ltl.Parse(strings.TrimPrefix(line, "formula "))
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			prop.Formula = f
+		default:
+			return nil, p.errf("unexpected %q in property %s", line, prop.Name)
+		}
+	}
+	return nil, p.errf("unterminated property block %s", prop.Name)
+}
+
+// ---------------------------------------------------------------------------
+// Printer.
+
+// Print renders a file back into the textual format (a fixed point of
+// Parse).
+func Print(f *File) string {
+	var sb strings.Builder
+	sys := f.System
+	fmt.Fprintf(&sb, "system %s\n\nschema {\n", sys.Name)
+	for _, rel := range sys.Schema.Relations {
+		var attrs []string
+		for _, a := range rel.Attrs {
+			if a.Kind == has.ForeignKey {
+				attrs = append(attrs, fmt.Sprintf("%s -> %s", a.Name, a.Ref))
+			} else {
+				attrs = append(attrs, a.Name)
+			}
+		}
+		fmt.Fprintf(&sb, "  relation %s(%s)\n", rel.Name, strings.Join(attrs, ", "))
+	}
+	sb.WriteString("}\n\n")
+	printTask(&sb, sys.Root, 0)
+	if sys.GlobalPre != nil {
+		fmt.Fprintf(&sb, "\nglobal-pre %s\n", fol.String(sys.GlobalPre))
+	}
+	for _, prop := range f.Properties {
+		sb.WriteString("\n")
+		printProperty(&sb, prop)
+	}
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func typedList(vars []has.Variable) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		ty := "val"
+		if v.Type.IsID() {
+			ty = v.Type.Rel
+		}
+		parts[i] = fmt.Sprintf("%s: %s", v.Name, ty)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func printTask(sb *strings.Builder, t *has.Task, depth int) {
+	indent(sb, depth)
+	fmt.Fprintf(sb, "task %s {\n", t.Name)
+	if len(t.Vars) > 0 {
+		indent(sb, depth+1)
+		fmt.Fprintf(sb, "vars %s\n", typedList(t.Vars))
+	}
+	for _, ar := range t.Relations {
+		indent(sb, depth+1)
+		fmt.Fprintf(sb, "relation %s(%s)\n", ar.Name, typedList(ar.Attrs))
+	}
+	for _, in := range t.In {
+		indent(sb, depth+1)
+		fmt.Fprintf(sb, "in %s = %s\n", in, t.InMap[in])
+	}
+	for _, out := range t.Out {
+		indent(sb, depth+1)
+		fmt.Fprintf(sb, "out %s = %s\n", out, t.OutMap[out])
+	}
+	if t.OpeningPre != nil {
+		indent(sb, depth+1)
+		fmt.Fprintf(sb, "opening %s\n", fol.String(t.OpeningPre))
+	}
+	if t.ClosingPre != nil {
+		indent(sb, depth+1)
+		fmt.Fprintf(sb, "closing %s\n", fol.String(t.ClosingPre))
+	}
+	for _, svc := range t.Services {
+		indent(sb, depth+1)
+		fmt.Fprintf(sb, "service %s {\n", svc.Name)
+		if svc.Pre != nil {
+			indent(sb, depth+2)
+			fmt.Fprintf(sb, "pre %s\n", fol.String(svc.Pre))
+		}
+		if svc.Post != nil {
+			indent(sb, depth+2)
+			fmt.Fprintf(sb, "post %s\n", fol.String(svc.Post))
+		}
+		if len(svc.Propagate) > 0 {
+			indent(sb, depth+2)
+			fmt.Fprintf(sb, "propagate %s\n", strings.Join(svc.Propagate, ", "))
+		}
+		if svc.Update != nil {
+			indent(sb, depth+2)
+			kw := "retrieve"
+			if svc.Update.Insert {
+				kw = "insert"
+			}
+			fmt.Fprintf(sb, "%s %s(%s)\n", kw, svc.Update.Relation, strings.Join(svc.Update.Vars, ", "))
+		}
+		indent(sb, depth+1)
+		sb.WriteString("}\n")
+	}
+	for _, c := range t.Children {
+		printTask(sb, c, depth+1)
+	}
+	indent(sb, depth)
+	sb.WriteString("}\n")
+}
+
+func printProperty(sb *strings.Builder, prop *core.Property) {
+	fmt.Fprintf(sb, "property %s of %s {\n", prop.Name, prop.Task)
+	if len(prop.Globals) > 0 {
+		fmt.Fprintf(sb, "  global %s\n", typedList(prop.Globals))
+	}
+	names := make([]string, 0, len(prop.Conds))
+	for n := range prop.Conds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(sb, "  define %s := %s\n", n, fol.String(prop.Conds[n]))
+	}
+	fmt.Fprintf(sb, "  formula %s\n}\n", ltl.String(prop.Formula))
+}

@@ -1,0 +1,253 @@
+package spec
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/ltl"
+	"verifas/internal/workflows"
+)
+
+const sample = `
+# A small order-processing system.
+system Mini
+
+schema {
+  relation CREDIT(status)
+  relation CUSTOMERS(name, record -> CREDIT)
+}
+
+task Main {
+  vars cust: CUSTOMERS, status: val
+  relation POOL(p_cust: CUSTOMERS, p_status: val)
+  service Store {
+    pre cust != null
+    post cust == null && status == "Init"
+    insert POOL(cust, status)
+  }
+  service Load {
+    pre cust == null
+    post true
+    retrieve POOL(cust, status)
+  }
+  task Check {
+    vars c_cust: CUSTOMERS, verdict: val
+    in c_cust = cust
+    out verdict = status
+    opening status == "Init"
+    closing verdict != null
+    service Decide {
+      pre true
+      post exists n : val, r : CREDIT (CUSTOMERS(c_cust, n, r) && (CREDIT(r, "Good") -> verdict == "Passed"))
+      propagate c_cust
+    }
+  }
+}
+
+global-pre cust == null && status == null
+
+property decided of Check {
+  define ok := verdict != null
+  formula G (close(Check) -> ok)
+}
+
+property universal of Main {
+  global g: CUSTOMERS
+  define isg := cust == g
+  formula G ((call(Store) && isg) -> F call(Load))
+}
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := f.System
+	if sys.Name != "Mini" {
+		t.Errorf("system name %q", sys.Name)
+	}
+	if len(sys.Schema.Relations) != 2 {
+		t.Errorf("relations: %d", len(sys.Schema.Relations))
+	}
+	cust, ok := sys.Schema.Relation("CUSTOMERS")
+	if !ok || len(cust.Attrs) != 2 || cust.Attrs[1].Ref != "CREDIT" {
+		t.Error("CUSTOMERS schema wrong")
+	}
+	if sys.Root.Name != "Main" || len(sys.Root.Children) != 1 {
+		t.Error("task tree wrong")
+	}
+	if len(sys.Root.Services) != 2 || sys.Root.Services[0].Update == nil || !sys.Root.Services[0].Update.Insert {
+		t.Error("services wrong")
+	}
+	if sys.Root.Services[1].Update.Insert {
+		t.Error("Load should be a retrieval")
+	}
+	child := sys.Root.Children[0]
+	if child.InMap["c_cust"] != "cust" || child.OutMap["verdict"] != "status" {
+		t.Error("mappings wrong")
+	}
+	if len(f.Properties) != 2 {
+		t.Fatalf("properties: %d", len(f.Properties))
+	}
+	if f.Properties[0].Task != "Check" || f.Properties[1].Globals[0].Name != "g" {
+		t.Error("property parsing wrong")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f)
+	f2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	printed2 := Print(f2)
+	if printed != printed2 {
+		t.Errorf("print not a fixed point:\n%s\nvs\n%s", printed, printed2)
+	}
+}
+
+func TestPrintOrderFulfillment(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := &File{System: sys}
+	printed := Print(f)
+	f2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed order fulfillment failed: %v", err)
+	}
+	if f2.System.Stats() != sys.Stats() {
+		t.Errorf("stats changed in round trip: %+v vs %+v", f2.System.Stats(), sys.Stats())
+	}
+}
+
+func TestParsedSystemVerifies(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Verify(f.System, f.Properties[0], core.Options{MaxStates: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("closing guard should hold for the parsed system")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"schema {\n}", "schema before system"},
+		{"system A\nsystem B", "duplicate system"},
+		{"system A\nbogus", "unexpected"},
+		{"system A\nschema {\n  relation R(x)\n", "unterminated schema"},
+		{"system A\nschema {\n  bogus\n}", "unexpected"},
+		{"system A\nschema {\n relation R(x)\n}\ntask T {\n", "unterminated task"},
+		{"system A\nschema {\n relation R(x)\n}\ntask T {\n vars a\n}", "expected name: type"},
+		{"system A\nschema {\n relation R(x)\n}\ntask T {\n service S {\n pre x ==\n}\n}", "parse error"},
+		{"", "missing system"},
+		{"system A", "incomplete system"},
+		{
+			"system A\nschema {\n relation R(x)\n}\ntask T {\n vars a: val\n}\nproperty p of T {\n}",
+			"no formula",
+		},
+		{
+			"system A\nschema {\n relation R(x)\n}\ntask T {\n vars a: val\n}\nproperty p {\n formula true\n}",
+			"expected 'property NAME of TASK",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q): got %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestValidationErrorsSurface(t *testing.T) {
+	src := `
+system Bad
+schema {
+  relation R(x)
+}
+task T {
+  vars a: NOPE
+}
+`
+	if _, err := Parse(src); err == nil {
+		t.Error("expected validation error for unknown sort")
+	}
+}
+
+func TestPropertyFormulaRoundTrip(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ltl.String(f.Properties[1].Formula)
+	want := ltl.String(ltl.MustParse(`G ((call(Store) && isg) -> F call(Load))`))
+	if got != want {
+		t.Errorf("formula = %s, want %s", got, want)
+	}
+}
+
+// The shipped testdata specifications must parse and verify to their
+// documented verdicts.
+func TestShippedSpecFiles(t *testing.T) {
+	cases := []struct {
+		path string
+		// holds maps property name to expected verdict.
+		holds map[string]bool
+	}{
+		{"../../testdata/orderfulfillment.has", map[string]bool{
+			"ship_only_in_stock":   true,
+			"take_order_happens":   true,
+			"credit_close_decided": true,
+		}},
+		{"../../testdata/orderfulfillment_buggy.has", map[string]bool{
+			"ship_only_in_stock": false,
+		}},
+	}
+	for _, c := range cases {
+		data, err := os.ReadFile(c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		f, err := Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		if len(f.Properties) != len(c.holds) {
+			t.Errorf("%s: %d properties, want %d", c.path, len(f.Properties), len(c.holds))
+		}
+		for _, prop := range f.Properties {
+			want, ok := c.holds[prop.Name]
+			if !ok {
+				t.Errorf("%s: unexpected property %q", c.path, prop.Name)
+				continue
+			}
+			res, err := core.Verify(f.System, prop, core.Options{MaxStates: 300000, Timeout: 60 * time.Second})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.path, prop.Name, err)
+			}
+			if res.Stats.TimedOut {
+				t.Fatalf("%s/%s: timed out", c.path, prop.Name)
+			}
+			if res.Holds != want {
+				t.Errorf("%s/%s: Holds = %v, want %v", c.path, prop.Name, res.Holds, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package spinlike is the baseline verifier standing in for the Spin-based
+// artifact verifier of [33] that the paper compares against (Section 4.1).
+//
+// Spin is a finite-state explicit model checker: the verifier of [33] had
+// to bound the data domain (symbolic constants) and could not handle
+// updatable artifact relations. This package re-implements that class of
+// verifier natively: every artifact variable ranges over a bounded
+// abstract domain (the specification/property constants plus k fresh
+// values per sort plus null); the read-only database is represented by
+// lazily materialized frozen rows over the same domain (each relation has
+// k abstract identifiers, each either absent or holding one of the
+// possible tuples — chosen nondeterministically at first access and frozen
+// thereafter, preserving database immutability); artifact relations are
+// ignored, exactly like the restricted model of [33]. The property
+// automaton is the same Büchi construction used by VERIFAS, and acceptance
+// cycles are found with the nested depth-first search Spin itself uses.
+//
+// The result is sound and complete FOR THE BOUNDED DOMAIN: a reported
+// violation is witnessed by a run over ≤k data values per sort; a
+// "holds" verdict may miss violations requiring more values. Its state
+// space explodes with data combinatorics — the behaviour Table 2
+// demonstrates.
+package spinlike
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+)
+
+// Options configure the bounded search.
+type Options struct {
+	// FreshPerSort is k, the number of abstract values/identifiers per
+	// sort beyond the named constants (default 2).
+	FreshPerSort int
+	// MaxStates bounds the number of distinct product states (default
+	// 200000). Exceeding it aborts with TimedOut.
+	MaxStates int
+	// Timeout bounds wall-clock time (0 = none).
+	Timeout time.Duration
+	// MaxBranch caps the nondeterministic branching of one transition
+	// (assignment × row-materialization choices); exceeding it aborts.
+	MaxBranch int
+}
+
+// Property mirrors core.Property for the baseline (kept separate to avoid
+// an import cycle with the core package's tests).
+type Property struct {
+	Task    string
+	Globals []has.Variable
+	Conds   map[string]fol.Formula
+	Formula ltl.Formula
+}
+
+// Result is the verification outcome.
+type Result struct {
+	// Holds is true when no violation exists within the bounded domain.
+	Holds    bool
+	Stats    Stats
+	TimedOut bool
+}
+
+// Stats reports search effort.
+type Stats struct {
+	States  int
+	Elapsed time.Duration
+}
+
+// rowKey identifies an abstract database row.
+type rowKey struct {
+	Rel string
+	ID  fol.Value
+}
+
+// rowMap is an immutable frozen-row interpretation; extensions share the
+// parent (persistent association list).
+type rowMap struct {
+	parent *rowMap
+	key    rowKey
+	// absent marks "this id has no row"; otherwise attrs is the tuple.
+	absent bool
+	attrs  []fol.Value
+}
+
+func (m *rowMap) lookup(k rowKey) (*rowMap, bool) {
+	for cur := m; cur != nil; cur = cur.parent {
+		if cur.key == k {
+			return cur, true
+		}
+	}
+	return nil, false
+}
+
+func (m *rowMap) with(k rowKey, absent bool, attrs []fol.Value) *rowMap {
+	return &rowMap{parent: m, key: k, absent: absent, attrs: attrs}
+}
+
+// entries returns the frozen rows, newest first, deduplicated.
+func (m *rowMap) entries() []*rowMap {
+	var out []*rowMap
+	seen := map[rowKey]bool{}
+	for cur := m; cur != nil; cur = cur.parent {
+		if cur.key.Rel == "" || seen[cur.key] {
+			continue
+		}
+		seen[cur.key] = true
+		out = append(out, cur)
+	}
+	return out
+}
+
+// checker holds the bounded verification context.
+type checker struct {
+	sys   *has.System
+	task  *has.Task
+	prop  *Property
+	buchi *ltl.Buchi
+	opts  Options
+
+	tasks    []*has.Task // all tasks, index = bit position
+	taskIdx  map[string]int
+	valDom   []fol.Value            // bounded DOMval
+	idDom    map[string][]fol.Value // bounded Dom(R.ID) per relation
+	svcAtoms map[string]bool
+
+	totalStates int
+	budget      int
+	deadline    time.Time
+	overflow    bool
+}
+
+// Verify runs the bounded explicit-state check of the property.
+func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.FreshPerSort <= 0 {
+		opts.FreshPerSort = 2
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 200000
+	}
+	if opts.MaxBranch <= 0 {
+		opts.MaxBranch = 1 << 16
+	}
+	task, ok := sys.Task(prop.Task)
+	if !ok {
+		return nil, fmt.Errorf("spinlike: unknown task %q", prop.Task)
+	}
+	c := &checker{
+		sys:    sys,
+		task:   task,
+		prop:   prop,
+		buchi:  ltl.Translate(ltl.Not(prop.Formula)),
+		opts:   opts,
+		idDom:  map[string][]fol.Value{},
+		budget: opts.MaxStates,
+	}
+	if opts.Timeout > 0 {
+		c.deadline = start.Add(opts.Timeout)
+	}
+	c.tasks = sys.Tasks()
+	c.taskIdx = map[string]int{}
+	for i, t := range c.tasks {
+		c.taskIdx[t.Name] = i
+	}
+	if len(c.tasks) > 32 {
+		return nil, fmt.Errorf("spinlike: too many tasks")
+	}
+	// Bounded domains.
+	consts := map[string]bool{}
+	for _, s := range sys.Constants() {
+		consts[s] = true
+	}
+	for _, f := range prop.Conds {
+		for _, s := range fol.Constants(f) {
+			consts[s] = true
+		}
+	}
+	var cs []string
+	for s := range consts {
+		cs = append(cs, s)
+	}
+	sort.Strings(cs)
+	for _, s := range cs {
+		c.valDom = append(c.valDom, fol.ConstValue(s))
+	}
+	for i := 0; i < opts.FreshPerSort; i++ {
+		c.valDom = append(c.valDom, fol.ConstValue(fmt.Sprintf("\x00d%d", i)))
+	}
+	for _, rel := range sys.Schema.Relations {
+		for i := 0; i < opts.FreshPerSort; i++ {
+			c.idDom[rel.Name] = append(c.idDom[rel.Name], fol.IDValue(rel.Name, i))
+		}
+	}
+	c.svcAtoms = map[string]bool{
+		"open:" + task.Name:  true,
+		"close:" + task.Name: true,
+	}
+	for _, s := range task.Services {
+		c.svcAtoms["call:"+s.Name] = true
+	}
+	for _, ch := range task.Children {
+		c.svcAtoms["open:"+ch.Name] = true
+		c.svcAtoms["close:"+ch.Name] = true
+	}
+
+	// ∀ globals: enumerate global valuations; the property holds iff it
+	// holds for every one.
+	res := &Result{Holds: true}
+	gvals := c.globalValuations()
+	for _, gv := range gvals {
+		violated, timedOut := c.checkForGlobals(gv)
+		res.Stats.States = c.totalStates
+		if timedOut {
+			res.TimedOut = true
+			res.Holds = false
+			res.Stats.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if violated {
+			res.Holds = false
+			break
+		}
+	}
+	res.Stats.States = c.totalStates
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (c *checker) globalValuations() []fol.MapValuation {
+	out := []fol.MapValuation{{}}
+	for _, g := range c.prop.Globals {
+		var cands []fol.Value
+		if g.Type.IsID() {
+			cands = append(cands, c.idDom[g.Type.Rel]...)
+		} else {
+			cands = append(cands, c.valDom...)
+		}
+		cands = append(cands, fol.NullValue())
+		var next []fol.MapValuation
+		for _, base := range out {
+			for _, v := range cands {
+				nv := fol.MapValuation{}
+				for k, x := range base {
+					nv[k] = x
+				}
+				nv[g.Name] = v
+				next = append(next, nv)
+			}
+		}
+		out = next
+	}
+	return out
+}

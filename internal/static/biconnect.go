@@ -1,0 +1,165 @@
+package static
+
+import (
+	"verifas/internal/symbolic"
+)
+
+// bctree holds the biconnected-component decomposition of the =-edge graph
+// and the block-cut incidence needed to mark blocks on terminal paths.
+type bctree struct {
+	numBlocks     int
+	edgeBlock     map[uint64]int
+	vertexBlocks  map[symbolic.ExprID][]int
+	blockVertices [][]symbolic.ExprID
+}
+
+// biconnect computes biconnected components of g's =-edges with an
+// iterative Hopcroft-Tarjan DFS.
+func biconnect(g *graph) *bctree {
+	bc := &bctree{
+		edgeBlock:    map[uint64]int{},
+		vertexBlocks: map[symbolic.ExprID][]int{},
+	}
+	disc := map[symbolic.ExprID]int{}
+	low := map[symbolic.ExprID]int{}
+	counter := 0
+	var edgeStack []uint64
+
+	type frame struct {
+		v      symbolic.ExprID
+		parent symbolic.ExprID
+		ei     int
+	}
+
+	emitBlock := func(stopEdge uint64) {
+		blk := bc.numBlocks
+		bc.numBlocks++
+		verts := map[symbolic.ExprID]bool{}
+		for {
+			if len(edgeStack) == 0 {
+				break
+			}
+			ek := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			bc.edgeBlock[ek] = blk
+			a, b := decodePair(ek)
+			verts[a] = true
+			verts[b] = true
+			if ek == stopEdge {
+				break
+			}
+		}
+		var vs []symbolic.ExprID
+		for v := range verts {
+			vs = append(vs, v)
+			bc.vertexBlocks[v] = append(bc.vertexBlocks[v], blk)
+		}
+		bc.blockVertices = append(bc.blockVertices, vs)
+	}
+
+	var roots []symbolic.ExprID
+	for v := range g.adj {
+		roots = append(roots, v)
+	}
+	for _, root := range roots {
+		if _, seen := disc[root]; seen {
+			continue
+		}
+		stack := []frame{{v: root, parent: symbolic.NoExpr}}
+		disc[root], low[root] = counter, counter
+		counter++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ei]
+				f.ei++
+				if w == f.parent {
+					continue
+				}
+				ek := pairKey(f.v, w)
+				dw, seen := disc[w]
+				if !seen {
+					edgeStack = append(edgeStack, ek)
+					disc[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, frame{v: w, parent: f.v})
+				} else if dw < disc[f.v] {
+					// Back edge.
+					edgeStack = append(edgeStack, ek)
+					if dw < low[f.v] {
+						low[f.v] = dw
+					}
+				}
+				continue
+			}
+			// Finished v; propagate low to parent and emit block if v's
+			// subtree hangs off an articulation point.
+			v := f.v
+			parent := f.parent
+			stack = stack[:len(stack)-1]
+			if parent == symbolic.NoExpr {
+				continue
+			}
+			if low[v] < low[parent] {
+				low[parent] = low[v]
+			}
+			if low[v] >= disc[parent] {
+				emitBlock(pairKey(parent, v))
+			}
+		}
+	}
+	return bc
+}
+
+// markPathBlocks marks (in mark) every block on the block-cut-tree path
+// between vertices u and v. No-op when u or v is not in the =-graph or no
+// path exists.
+func (bc *bctree) markPathBlocks(u, v symbolic.ExprID, mark []bool) {
+	ubs, vbs := bc.vertexBlocks[u], bc.vertexBlocks[v]
+	if len(ubs) == 0 || len(vbs) == 0 {
+		return
+	}
+	goal := map[int]bool{}
+	for _, b := range vbs {
+		goal[b] = true
+	}
+	// BFS over the bipartite block/vertex incidence starting from u's
+	// blocks; parent pointers reconstruct the block path.
+	type bnode struct {
+		block  int
+		parent int // index into nodes, -1 for start
+	}
+	var nodes []bnode
+	seenBlock := map[int]bool{}
+	seenVertex := map[symbolic.ExprID]bool{u: true}
+	var queue []int
+	for _, b := range ubs {
+		nodes = append(nodes, bnode{block: b, parent: -1})
+		seenBlock[b] = true
+		queue = append(queue, len(nodes)-1)
+	}
+	for len(queue) > 0 {
+		ni := queue[0]
+		queue = queue[1:]
+		b := nodes[ni].block
+		if goal[b] {
+			for i := ni; i != -1; i = nodes[i].parent {
+				mark[nodes[i].block] = true
+			}
+			return
+		}
+		for _, w := range bc.blockVertices[b] {
+			if seenVertex[w] {
+				continue
+			}
+			seenVertex[w] = true
+			for _, nb := range bc.vertexBlocks[w] {
+				if !seenBlock[nb] {
+					seenBlock[nb] = true
+					nodes = append(nodes, bnode{block: nb, parent: ni})
+					queue = append(queue, len(nodes)-1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package static implements the static-analysis optimization of the paper
+// (Section 3.7): it builds the constraint graph of all = and ≠ edges that
+// symbolic transitions of a compiled task system (and its property) can
+// ever request, identifies the non-violating edges — those that can never
+// participate in an inconsistency — and provides an EdgeFilter that lets
+// partial isomorphism types skip recording them, shrinking the symbolic
+// state space.
+//
+// Non-violating ≠-edges are those whose endpoints lie in different
+// connected components of the =-edges; non-violating =-edges are those
+// lying on no simple path of =-edges between the endpoints of a ≠-edge,
+// two distinct constants, or null and a navigation expression. The latter
+// test uses biconnected components: in a biconnected block, every edge lies
+// on a simple path between any two block vertices, so an edge is violating
+// exactly when its block lies on the block-cut-tree path between some
+// terminal pair.
+package static
+
+import (
+	"verifas/internal/symbolic"
+)
+
+// Filter is the computed edge filter.
+type Filter struct {
+	skipEq  map[uint64]bool
+	skipNeq map[uint64]bool
+	// Stats for reporting.
+	TotalEq, TotalNeq, SkippableEq, SkippableNeq int
+}
+
+var _ symbolic.EdgeFilter = (*Filter)(nil)
+
+func pairKey(a, b symbolic.ExprID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(uint32(b))
+}
+
+// SkipEq implements symbolic.EdgeFilter.
+func (f *Filter) SkipEq(a, b symbolic.ExprID) bool {
+	return f.skipEq[pairKey(a, b)]
+}
+
+// SkipNeq implements symbolic.EdgeFilter.
+func (f *Filter) SkipNeq(a, b symbolic.ExprID) bool {
+	return f.skipNeq[pairKey(a, b)]
+}
+
+// Analyze builds the constraint graph of the compiled task system and
+// returns the filter of non-violating edges. The graph collects every
+// literal of every compiled condition (closed under navigation congruence),
+// the initial null assignments, and is closed under artifact-relation tuple
+// transport (insert/retrieve channels); unknown edges are conservatively
+// treated as violating.
+func Analyze(ts *symbolic.TaskSystem) *Filter {
+	g := &graph{
+		u:   ts.U,
+		eq:  map[uint64]bool{},
+		neq: map[uint64]bool{},
+		adj: map[symbolic.ExprID][]symbolic.ExprID{},
+	}
+
+	// 1. Base edges from all conditions.
+	for _, cond := range ts.AllConditions() {
+		for _, conj := range cond.Conjuncts {
+			for _, lit := range conj {
+				if lit.Neq {
+					g.addNeq(lit.A, lit.B)
+				} else {
+					g.addEqRec(lit.A, lit.B)
+				}
+			}
+		}
+	}
+	// 2. Initial null assignments.
+	for _, root := range ts.InitialNullRoots() {
+		g.addEqRec(root, ts.U.NullExpr)
+	}
+	// 3. Repeated-variable insertions equate slots.
+	inserts, retrieves := ts.UpdateChannels()
+	for _, ch := range inserts {
+		for i := range ch {
+			for j := i + 1; j < len(ch); j++ {
+				if ch[i].From == ch[j].From {
+					g.addEqRec(ch[i].To, ch[j].To)
+				}
+			}
+		}
+	}
+	// 4. Transport closure: every edge both of whose endpoints transport
+	// through an insert or retrieve channel induces the transported edge.
+	channels := append(append([][]symbolic.RootPair{}, inserts...), retrieves...)
+	g.transportClosure(channels)
+
+	// 5. Classify.
+	return g.classify()
+}
+
+type graph struct {
+	u   *symbolic.Universe
+	eq  map[uint64]bool // =-edges (canonical pair keys)
+	neq map[uint64]bool
+	adj map[symbolic.ExprID][]symbolic.ExprID // adjacency of =-edges
+}
+
+func (g *graph) addEq(a, b symbolic.ExprID) bool {
+	if a == b {
+		return false
+	}
+	k := pairKey(a, b)
+	if g.eq[k] {
+		return false
+	}
+	g.eq[k] = true
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	return true
+}
+
+// addEqRec adds an =-edge and, recursively, the navigation-child edges its
+// congruence closure will request.
+func (g *graph) addEqRec(a, b symbolic.ExprID) {
+	if a == b {
+		return
+	}
+	if !g.addEq(a, b) {
+		return
+	}
+	ca, cb := g.u.NavAll(a), g.u.NavAll(b)
+	if ca == nil || cb == nil {
+		return
+	}
+	for i := range ca {
+		g.addEqRec(ca[i], cb[i])
+	}
+}
+
+func (g *graph) addNeq(a, b symbolic.ExprID) {
+	if a == b {
+		return
+	}
+	g.neq[pairKey(a, b)] = true
+}
+
+func decodePair(k uint64) (symbolic.ExprID, symbolic.ExprID) {
+	return symbolic.ExprID(k >> 32), symbolic.ExprID(uint32(k))
+}
+
+// transportClosure closes the edge sets under the channel mappings.
+func (g *graph) transportClosure(channels [][]symbolic.RootPair) {
+	// Worklist of edges (encoded with a neq bit).
+	type edge struct {
+		k   uint64
+		neq bool
+	}
+	var work []edge
+	for k := range g.eq {
+		work = append(work, edge{k, false})
+	}
+	for k := range g.neq {
+		work = append(work, edge{k, true})
+	}
+	images := func(e symbolic.ExprID, ch []symbolic.RootPair) []symbolic.ExprID {
+		if g.u.IsConstLike(e) {
+			return []symbolic.ExprID{e}
+		}
+		root := g.u.RootOf(e)
+		var out []symbolic.ExprID
+		for _, p := range ch {
+			if p.From == root {
+				if img := g.u.Transport(e, p.From, p.To); img != symbolic.NoExpr {
+					out = append(out, img)
+				}
+			}
+		}
+		return out
+	}
+	for len(work) > 0 {
+		e := work[len(work)-1]
+		work = work[:len(work)-1]
+		a, b := decodePair(e.k)
+		for _, ch := range channels {
+			for _, ia := range images(a, ch) {
+				for _, ib := range images(b, ch) {
+					if ia == ib {
+						continue
+					}
+					k := pairKey(ia, ib)
+					if e.neq {
+						if !g.neq[k] {
+							g.neq[k] = true
+							work = append(work, edge{k, true})
+						}
+					} else {
+						if g.addEq(ia, ib) {
+							work = append(work, edge{k, false})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// classify runs the connectivity and biconnectivity analyses and builds
+// the filter.
+func (g *graph) classify() *Filter {
+	f := &Filter{skipEq: map[uint64]bool{}, skipNeq: map[uint64]bool{}}
+	f.TotalEq, f.TotalNeq = len(g.eq), len(g.neq)
+
+	// Connected components of the =-edges.
+	comp := map[symbolic.ExprID]int{}
+	var order []symbolic.ExprID
+	for v := range g.adj {
+		order = append(order, v)
+	}
+	nc := 0
+	for _, v := range order {
+		if _, seen := comp[v]; seen {
+			continue
+		}
+		stack := []symbolic.ExprID{v}
+		comp[v] = nc
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range g.adj[x] {
+				if _, seen := comp[y]; !seen {
+					comp[y] = nc
+					stack = append(stack, y)
+				}
+			}
+		}
+		nc++
+	}
+	sameComp := func(a, b symbolic.ExprID) bool {
+		ca, oka := comp[a]
+		cb, okb := comp[b]
+		return oka && okb && ca == cb
+	}
+
+	// Terminal pairs: explicit ≠-edges, distinct constant pairs, and
+	// null-vs-navigation pairs — restricted to pairs within one
+	// =-component (others are irrelevant).
+	var terminals [][2]symbolic.ExprID
+	for k := range g.neq {
+		a, b := decodePair(k)
+		if sameComp(a, b) {
+			terminals = append(terminals, [2]symbolic.ExprID{a, b})
+		}
+		// Non-violating ≠-edges: endpoints in distinct components.
+		if !sameComp(a, b) {
+			f.skipNeq[k] = true
+			f.SkippableNeq++
+		}
+	}
+	// Collect graph vertices by kind for the implicit pairs.
+	var consts, navs []symbolic.ExprID
+	for v := range g.adj {
+		switch g.u.Exprs[v].Kind {
+		case symbolic.EConst, symbolic.ENull:
+			consts = append(consts, v)
+		case symbolic.ENav:
+			navs = append(navs, v)
+		}
+	}
+	for i := 0; i < len(consts); i++ {
+		for j := i + 1; j < len(consts); j++ {
+			if sameComp(consts[i], consts[j]) {
+				terminals = append(terminals, [2]symbolic.ExprID{consts[i], consts[j]})
+			}
+		}
+	}
+	for _, v := range navs {
+		if sameComp(v, g.u.NullExpr) {
+			terminals = append(terminals, [2]symbolic.ExprID{v, g.u.NullExpr})
+		}
+	}
+
+	// Biconnected components of the =-edges; mark blocks on terminal
+	// paths as violating.
+	bc := biconnect(g)
+	violatingBlock := make([]bool, bc.numBlocks)
+	for _, t := range terminals {
+		bc.markPathBlocks(t[0], t[1], violatingBlock)
+	}
+	for k := range g.eq {
+		if blk, ok := bc.edgeBlock[k]; !ok || !violatingBlock[blk] {
+			f.skipEq[k] = true
+			f.SkippableEq++
+		}
+	}
+	return f
+}

@@ -1,0 +1,221 @@
+package static
+
+import (
+	"testing"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/symbolic"
+)
+
+// valUniverse builds a universe of value roots e1..e7 (no navigation), to
+// reproduce the shapes of the paper's Figure 8.
+func valUniverse(t *testing.T) (*symbolic.Universe, map[string]symbolic.ExprID) {
+	t.Helper()
+	schema := has.NewSchema(has.RelDef("R", has.NK("A")))
+	if err := schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := symbolic.NewUniverseBuilder(schema)
+	names := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7"}
+	for _, n := range names {
+		b.AddRoot(n, has.ValType(), symbolic.StateRoot)
+	}
+	u := b.Build()
+	m := map[string]symbolic.ExprID{}
+	for _, n := range names {
+		id, ok := u.Root(n)
+		if !ok {
+			t.Fatalf("missing root %s", n)
+		}
+		m[n] = id
+	}
+	return u, m
+}
+
+func newGraph(u *symbolic.Universe) *graph {
+	return &graph{
+		u:   u,
+		eq:  map[uint64]bool{},
+		neq: map[uint64]bool{},
+		adj: map[symbolic.ExprID][]symbolic.ExprID{},
+	}
+}
+
+// TestFigure8Left reproduces G1 of the paper's Example 25: two =-connected
+// components {e1..e4} and {e5,e6,e7} with a ≠-edge (e3,e5) across them.
+// The ≠-edge is non-violating.
+func TestFigure8Left(t *testing.T) {
+	u, m := valUniverse(t)
+	g := newGraph(u)
+	g.addEqRec(m["e1"], m["e2"])
+	g.addEqRec(m["e2"], m["e3"])
+	g.addEqRec(m["e3"], m["e4"])
+	g.addEqRec(m["e4"], m["e1"])
+	g.addEqRec(m["e5"], m["e6"])
+	g.addEqRec(m["e6"], m["e7"])
+	g.addNeq(m["e3"], m["e5"])
+	f := g.classify()
+	if !f.SkipNeq(m["e3"], m["e5"]) {
+		t.Error("cross-component ≠-edge should be non-violating")
+	}
+}
+
+// TestFigure8Right reproduces G2: a path e1-e2-e3-e5-e6-e7 (plus e2-e4
+// hanging off) with ≠-edges (e2,e3) and (e5,e6). The =-edge (e3,e5) lies
+// on no simple path between the endpoints of either ≠-edge, so it is
+// non-violating; the edge (e2,e3) does (the ≠(e2,e3) endpoints are
+// directly joined by it), so it is violating.
+func TestFigure8Right(t *testing.T) {
+	u, m := valUniverse(t)
+	g := newGraph(u)
+	g.addEqRec(m["e1"], m["e2"])
+	g.addEqRec(m["e2"], m["e3"])
+	g.addEqRec(m["e2"], m["e4"])
+	g.addEqRec(m["e3"], m["e5"])
+	g.addEqRec(m["e5"], m["e6"])
+	g.addEqRec(m["e6"], m["e7"])
+	g.addNeq(m["e2"], m["e3"])
+	g.addNeq(m["e5"], m["e6"])
+	f := g.classify()
+	if !f.SkipEq(m["e3"], m["e5"]) {
+		t.Error("(e3,e5) should be non-violating (on no terminal simple path)")
+	}
+	if f.SkipEq(m["e2"], m["e3"]) {
+		t.Error("(e2,e3) is on a simple path between ≠(e2,e3) endpoints")
+	}
+	if f.SkipEq(m["e5"], m["e6"]) {
+		t.Error("(e5,e6) is on a simple path between ≠(e5,e6) endpoints")
+	}
+	// ≠-edges within one component are violating.
+	if f.SkipNeq(m["e2"], m["e3"]) || f.SkipNeq(m["e5"], m["e6"]) {
+		t.Error("same-component ≠-edges must stay")
+	}
+	// (e2,e4) dangles: violating only if on a terminal path — it is not.
+	if !f.SkipEq(m["e2"], m["e4"]) {
+		t.Error("(e2,e4) dangles off every terminal path; should be skippable")
+	}
+}
+
+// A cycle makes all its edges violating when a terminal pair sits on it:
+// within a biconnected block every edge lies on a simple path between any
+// two block vertices.
+func TestCycleBlockViolating(t *testing.T) {
+	u, m := valUniverse(t)
+	g := newGraph(u)
+	g.addEqRec(m["e1"], m["e2"])
+	g.addEqRec(m["e2"], m["e3"])
+	g.addEqRec(m["e3"], m["e1"])
+	g.addNeq(m["e1"], m["e2"])
+	f := g.classify()
+	for _, pair := range [][2]string{{"e1", "e2"}, {"e2", "e3"}, {"e3", "e1"}} {
+		if f.SkipEq(m[pair[0]], m[pair[1]]) {
+			t.Errorf("(%s,%s) lies in the terminal block; must be violating", pair[0], pair[1])
+		}
+	}
+}
+
+// Distinct constants are implicit terminals.
+func TestConstantTerminals(t *testing.T) {
+	schema := has.NewSchema(has.RelDef("R", has.NK("A")))
+	if err := schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := symbolic.NewUniverseBuilder(schema)
+	b.AddConst("a")
+	b.AddConst("b")
+	b.AddRoot("x", has.ValType(), symbolic.StateRoot)
+	b.AddRoot("y", has.ValType(), symbolic.StateRoot)
+	u := b.Build()
+	x, _ := u.Root("x")
+	y, _ := u.Root("y")
+	ca, _ := u.Const("a")
+	cb, _ := u.Const("b")
+	g := newGraph(u)
+	// Path "a" - x - y - "b": every edge is on the constants' simple path.
+	g.addEqRec(ca, x)
+	g.addEqRec(x, y)
+	g.addEqRec(y, cb)
+	f := g.classify()
+	for _, pair := range [][2]symbolic.ExprID{{ca, x}, {x, y}, {y, cb}} {
+		if f.SkipEq(pair[0], pair[1]) {
+			t.Error("edge on a constant-constant path must be violating")
+		}
+	}
+}
+
+// Unknown edges (not in the graph) are conservatively violating.
+func TestUnknownEdgesNotSkipped(t *testing.T) {
+	u, m := valUniverse(t)
+	g := newGraph(u)
+	g.addEqRec(m["e1"], m["e2"])
+	f := g.classify()
+	if f.SkipEq(m["e3"], m["e4"]) {
+		t.Error("edge absent from the constraint graph must not be skipped")
+	}
+	if f.SkipNeq(m["e3"], m["e4"]) {
+		t.Error("≠-edge absent from the graph must not be skipped")
+	}
+	// (e1,e2) has no terminals anywhere: skippable.
+	if !f.SkipEq(m["e1"], m["e2"]) {
+		t.Error("(e1,e2) has no terminal pairs; should be skippable")
+	}
+}
+
+// End-to-end: analyzing a real compiled task system runs and produces a
+// filter under which evaluation still works (consistency preserved on a
+// spot check).
+func TestAnalyzeCompiledSystem(t *testing.T) {
+	schema := has.NewSchema(
+		has.RelDef("CREDIT", has.NK("status")),
+		has.RelDef("CUSTOMERS", has.NK("name"), has.FK("record", "CREDIT")),
+	)
+	root := &has.Task{
+		Name: "Main",
+		Vars: []has.Variable{has.IDV("cust", "CUSTOMERS"), has.V("status")},
+		Services: []*has.Service{
+			{
+				Name: "Check",
+				Pre:  fol.MustParse(`cust != null`),
+				Post: fol.MustParse(`exists n : val, r : CREDIT (CUSTOMERS(cust, n, r) && CREDIT(r, "Good") && status == "Passed")`),
+			},
+			{
+				Name: "Reset",
+				Pre:  fol.MustParse(`status == "Passed"`),
+				Post: fol.MustParse(`status == null && cust == null`),
+			},
+		},
+	}
+	sys := &has.System{Name: "t", Schema: schema, Root: root,
+		GlobalPre: fol.MustParse(`cust == null && status == null`)}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := symbolic.CompileTask(sys, sys.Root, symbolic.PropertyBinding{}, symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Analyze(ts)
+	if f.TotalEq == 0 {
+		t.Fatal("constraint graph is empty")
+	}
+	t.Logf("eq %d/%d skippable, neq %d/%d skippable", f.SkippableEq, f.TotalEq, f.SkippableNeq, f.TotalNeq)
+
+	// The run with the filter still distinguishes the crucial
+	// consistency: status=="Passed" vs status==null must conflict, since
+	// "Passed"(const) and null are terminals connected through status.
+	ts.SetFilter(f)
+	init := ts.Initial()
+	if len(init) != 1 {
+		t.Fatalf("unexpected initial count %d", len(init))
+	}
+	tau := init[0].Tau
+	status, _ := ts.U.Root("status")
+	passed, ok := ts.U.Const("Passed")
+	if !ok {
+		t.Fatal("constant missing")
+	}
+	if tau.Clone().AddEq(status, passed) {
+		t.Error("status=null then status=Passed must stay inconsistent under the filter")
+	}
+}

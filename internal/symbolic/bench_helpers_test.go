@@ -1,0 +1,49 @@
+package symbolic
+
+import (
+	"testing"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+func benchSystem(b *testing.B) *has.System {
+	b.Helper()
+	schema := has.NewSchema(
+		has.RelDef("CREDIT", has.NK("status")),
+		has.RelDef("CUSTOMERS", has.NK("name"), has.FK("record", "CREDIT")),
+	)
+	root := &has.Task{
+		Name: "Main",
+		Vars: []has.Variable{has.IDV("cust", "CUSTOMERS"), has.V("status")},
+		Relations: []*has.ArtifactRelation{{
+			Name:  "POOL",
+			Attrs: []has.Variable{has.IDV("p0", "CUSTOMERS"), has.V("p1")},
+		}},
+		Services: []*has.Service{
+			{
+				Name:   "Store",
+				Pre:    fol.MustParse(`cust != null`),
+				Post:   fol.MustParse(`cust == null && status == "Init"`),
+				Update: &has.Update{Insert: true, Relation: "POOL", Vars: []string{"cust", "status"}},
+			},
+			{
+				Name:   "Load",
+				Pre:    fol.MustParse(`cust == null`),
+				Post:   fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "POOL", Vars: []string{"cust", "status"}},
+			},
+			{
+				Name: "Check",
+				Pre:  fol.MustParse(`cust != null`),
+				Post: fol.MustParse(`exists n : val, r : CREDIT (CUSTOMERS(cust, n, r) && CREDIT(r, "Good") && status == "Passed")`),
+			},
+		},
+	}
+	sys := &has.System{Name: "bench", Schema: schema, Root: root,
+		GlobalPre: fol.MustParse(`cust == null && status == null`)}
+	if err := sys.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}

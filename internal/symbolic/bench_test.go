@@ -1,0 +1,105 @@
+package symbolic
+
+import (
+	"testing"
+
+	"verifas/internal/has"
+)
+
+func benchUniverse(b *testing.B) *Universe {
+	b.Helper()
+	schema := has.NewSchema(
+		has.RelDef("C", has.NK("s")),
+		has.RelDef("B", has.NK("x"), has.FK("c", "C")),
+		has.RelDef("A", has.NK("y"), has.FK("b", "B")),
+	)
+	if err := schema.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	ub := NewUniverseBuilder(schema)
+	ub.AddConst("k1")
+	ub.AddConst("k2")
+	for i := 0; i < 8; i++ {
+		name := string(rune('p' + i))
+		if i%2 == 0 {
+			ub.AddRoot(name, has.IDType("A"), StateRoot)
+		} else {
+			ub.AddRoot(name, has.ValType(), StateRoot)
+		}
+	}
+	return ub.Build()
+}
+
+func BenchmarkPisotypeAddEq(b *testing.B) {
+	u := benchUniverse(b)
+	p, _ := u.Root("p")
+	r, _ := u.Root("r")
+	t2, _ := u.Root("t")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tau := NewPisotype(u, nil)
+		tau.AddEq(p, r)
+		tau.AddEq(r, t2)
+		tau.AddNeq(p, u.NullExpr)
+	}
+}
+
+func BenchmarkPisotypeClone(b *testing.B) {
+	u := benchUniverse(b)
+	p, _ := u.Root("p")
+	r, _ := u.Root("r")
+	tau := NewPisotype(u, nil)
+	tau.AddEq(p, r)
+	tau.AddNeq(p, u.NullExpr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tau.Clone()
+	}
+}
+
+func BenchmarkPisotypeEdgesAndHash(b *testing.B) {
+	u := benchUniverse(b)
+	p, _ := u.Root("p")
+	r, _ := u.Root("r")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tau := NewPisotype(u, nil)
+		tau.AddEq(p, r)
+		_ = tau.Hash()
+	}
+}
+
+func BenchmarkPisotypeProject(b *testing.B) {
+	u := benchUniverse(b)
+	p, _ := u.Root("p")
+	r, _ := u.Root("r")
+	q, _ := u.Root("q")
+	tau := NewPisotype(u, nil)
+	tau.AddEq(p, r)
+	tau.AddNeq(q, u.NullExpr)
+	keep := map[ExprID]bool{p: true, q: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tau.Project(func(root ExprID) bool { return keep[root] })
+	}
+}
+
+func BenchmarkSuccessors(b *testing.B) {
+	ts := compileMiniBench(b)
+	init := ts.Initial()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ts.Successors(init)
+	}
+}
+
+func compileMiniBench(b *testing.B) *TaskSystem {
+	b.Helper()
+	// Reuse the test fixture via a tiny inline system.
+	sys := benchSystem(b)
+	ts, err := CompileTask(sys, sys.Root, PropertyBinding{}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}

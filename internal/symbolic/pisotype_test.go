@@ -1,0 +1,496 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"verifas/internal/has"
+)
+
+// testUniverse builds a universe over schema R(ID, A), S(ID, B, F->R) with
+// roots x,y,z : R.ID, s : S.ID, u,v : val and constants "c1","c2".
+func testUniverse(t *testing.T) *Universe {
+	t.Helper()
+	schema := has.NewSchema(
+		has.RelDef("R", has.NK("A")),
+		has.RelDef("S", has.NK("B"), has.FK("F", "R")),
+	)
+	if err := schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewUniverseBuilder(schema)
+	b.AddConst("c1")
+	b.AddConst("c2")
+	for _, v := range []string{"x", "y", "z"} {
+		b.AddRoot(v, has.IDType("R"), StateRoot)
+	}
+	b.AddRoot("s", has.IDType("S"), StateRoot)
+	b.AddRoot("u", has.ValType(), StateRoot)
+	b.AddRoot("v", has.ValType(), StateRoot)
+	return b.Build()
+}
+
+func root(t *testing.T, u *Universe, name string) ExprID {
+	t.Helper()
+	id, ok := u.Root(name)
+	if !ok {
+		t.Fatalf("root %q missing", name)
+	}
+	return id
+}
+
+func konst(t *testing.T, u *Universe, name string) ExprID {
+	t.Helper()
+	id, ok := u.Const(name)
+	if !ok {
+		t.Fatalf("const %q missing", name)
+	}
+	return id
+}
+
+func TestUniverseNavigation(t *testing.T) {
+	u := testUniverse(t)
+	x := root(t, u, "x")
+	xa := u.Nav(x, 0)
+	if xa == NoExpr {
+		t.Fatal("x.A missing")
+	}
+	if u.ExprString(xa) != "x.A" {
+		t.Errorf("ExprString = %q", u.ExprString(xa))
+	}
+	s := root(t, u, "s")
+	sf := u.Nav(s, 1)
+	if sf == NoExpr || !u.Exprs[sf].Type.IsID() {
+		t.Fatal("s.F missing or not ID-sorted")
+	}
+	sfa := u.Nav(sf, 0)
+	if sfa == NoExpr {
+		t.Fatal("s.F.A missing")
+	}
+	if u.ExprString(sfa) != "s.F.A" {
+		t.Errorf("ExprString = %q", u.ExprString(sfa))
+	}
+	// Value roots do not navigate.
+	if u.NavAll(root(t, u, "u")) != nil {
+		t.Error("value root has navigation children")
+	}
+	// Transport x.A under y.
+	y := root(t, u, "y")
+	ya := u.Transport(xa, x, y)
+	if ya != u.Nav(y, 0) {
+		t.Error("Transport x.A -> y.A failed")
+	}
+	if u.Transport(xa, y, x) != NoExpr {
+		t.Error("Transport with wrong source root should fail")
+	}
+}
+
+func TestCongruenceClosure(t *testing.T) {
+	u := testUniverse(t)
+	tau := NewPisotype(u, nil)
+	x, y := root(t, u, "x"), root(t, u, "y")
+	if !tau.AddEq(x, y) {
+		t.Fatal("x=y inconsistent?")
+	}
+	if !tau.Eq(u.Nav(x, 0), u.Nav(y, 0)) {
+		t.Error("congruence x=y => x.A=y.A failed")
+	}
+}
+
+func TestCongruenceDeep(t *testing.T) {
+	u := testUniverse(t)
+	tau := NewPisotype(u, nil)
+	s := root(t, u, "s")
+	// s.F = x should give s.F.A = x.A.
+	x := root(t, u, "x")
+	if !tau.AddEq(u.Nav(s, 1), x) {
+		t.Fatal("s.F=x inconsistent?")
+	}
+	if !tau.Eq(u.Nav(u.Nav(s, 1), 0), u.Nav(x, 0)) {
+		t.Error("deep congruence failed")
+	}
+}
+
+func TestConsistencyRules(t *testing.T) {
+	u := testUniverse(t)
+	x, y := root(t, u, "x"), root(t, u, "y")
+	c1, c2 := konst(t, u, "c1"), konst(t, u, "c2")
+	uu, v := root(t, u, "u"), root(t, u, "v")
+
+	// Distinct constants cannot merge.
+	tau := NewPisotype(u, nil)
+	if !tau.AddEq(uu, c1) || !tau.AddEq(v, c2) {
+		t.Fatal("setup failed")
+	}
+	if tau.AddEq(uu, v) {
+		t.Error("u=c1, v=c2, u=v should be inconsistent")
+	}
+
+	// Explicit neq then eq.
+	tau = NewPisotype(u, nil)
+	if !tau.AddNeq(x, y) {
+		t.Fatal("x!=y failed")
+	}
+	if tau.AddEq(x, y) {
+		t.Error("x!=y then x=y should be inconsistent")
+	}
+
+	// Eq then neq.
+	tau = NewPisotype(u, nil)
+	if !tau.AddEq(x, y) {
+		t.Fatal("x=y failed")
+	}
+	if tau.AddNeq(x, y) {
+		t.Error("x=y then x!=y should be inconsistent")
+	}
+
+	// Transitive: x=y, y=z, x!=z.
+	tau = NewPisotype(u, nil)
+	z := root(t, u, "z")
+	tau.AddEq(x, y)
+	tau.AddEq(y, z)
+	if tau.AddNeq(x, z) {
+		t.Error("transitive equality should contradict x!=z")
+	}
+
+	// Congruence-derived contradiction: x=y but x.A != y.A recorded first.
+	tau = NewPisotype(u, nil)
+	if !tau.AddNeq(u.Nav(x, 0), u.Nav(y, 0)) {
+		t.Fatal("x.A != y.A failed")
+	}
+	if tau.AddEq(x, y) {
+		t.Error("x.A!=y.A then x=y should be inconsistent")
+	}
+
+	// Navigation expressions are never null.
+	tau = NewPisotype(u, nil)
+	if tau.AddEq(u.Nav(x, 0), u.NullExpr) {
+		t.Error("x.A = null should be inconsistent")
+	}
+	if !tau.Neq(u.Nav(x, 0), u.NullExpr) {
+		t.Error("x.A != null should be implicit")
+	}
+
+	// Roots CAN be null.
+	tau = NewPisotype(u, nil)
+	if !tau.AddEq(x, u.NullExpr) {
+		t.Error("x = null should be consistent")
+	}
+	// null != constants.
+	if !tau.Neq(u.NullExpr, c1) {
+		t.Error("null != c1 should be implicit")
+	}
+
+	// Constant propagation through equality: u=c1, v=u, then v=c2 fails.
+	tau = NewPisotype(u, nil)
+	tau.AddEq(uu, c1)
+	tau.AddEq(v, uu)
+	if tau.AddEq(v, c2) {
+		t.Error("v=u=c1 then v=c2 should be inconsistent")
+	}
+}
+
+func TestImplicitNeqThroughMerge(t *testing.T) {
+	u := testUniverse(t)
+	x, y, z := root(t, u, "x"), root(t, u, "y"), root(t, u, "z")
+	tau := NewPisotype(u, nil)
+	tau.AddNeq(x, y)
+	tau.AddEq(y, z) // now x != z via class merge
+	if !tau.Neq(x, z) {
+		t.Error("neq should follow the merged class")
+	}
+	if tau.AddEq(x, z) {
+		t.Error("x=z should now be inconsistent")
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	u := testUniverse(t)
+	x, y, z := root(t, u, "x"), root(t, u, "y"), root(t, u, "z")
+	// Same constraints added in different orders yield identical canon.
+	t1 := NewPisotype(u, nil)
+	t1.AddEq(x, y)
+	t1.AddNeq(y, z)
+	t2 := NewPisotype(u, nil)
+	t2.AddNeq(z, x) // equivalent after x=y merge? no: z!=x directly
+	t2.AddEq(y, x)
+	t2.AddNeq(z, y)
+	// t1 has edges {x=y (+congruence), x!=z, y!=z}; t2 additionally asserted
+	// z!=x explicitly, which t1 implies via closure: the closed sets match.
+	if !t1.Equal(t2) {
+		t.Errorf("canonical closed edge sets differ:\n%s\n%s", t1, t2)
+	}
+	if t1.Hash() != t2.Hash() {
+		t.Error("hashes differ for equal types")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	u := testUniverse(t)
+	x, y, z := root(t, u, "x"), root(t, u, "y"), root(t, u, "z")
+	strong := NewPisotype(u, nil)
+	strong.AddEq(x, y)
+	strong.AddNeq(y, z)
+	weak := NewPisotype(u, nil)
+	weak.AddEq(x, y)
+	if !strong.Implies(weak) {
+		t.Error("strong should imply weak")
+	}
+	if weak.Implies(strong) {
+		t.Error("weak should not imply strong")
+	}
+	empty := NewPisotype(u, nil)
+	if !weak.Implies(empty) || !empty.Implies(empty) {
+		t.Error("everything implies the empty type")
+	}
+	if empty.Implies(weak) {
+		t.Error("empty must not imply constraints")
+	}
+}
+
+func TestProject(t *testing.T) {
+	u := testUniverse(t)
+	x, y, z := root(t, u, "x"), root(t, u, "y"), root(t, u, "z")
+	uu := root(t, u, "u")
+	c1 := konst(t, u, "c1")
+	tau := NewPisotype(u, nil)
+	// x = z, z = y (so x=y transitively), u = c1, x.A != u, z != s... keep x,y,u only.
+	tau.AddEq(x, z)
+	tau.AddEq(z, y)
+	tau.AddEq(uu, c1)
+	tau.AddNeq(u.Nav(x, 0), uu)
+	keep := map[ExprID]bool{x: true, y: true, uu: true}
+	proj := tau.Project(func(r ExprID) bool { return keep[r] })
+	if !proj.Eq(x, y) {
+		t.Error("transitive x=y through dropped z lost")
+	}
+	if proj.Eq(x, z) || proj.Eq(y, z) {
+		t.Error("dropped variable still constrained")
+	}
+	if !proj.Eq(uu, c1) {
+		t.Error("constant constraint lost")
+	}
+	if !proj.Neq(u.Nav(x, 0), uu) {
+		t.Error("kept neq lost")
+	}
+	// Congruence survives: x.A = y.A in projection.
+	if !proj.Eq(u.Nav(x, 0), u.Nav(y, 0)) {
+		t.Error("congruence-derived equality lost in projection")
+	}
+}
+
+func TestTransportProjectAndMergeBack(t *testing.T) {
+	// Simulate an insert/retrieve round trip: store constraints of (x,u)
+	// into slot roots, then merge back onto (y,v).
+	schema := has.NewSchema(has.RelDef("R", has.NK("A")))
+	if err := schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewUniverseBuilder(schema)
+	b.AddConst("c1")
+	b.AddRoot("x", has.IDType("R"), StateRoot)
+	b.AddRoot("y", has.IDType("R"), StateRoot)
+	b.AddRoot("u", has.ValType(), StateRoot)
+	b.AddRoot("v", has.ValType(), StateRoot)
+	b.AddRoot("s0", has.IDType("R"), SlotRoot)
+	b.AddRoot("s1", has.ValType(), SlotRoot)
+	u := b.Build()
+	x, y := root(t, u, "x"), root(t, u, "y")
+	uu, v := root(t, u, "u"), root(t, u, "v")
+	s0, s1 := root(t, u, "s0"), root(t, u, "s1")
+	c1 := konst(t, u, "c1")
+
+	tau := NewPisotype(u, nil)
+	tau.AddEq(u.Nav(x, 0), uu) // x.A = u
+	tau.AddEq(uu, c1)          // u = "c1"
+	tau.AddNeq(x, y)
+
+	stored := tau.TransportProject([]RootPair{{From: x, To: s0}, {From: uu, To: s1}})
+	if stored == nil {
+		t.Fatal("transport failed")
+	}
+	if !stored.Eq(u.Nav(s0, 0), s1) {
+		t.Error("stored type missing s0.A = s1")
+	}
+	if !stored.Eq(s1, c1) {
+		t.Error("stored type missing s1 = c1")
+	}
+	// The x != y edge involves a dropped root on one side; it must not
+	// constrain the stored type.
+	if stored.Neq(s0, y) {
+		t.Error("stored type leaked constraint about y")
+	}
+
+	// Retrieve into (y, v).
+	target := NewPisotype(u, nil)
+	if !target.MergeTransported(stored, []RootPair{{From: s0, To: y}, {From: s1, To: v}}) {
+		t.Fatal("merge back failed")
+	}
+	if !target.Eq(u.Nav(y, 0), v) || !target.Eq(v, c1) {
+		t.Error("retrieved constraints missing")
+	}
+}
+
+func TestTransportRepeatedVariable(t *testing.T) {
+	// Inserting S(x, x) forces the two slots equal.
+	schema := has.NewSchema(has.RelDef("R", has.NK("A")))
+	if err := schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewUniverseBuilder(schema)
+	b.AddRoot("x", has.IDType("R"), StateRoot)
+	b.AddRoot("s0", has.IDType("R"), SlotRoot)
+	b.AddRoot("s1", has.IDType("R"), SlotRoot)
+	u := b.Build()
+	x := root(t, u, "x")
+	s0, s1 := root(t, u, "s0"), root(t, u, "s1")
+	tau := NewPisotype(u, nil)
+	stored := tau.TransportProject([]RootPair{{From: x, To: s0}, {From: x, To: s1}})
+	if stored == nil {
+		t.Fatal("transport failed")
+	}
+	if !stored.Eq(s0, s1) {
+		t.Error("repeated source variable should equate the slots")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	u := testUniverse(t)
+	x, y, z := root(t, u, "x"), root(t, u, "y"), root(t, u, "z")
+	t1 := NewPisotype(u, nil)
+	t1.AddEq(x, y)
+	t2 := t1.Clone()
+	t2.AddEq(y, z)
+	if t1.Eq(x, z) {
+		t.Error("mutation of clone leaked into original")
+	}
+	if !t2.Eq(x, z) {
+		t.Error("clone lost constraint")
+	}
+	t1.AddNeq(x, z)
+	if t2.Neq(x, z) {
+		t.Error("mutation of original leaked into clone")
+	}
+}
+
+// Property: consistency and entailment are independent of insertion order.
+func TestQuickOrderIndependence(t *testing.T) {
+	u := testUniverse(t)
+	roots := []ExprID{}
+	for _, n := range []string{"x", "y", "z", "u", "v"} {
+		roots = append(roots, root(t, u, n))
+	}
+	roots = append(roots, konst(t, u, "c1"), konst(t, u, "c2"), u.NullExpr)
+	type edge struct {
+		a, b ExprID
+		neq  bool
+	}
+	apply := func(tt *Pisotype, es []edge) bool {
+		for _, e := range es {
+			var ok bool
+			if e.neq {
+				ok = tt.AddNeq(e.a, e.b)
+			} else {
+				ok = tt.AddEq(e.a, e.b)
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var es []edge
+		n := 1 + r.Intn(6)
+		for i := 0; i < n; i++ {
+			a := roots[r.Intn(len(roots))]
+			b := roots[r.Intn(len(roots))]
+			// Sort compatibility: only pair same sorts or null.
+			ta, tb := u.Exprs[a].Type, u.Exprs[b].Type
+			if ta != tb && u.Exprs[a].Kind != ENull && u.Exprs[b].Kind != ENull {
+				continue
+			}
+			if a == b {
+				continue
+			}
+			es = append(es, edge{a, b, r.Intn(2) == 0})
+		}
+		t1 := NewPisotype(u, nil)
+		ok1 := apply(t1, es)
+		perm := r.Perm(len(es))
+		shuffled := make([]edge, len(es))
+		for i, p := range perm {
+			shuffled[i] = es[p]
+		}
+		t2 := NewPisotype(u, nil)
+		ok2 := apply(t2, shuffled)
+		if ok1 != ok2 {
+			t.Logf("consistency differs under permutation: %v", es)
+			return false
+		}
+		if ok1 && !t1.Equal(t2) {
+			t.Logf("canonical forms differ under permutation: %s vs %s", t1, t2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a type always implies its own projection's lift, and the
+// projection never entails facts the original didn't.
+func TestQuickProjectionSound(t *testing.T) {
+	u := testUniverse(t)
+	names := []string{"x", "y", "z", "u", "v"}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tau := NewPisotype(u, nil)
+		for i := 0; i < 5; i++ {
+			a := root(t, u, names[r.Intn(len(names))])
+			b := root(t, u, names[r.Intn(len(names))])
+			if a == b || u.Exprs[a].Type != u.Exprs[b].Type {
+				continue
+			}
+			if r.Intn(2) == 0 {
+				if !tau.AddEq(a, b) {
+					return true // inconsistent build; skip
+				}
+			} else {
+				if !tau.AddNeq(a, b) {
+					return true
+				}
+			}
+		}
+		keep := map[ExprID]bool{}
+		for _, n := range names {
+			if r.Intn(2) == 0 {
+				keep[root(t, u, n)] = true
+			}
+		}
+		proj := tau.Project(func(rt ExprID) bool { return keep[rt] })
+		if !tau.Implies(proj) {
+			t.Logf("type %s does not imply its projection %s", tau, proj)
+			return false
+		}
+		// Projection drops everything about non-kept roots.
+		for _, e := range proj.Edges() {
+			a := ExprID(e >> 33)
+			b := ExprID((e >> 1) & ((1 << 32) - 1))
+			for _, id := range []ExprID{a, b} {
+				rt := u.RootOf(id)
+				if !u.IsConstLike(id) && !keep[rt] {
+					t.Logf("projection retained dropped root: %s", u.ExprString(id))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

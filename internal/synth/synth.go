@@ -1,0 +1,401 @@
+// Package synth generates random HAS* specifications following the
+// paper's Appendix D: a random tree as the acyclic database schema (each
+// relation with a fixed number of non-ID attributes plus a foreign key to
+// its tree parent), a random tree as the task hierarchy, uniformly typed
+// variables, 1/10 input and output variables, and internal services with
+// random condition trees (atoms x=y, x=c, R(x̄) with probability 1/3 each,
+// negated with probability 1/2, combined by ∧ with probability 4/5 and ∨
+// with probability 1/5). Each service, with probability 1/3 each,
+// propagates a random 1/10 subset of the variables, inserts a fixed tuple
+// into the task's artifact relation, or retrieves one.
+//
+// Specifications whose symbolic state space is empty (unsatisfiable
+// conditions) are rejected and regenerated, as in the paper.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"verifas/internal/core"
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+)
+
+// Params are the generator sizes. The paper's synthetic set uses 5
+// relations, 5 tasks, 75 variables and 75 services per specification
+// (Table 1); smaller sizes produce the lower cyclomatic-complexity points
+// of Figure 9.
+type Params struct {
+	Relations       int
+	Tasks           int
+	VarsPerTask     int
+	ServicesPerTask int
+	// AtomsPerCond is the number of atoms per generated condition
+	// (paper: 5).
+	AtomsPerCond int
+	// NonKeyAttrs is the number of non-ID attributes per relation
+	// (paper: 4).
+	NonKeyAttrs int
+	// Constants is the size of the fixed constant pool.
+	Constants int
+}
+
+// DefaultParams returns the paper's synthetic sizes.
+func DefaultParams() Params {
+	return Params{
+		Relations:       5,
+		Tasks:           5,
+		VarsPerTask:     15,
+		ServicesPerTask: 15,
+		AtomsPerCond:    5,
+		NonKeyAttrs:     4,
+		Constants:       5,
+	}
+}
+
+type gen struct {
+	r      *rand.Rand
+	p      Params
+	schema *has.Schema
+	consts []string
+}
+
+// Generate builds one random specification (not yet checked for a
+// non-empty state space).
+func Generate(p Params, seed int64) *has.System {
+	g := &gen{r: rand.New(rand.NewSource(seed)), p: p}
+	g.buildSchema()
+	root := g.buildTaskTree()
+	sys := &has.System{
+		Name:   fmt.Sprintf("synth-%d", seed),
+		Schema: g.schema,
+		Root:   root,
+	}
+	// Global pre-condition: all root variables null (guarantees a
+	// satisfiable initial state, as in the examples the paper bootstraps
+	// from).
+	var inits []fol.Formula
+	for _, v := range root.Vars {
+		inits = append(inits, fol.EqVNull(v.Name))
+	}
+	sys.GlobalPre = fol.MkAnd(inits...)
+	return sys
+}
+
+// GenerateValid generates specifications until one has a non-empty
+// reachable symbolic state space (at least minStates product states for
+// the trivial property), mirroring the paper's filtering. It gives up
+// after tries attempts and returns the last candidate.
+func GenerateValid(p Params, seed int64, minStates, tries int) *has.System {
+	var sys *has.System
+	for i := 0; i < tries; i++ {
+		sys = Generate(p, seed+int64(i)*7919)
+		if err := sys.Validate(); err != nil {
+			continue
+		}
+		res, err := core.Verify(sys, &core.Property{
+			Task: sys.Root.Name,
+			// False's negation is True, whose automaton accepts
+			// everything: the product enumerates the real state space.
+			Formula: ltl.FalseF{},
+		}, core.Options{MaxStates: minStates + 64, SkipRepeatedReachability: true})
+		if err != nil {
+			continue
+		}
+		if res.Stats.StatesExplored >= minStates || res.Stats.TimedOut {
+			return sys
+		}
+	}
+	return sys
+}
+
+func (g *gen) buildSchema() {
+	for i := 0; i < g.p.Constants; i++ {
+		g.consts = append(g.consts, fmt.Sprintf("k%d", i))
+	}
+	rels := make([]*has.Relation, g.p.Relations)
+	for i := 0; i < g.p.Relations; i++ {
+		rel := &has.Relation{Name: fmt.Sprintf("R%d", i)}
+		for j := 0; j < g.p.NonKeyAttrs; j++ {
+			rel.Attrs = append(rel.Attrs, has.NK(fmt.Sprintf("a%d", j)))
+		}
+		if i > 0 {
+			// Random tree: the parent is a previously created relation.
+			parent := g.r.Intn(i)
+			rel.Attrs = append(rel.Attrs, has.FK("fk", fmt.Sprintf("R%d", parent)))
+		}
+		rels[i] = rel
+	}
+	g.schema = has.NewSchema(rels...)
+}
+
+// varTypes returns the variable sorts: DOMval plus every relation's ID.
+func (g *gen) varTypes() []has.VarType {
+	out := []has.VarType{has.ValType()}
+	for _, rel := range g.schema.Relations {
+		out = append(out, has.IDType(rel.Name))
+	}
+	return out
+}
+
+func (g *gen) buildTaskTree() *has.Task {
+	tasks := make([]*has.Task, g.p.Tasks)
+	for i := range tasks {
+		tasks[i] = g.buildTask(i)
+	}
+	// Random tree over the tasks (node 0 is the root).
+	for i := 1; i < len(tasks); i++ {
+		parent := g.r.Intn(i)
+		tasks[parent].Children = append(tasks[parent].Children, tasks[i])
+	}
+	// Wire the input/output mappings now that parents are known, and
+	// attach opening/closing conditions.
+	for i := 1; i < len(tasks); i++ {
+		g.wireChild(tasks, i)
+	}
+	return tasks[0]
+}
+
+func parentOf(tasks []*has.Task, i int) *has.Task {
+	for _, t := range tasks {
+		for _, c := range t.Children {
+			if c == tasks[i] {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gen) buildTask(idx int) *has.Task {
+	t := &has.Task{Name: fmt.Sprintf("T%d", idx)}
+	types := g.varTypes()
+	// Uniformly typed variables.
+	for v := 0; v < g.p.VarsPerTask; v++ {
+		ty := types[v%len(types)]
+		t.Vars = append(t.Vars, has.Variable{Name: fmt.Sprintf("t%dv%d", idx, v), Type: ty})
+	}
+	// One artifact relation per task: a fixed tuple of variables.
+	arity := 2 + g.r.Intn(2)
+	if arity > len(t.Vars) {
+		arity = len(t.Vars)
+	}
+	perm := g.r.Perm(len(t.Vars))[:arity]
+	ar := &has.ArtifactRelation{Name: fmt.Sprintf("S%d", idx)}
+	var tuple []string
+	for j, vi := range perm {
+		ar.Attrs = append(ar.Attrs, has.Variable{
+			Name: fmt.Sprintf("s%da%d", idx, j),
+			Type: t.Vars[vi].Type,
+		})
+		tuple = append(tuple, t.Vars[vi].Name)
+	}
+	t.Relations = []*has.ArtifactRelation{ar}
+
+	// Services.
+	for s := 0; s < g.p.ServicesPerTask; s++ {
+		svc := &has.Service{
+			Name: fmt.Sprintf("t%ds%d", idx, s),
+			Pre:  g.condition(t.Vars),
+			Post: g.condition(t.Vars),
+		}
+		switch g.r.Intn(3) {
+		case 0:
+			// Propagate a random 1/10 subset.
+			n := len(t.Vars)/10 + 1
+			for _, vi := range g.r.Perm(len(t.Vars))[:n] {
+				svc.Propagate = append(svc.Propagate, t.Vars[vi].Name)
+			}
+		case 1:
+			svc.Update = &has.Update{Insert: true, Relation: ar.Name, Vars: tuple}
+		default:
+			svc.Update = &has.Update{Insert: false, Relation: ar.Name, Vars: tuple}
+		}
+		t.Services = append(t.Services, svc)
+	}
+	return t
+}
+
+// wireChild selects the child's inputs/outputs (1/10 of the variables
+// each) and maps them to type-compatible parent variables.
+func (g *gen) wireChild(tasks []*has.Task, i int) {
+	t := tasks[i]
+	parent := parentOf(tasks, i)
+	n := len(t.Vars)/10 + 1
+	t.InMap = map[string]string{}
+	t.OutMap = map[string]string{}
+	usedIn := map[string]bool{}
+	usedOut := map[string]bool{}
+	perm := g.r.Perm(len(t.Vars))
+	for _, vi := range perm {
+		if len(t.In) >= n && len(t.Out) >= n {
+			break
+		}
+		v := t.Vars[vi]
+		// Find a type-compatible parent variable not yet used.
+		var cands []string
+		for _, pv := range parent.Vars {
+			if pv.Type == v.Type {
+				cands = append(cands, pv.Name)
+			}
+		}
+		g.r.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+		if len(t.In) < n {
+			for _, pv := range cands {
+				if !usedIn[pv] {
+					t.In = append(t.In, v.Name)
+					t.InMap[v.Name] = pv
+					usedIn[pv] = true
+					break
+				}
+			}
+			continue
+		}
+		for _, pv := range cands {
+			// Output targets must not be parent inputs.
+			if !usedOut[pv] && !parent.IsInput(pv) {
+				t.Out = append(t.Out, v.Name)
+				t.OutMap[v.Name] = pv
+				usedOut[pv] = true
+				break
+			}
+		}
+	}
+	// In/Out must be subsequences of Vars: restore declaration order.
+	t.In = inDeclarationOrder(t.Vars, t.In)
+	t.Out = inDeclarationOrder(t.Vars, t.Out)
+	// Every service must propagate the inputs.
+	for _, svc := range t.Services {
+		if svc.Update != nil {
+			// ȳ = x̄in exactly.
+			svc.Propagate = append([]string(nil), t.In...)
+			continue
+		}
+		have := map[string]bool{}
+		for _, y := range svc.Propagate {
+			have[y] = true
+		}
+		for _, in := range t.In {
+			if !have[in] {
+				svc.Propagate = append(svc.Propagate, in)
+			}
+		}
+	}
+	t.OpeningPre = g.condition(parent.Vars)
+	t.ClosingPre = g.condition(t.Vars)
+}
+
+func inDeclarationOrder(vars []has.Variable, names []string) []string {
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	var out []string
+	for _, v := range vars {
+		if set[v.Name] {
+			out = append(out, v.Name)
+		}
+	}
+	return out
+}
+
+// condition generates a random condition tree per Appendix D: a fixed
+// number of atoms (x=y, x=c or R(x̄), each with probability 1/3, negated
+// with probability 1/2) combined by a random binary tree of ∧ (4/5) and
+// ∨ (1/5) connectives.
+func (g *gen) condition(vars []has.Variable) fol.Formula {
+	atoms := make([]fol.Formula, 0, g.p.AtomsPerCond)
+	for len(atoms) < g.p.AtomsPerCond {
+		a := g.atom(vars)
+		if a == nil {
+			continue
+		}
+		if g.r.Intn(2) == 0 {
+			a = fol.MkNot(a)
+		}
+		atoms = append(atoms, a)
+	}
+	return g.tree(atoms)
+}
+
+func (g *gen) atom(vars []has.Variable) fol.Formula {
+	pick := func(pred func(has.Variable) bool) (has.Variable, bool) {
+		var cands []has.Variable
+		for _, v := range vars {
+			if pred(v) {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) == 0 {
+			return has.Variable{}, false
+		}
+		return cands[g.r.Intn(len(cands))], true
+	}
+	switch g.r.Intn(3) {
+	case 0:
+		// x = y of equal sort (or x = null when no partner exists).
+		x := vars[g.r.Intn(len(vars))]
+		y, ok := pick(func(v has.Variable) bool { return v.Type == x.Type && v.Name != x.Name })
+		if !ok {
+			return fol.EqVNull(x.Name)
+		}
+		if g.r.Intn(4) == 0 {
+			return fol.EqVNull(x.Name)
+		}
+		return fol.EqVV(x.Name, y.Name)
+	case 1:
+		// x = c for a value variable.
+		x, ok := pick(func(v has.Variable) bool { return !v.Type.IsID() })
+		if !ok {
+			return nil
+		}
+		return fol.EqVC(x.Name, g.consts[g.r.Intn(len(g.consts))])
+	default:
+		// R(x, ȳ): the key is an ID variable; attributes are value
+		// variables, constants, or FK-typed variables.
+		x, ok := pick(func(v has.Variable) bool { return v.Type.IsID() })
+		if !ok {
+			return nil
+		}
+		rel, _ := g.schema.Relation(x.Type.Rel)
+		args := []fol.Term{fol.Var(x.Name)}
+		for _, a := range rel.Attrs {
+			if a.Kind == has.NonKey {
+				if v, ok := pick(func(v has.Variable) bool { return !v.Type.IsID() }); ok && g.r.Intn(2) == 0 {
+					args = append(args, fol.Var(v.Name))
+				} else {
+					args = append(args, fol.Const(g.consts[g.r.Intn(len(g.consts))]))
+				}
+			} else {
+				v, ok := pick(func(v has.Variable) bool { return v.Type == has.IDType(a.Ref) })
+				if !ok {
+					return nil
+				}
+				args = append(args, fol.Var(v.Name))
+			}
+		}
+		return fol.Rel{Name: rel.Name, Args: args}
+	}
+}
+
+// tree combines atoms with a random binary tree of connectives.
+func (g *gen) tree(atoms []fol.Formula) fol.Formula {
+	if len(atoms) == 0 {
+		return fol.True{}
+	}
+	work := append([]fol.Formula(nil), atoms...)
+	for len(work) > 1 {
+		i := g.r.Intn(len(work) - 1)
+		var combined fol.Formula
+		if g.r.Intn(5) < 4 {
+			combined = fol.And{Fs: []fol.Formula{work[i], work[i+1]}}
+		} else {
+			combined = fol.Or{Fs: []fol.Formula{work[i], work[i+1]}}
+		}
+		work[i] = combined
+		work = append(work[:i+1], work[i+2:]...)
+	}
+	return work[0]
+}

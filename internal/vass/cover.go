@@ -1,0 +1,188 @@
+package vass
+
+// Coverability-graph analysis used for repeated reachability (paper
+// Sections 3.3 and 3.8): the transition graph among the coverability set's
+// states, whose non-trivial strongly connected components identify the
+// repeatedly reachable symbolic states.
+
+// CycleNodes returns the subset of the given nodes contained in a
+// non-trivial cycle of the coverability graph, whose edges are
+// I → J  iff  ∃s ∈ succ(I): s ≤ J (J covers the successor), with ≤ the
+// system's order. A self-loop counts as a cycle.
+func CycleNodes(sys System, nodes []*Node) map[*Node]bool {
+	n := len(nodes)
+	adj := make([][]int, n)
+	idxOf := map[*Node]int{}
+	for i, nd := range nodes {
+		idxOf[nd] = i
+	}
+	for i, nd := range nodes {
+		seen := map[int]bool{}
+		for _, sc := range sys.Successors(nd.S) {
+			for j, cand := range nodes {
+				if !seen[j] && sys.Leq(sc.S, cand.S) {
+					seen[j] = true
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+	}
+	sccID, sccSize := tarjanSCC(adj)
+	selfLoop := make([]bool, n)
+	for i, out := range adj {
+		for _, j := range out {
+			if j == i {
+				selfLoop[i] = true
+			}
+		}
+	}
+	out := map[*Node]bool{}
+	for i, nd := range nodes {
+		if sccSize[sccID[i]] > 1 || selfLoop[i] {
+			out[nd] = true
+		}
+	}
+	return out
+}
+
+// CycleWitness returns, for a node known to lie on a cycle, the labels of
+// one cycle through it (for counterexample display). Returns nil if no
+// cycle is found (should not happen for nodes reported by CycleNodes).
+func CycleWitness(sys System, nodes []*Node, start *Node) []any {
+	type edge struct {
+		to    int
+		label any
+	}
+	idxOf := map[*Node]int{}
+	for i, nd := range nodes {
+		idxOf[nd] = i
+	}
+	si, ok := idxOf[start]
+	if !ok {
+		return nil
+	}
+	adj := make([][]edge, len(nodes))
+	for i, nd := range nodes {
+		for _, sc := range sys.Successors(nd.S) {
+			for j, cand := range nodes {
+				if sys.Leq(sc.S, cand.S) {
+					adj[i] = append(adj[i], edge{to: j, label: sc.Label})
+				}
+			}
+		}
+	}
+	// BFS from start's successors back to start.
+	type crumb struct {
+		node  int
+		prev  int // index into crumbs
+		label any
+	}
+	var crumbs []crumb
+	seen := make([]bool, len(nodes))
+	var queue []int
+	for _, e := range adj[si] {
+		crumbs = append(crumbs, crumb{node: e.to, prev: -1, label: e.label})
+		queue = append(queue, len(crumbs)-1)
+	}
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		c := crumbs[ci]
+		if c.node == si {
+			// Reconstruct labels.
+			var rev []any
+			for i := ci; i != -1; i = crumbs[i].prev {
+				rev = append(rev, crumbs[i].label)
+			}
+			out := make([]any, 0, len(rev))
+			for i := len(rev) - 1; i >= 0; i-- {
+				out = append(out, rev[i])
+			}
+			return out
+		}
+		if seen[c.node] {
+			continue
+		}
+		seen[c.node] = true
+		for _, e := range adj[c.node] {
+			crumbs = append(crumbs, crumb{node: e.to, prev: ci, label: e.label})
+			queue = append(queue, len(crumbs)-1)
+		}
+	}
+	return nil
+}
+
+// tarjanSCC computes strongly connected components iteratively, returning
+// per-node component ids and per-component sizes.
+func tarjanSCC(adj [][]int) (id []int, size []int) {
+	n := len(adj)
+	id = make([]int, n)
+	for i := range id {
+		id[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comp int
+	counter := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Pop frame.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				sz := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					id[w] = comp
+					sz++
+					if w == v {
+						break
+					}
+				}
+				size = append(size, sz)
+				comp++
+			}
+		}
+	}
+	return id, size
+}

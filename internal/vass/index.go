@@ -1,0 +1,57 @@
+package vass
+
+import "verifas/internal/setindex"
+
+// actIndex adapts setindex to the tree: it maps index ids to nodes. All
+// nodes are indexed (including deactivated ones — the pruning rule also
+// consults dominated inactive nodes); activity is filtered by callers.
+type actIndex struct {
+	idx   *setindex.Index
+	nodes []*Node
+}
+
+func newActIndex() *actIndex {
+	return &actIndex{idx: setindex.New()}
+}
+
+func (a *actIndex) insert(n *Node, set []uint64) {
+	id := len(a.nodes)
+	a.nodes = append(a.nodes, n)
+	a.idx.Insert(id, set)
+}
+
+// subsetCandidates returns nodes whose indexed set is a subset of q —
+// candidates for dominating the query state.
+func (a *actIndex) subsetCandidates(q []uint64) []*Node {
+	ids := a.idx.Subsets(q)
+	out := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, a.nodes[id])
+	}
+	return out
+}
+
+// anySubsetCandidate streams subset candidates until pred returns true,
+// reporting whether it did (early-exit existence check).
+func (a *actIndex) anySubsetCandidate(q []uint64, pred func(*Node) bool) bool {
+	found := false
+	a.idx.SubsetsSeq(q, func(id int) bool {
+		if pred(a.nodes[id]) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// supersetCandidates returns nodes whose indexed set is a superset of q —
+// candidates for being dominated by the query state.
+func (a *actIndex) supersetCandidates(q []uint64) []*Node {
+	ids := a.idx.Supersets(q)
+	out := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, a.nodes[id])
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+// Package vass implements the Karp-Miller coverability construction for
+// vector addition systems with states, in the generic form used by
+// VERIFAS: the classic algorithm (paper Algorithm 1) and the
+// Reynier-Servais variant with monotone pruning (paper Section 3.4),
+// parameterized by a pluggable state domain so the verifier core can run it
+// over partial symbolic instances and tests can run it over plain vectors.
+package vass
+
+import (
+	"errors"
+	"time"
+)
+
+// State is an opaque search state owned by the Domain.
+type State interface{}
+
+// Succ is a labeled successor.
+type Succ struct {
+	Label any
+	S     State
+}
+
+// System abstracts the transition system and its ordering structure.
+type System interface {
+	// Initial returns the initial states.
+	Initial() []State
+	// Successors enumerates succ(s).
+	Successors(s State) []Succ
+	// Key hashes a state (collisions resolved by Equal).
+	Key(s State) uint64
+	// Equal reports full state equality.
+	Equal(a, b State) bool
+	// Leq is the pruning/coverage order in force (≤ or ⪯ depending on
+	// the optimization configuration).
+	Leq(a, b State) bool
+	// Accelerate returns s lifted with ω counters against the ancestor
+	// (the accel operator), and whether anything changed. Implementations
+	// may return s unchanged.
+	Accelerate(ancestor, s State) (State, bool)
+	// IndexSet returns the edge set used by the subset/superset indexes,
+	// or nil to disable indexing for this state.
+	IndexSet(s State) []uint64
+}
+
+// Node is a node of the Karp-Miller tree.
+type Node struct {
+	S      State
+	Label  any // label of the edge from Parent
+	Parent *Node
+	ID     int
+
+	Active    bool
+	processed bool
+	children  []*Node
+	// subtreeKilled caches that this node and every descendant are
+	// inactive, making repeated deactivation sweeps O(1).
+	subtreeKilled bool
+}
+
+// Path returns the labels and states from the root to this node.
+func (n *Node) Path() []*Node {
+	var rev []*Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// IsAncestorOf reports whether n is a (proper or improper) ancestor of m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for cur := m; cur != nil; cur = cur.Parent {
+		if cur == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configure the exploration.
+type Options struct {
+	// Prune enables Reynier-Servais monotone pruning; without it the
+	// classic Karp-Miller algorithm (Algorithm 1) runs, deduplicating
+	// only exact repeats.
+	Prune bool
+	// Accelerate enables the ω-acceleration operator.
+	Accelerate bool
+	// UseIndex enables the Trie/inverted-list candidate indexes for act
+	// maintenance (paper Section 3.6).
+	UseIndex bool
+	// MaxStates aborts the search after creating this many nodes
+	// (0 = unlimited).
+	MaxStates int
+	// Deadline aborts the search at this time (zero = none).
+	Deadline time.Time
+	// OnAccelerate, if set, is invoked when acceleration fires, with the
+	// ancestor node and the new (pre-insertion) state. Returning true
+	// stops the search immediately (used for the ω-accepting shortcut).
+	OnAccelerate func(ancestor *Node, accelerated State) bool
+	// OnNode, if set, is invoked for every node added to the tree.
+	// Returning true stops the search immediately (used for on-the-fly
+	// violation detection).
+	OnNode func(n *Node) bool
+	// ExtraDominators are states treated as permanently active for the
+	// dominance check (the Appendix C second phase prunes against the
+	// first phase's ω states this way).
+	ExtraDominators []State
+}
+
+// ErrBudget is returned when MaxStates or Deadline is exceeded.
+var ErrBudget = errors.New("vass: state or time budget exceeded")
+
+// Tree is the result of an exploration.
+type Tree struct {
+	Roots []*Node
+	Nodes []*Node
+	// Stopped is set when an OnNode/OnAccelerate callback stopped the
+	// search.
+	Stopped bool
+	// Stats counters.
+	Created, Pruned, Skipped, Accelerations int
+}
+
+// Active returns the active nodes — with pruning these form the
+// coverability set; without pruning all nodes are active.
+func (t *Tree) Active() []*Node {
+	var out []*Node
+	for _, n := range t.Nodes {
+		if n.Active {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Explore runs the (pruned) Karp-Miller construction to completion, or
+// until a callback stops it, or until the budget is exceeded (ErrBudget).
+func Explore(sys System, opts Options) (*Tree, error) {
+	e := &explorer{sys: sys, opts: opts, tree: &Tree{}, byKey: map[uint64][]*Node{}}
+	if opts.UseIndex {
+		e.idx = newActIndex()
+	}
+	var work []*Node
+	for _, s := range sys.Initial() {
+		n := e.newNode(s, nil, nil)
+		if n == nil {
+			continue
+		}
+		if e.stop {
+			return e.tree, nil
+		}
+		work = append(work, n)
+	}
+	for len(work) > 0 {
+		if opts.MaxStates > 0 && e.tree.Created > opts.MaxStates {
+			return e.tree, ErrBudget
+		}
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			return e.tree, ErrBudget
+		}
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !n.Active || n.processed {
+			continue
+		}
+		n.processed = true
+		for _, sc := range sys.Successors(n.S) {
+			// Reynier-Servais processes (node, transition) pairs and
+			// drops pairs whose source has been deactivated — possibly
+			// by a sibling successor created moments ago. Without this
+			// check the construction can livelock.
+			if opts.Prune && !n.Active {
+				break
+			}
+			s := sc.S
+			if opts.Accelerate {
+				s = e.accelerate(n, s)
+				if e.stop {
+					return e.tree, nil
+				}
+			}
+			child := e.newNode(s, sc.Label, n)
+			if child == nil {
+				continue
+			}
+			if e.stop {
+				return e.tree, nil
+			}
+			work = append(work, child)
+		}
+	}
+	return e.tree, nil
+}
+
+type explorer struct {
+	sys   System
+	opts  Options
+	tree  *Tree
+	byKey map[uint64][]*Node
+	idx   *actIndex
+	stop  bool
+}
+
+// accelerate applies the accel operator against all active ancestors.
+func (e *explorer) accelerate(parent *Node, s State) State {
+	for anc := parent; anc != nil; anc = anc.Parent {
+		if !anc.Active {
+			continue
+		}
+		if lifted, changed := e.sys.Accelerate(anc.S, s); changed {
+			s = lifted
+			e.tree.Accelerations++
+			if e.opts.OnAccelerate != nil && e.opts.OnAccelerate(anc, s) {
+				e.stop = true
+				return s
+			}
+		}
+	}
+	return s
+}
+
+// newNode inserts a state into the tree, honoring the pruning rules
+// (Reynier-Servais, paper Section 3.4). Returns nil when the state was
+// skipped (dominated or duplicate).
+func (e *explorer) newNode(s State, label any, parent *Node) *Node {
+	if e.opts.Prune {
+		// Skip if dominated by an active node.
+		if e.dominatedByActive(s) {
+			e.tree.Skipped++
+			return nil
+		}
+		// Deactivate every node m and its descendants where m.S ≤ s and
+		// m is active or m is not an ancestor of the new node. (An
+		// active ancestor is deactivated too; the new node itself is
+		// added active below, exactly as in Reynier-Servais.)
+		for _, m := range e.smallerCandidates(s) {
+			if !e.sys.Leq(m.S, s) {
+				continue
+			}
+			if m.Active || parent == nil || !m.IsAncestorOf(parent) {
+				e.deactivateSubtree(m)
+			}
+		}
+	} else {
+		// Classic algorithm: skip exact duplicates of existing nodes
+		// (the "I'' ∈ T" test of Algorithm 1).
+		for _, m := range e.byKey[e.sys.Key(s)] {
+			if e.sys.Equal(m.S, s) {
+				e.tree.Skipped++
+				return nil
+			}
+		}
+	}
+	n := &Node{S: s, Label: label, Parent: parent, Active: true, ID: len(e.tree.Nodes)}
+	e.tree.Nodes = append(e.tree.Nodes, n)
+	e.tree.Created++
+	if parent == nil {
+		e.tree.Roots = append(e.tree.Roots, n)
+	} else {
+		parent.children = append(parent.children, n)
+		// The new active node invalidates any killed-subtree caches on
+		// its ancestor chain.
+		for a := parent; a != nil && a.subtreeKilled; a = a.Parent {
+			a.subtreeKilled = false
+		}
+	}
+	e.byKey[e.sys.Key(s)] = append(e.byKey[e.sys.Key(s)], n)
+	if e.idx != nil {
+		e.idx.insert(n, e.sys.IndexSet(s))
+	}
+	if e.opts.OnNode != nil && e.opts.OnNode(n) {
+		e.stop = true
+	}
+	return n
+}
+
+func (e *explorer) deactivateSubtree(m *Node) {
+	if m.subtreeKilled {
+		return
+	}
+	if m.Active {
+		m.Active = false
+		e.tree.Pruned++
+	}
+	for _, c := range m.children {
+		e.deactivateSubtree(c)
+	}
+	m.subtreeKilled = true
+}
+
+// dominatedByActive reports whether an active node dominates s. With
+// indexing enabled, candidates are prefiltered by "indexed set of the
+// dominator is a subset of s's" — a necessary condition for s ⪯ m (and for
+// s ≤ m, where the sets are equal).
+func (e *explorer) dominatedByActive(s State) bool {
+	for _, d := range e.opts.ExtraDominators {
+		if e.sys.Leq(s, d) {
+			return true
+		}
+	}
+	if e.idx != nil {
+		return e.idx.anySubsetCandidate(e.sys.IndexSet(s), func(m *Node) bool {
+			return m.Active && e.sys.Leq(s, m.S)
+		})
+	}
+	for _, n := range e.tree.Nodes {
+		if n.Active && e.sys.Leq(s, n.S) {
+			return true
+		}
+	}
+	return false
+}
+
+// smallerCandidates returns nodes that may satisfy m.S ≤ s (superset
+// prefilter). Inactive nodes are included: the pruning rule must also
+// deactivate descendants of already-inactive dominated nodes.
+func (e *explorer) smallerCandidates(s State) []*Node {
+	if e.idx != nil {
+		return e.idx.supersetCandidates(e.sys.IndexSet(s))
+	}
+	return e.tree.Nodes
+}

@@ -1,0 +1,387 @@
+package workflows
+
+import (
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+// TravelBooking models a travel desk booking flights and hotels for a
+// trip, with payment confirmation gated on both bookings.
+func TravelBooking() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("AIRLINES", has.NK("alliance")),
+		has.RelDef("FLIGHTS", has.NK("fare"), has.FK("airline", "AIRLINES")),
+		has.RelDef("HOTELS", has.NK("stars")),
+		has.RelDef("TRAVELERS", has.NK("tier")),
+	)
+	bookFlight := &has.Task{
+		Name: "BookFlight",
+		Vars: []has.Variable{
+			has.IDV("f_traveler", "TRAVELERS"),
+			has.IDV("f_flight", "FLIGHTS"),
+			has.V("f_state"),
+		},
+		In:         []string{"f_traveler"},
+		Out:        []string{"f_flight", "f_state"},
+		InMap:      map[string]string{"f_traveler": "traveler"},
+		OutMap:     map[string]string{"f_flight": "flight", "f_state": "flight_state"},
+		OpeningPre: fol.MustParse(`itinerary == "Planning" && flight == null`),
+		ClosingPre: fol.MustParse(`(f_flight != null && f_state == "Held") || f_state == "NoAvail"`),
+		Services: []*has.Service{{
+			Name: "SearchFares",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`(exists fr : val, a : AIRLINES (
+				FLIGHTS(f_flight, fr, a)) && f_state == "Held") || (f_flight == null && f_state == "NoAvail")`),
+			Propagate: []string{"f_traveler"},
+		}},
+	}
+	bookHotel := &has.Task{
+		Name: "BookHotel",
+		Vars: []has.Variable{
+			has.IDV("h_traveler", "TRAVELERS"),
+			has.IDV("h_hotel", "HOTELS"),
+			has.V("h_state"),
+		},
+		In:         []string{"h_traveler"},
+		Out:        []string{"h_hotel", "h_state"},
+		InMap:      map[string]string{"h_traveler": "traveler"},
+		OutMap:     map[string]string{"h_hotel": "hotel", "h_state": "hotel_state"},
+		OpeningPre: fol.MustParse(`itinerary == "Planning" && hotel == null`),
+		ClosingPre: fol.MustParse(`(h_hotel != null && h_state == "Held") || h_state == "NoAvail"`),
+		Services: []*has.Service{{
+			Name: "SearchRooms",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`(exists s : val (HOTELS(h_hotel, s)) && h_state == "Held")
+				|| (h_hotel == null && h_state == "NoAvail")`),
+			Propagate: []string{"h_traveler"},
+		}},
+	}
+	confirm := &has.Task{
+		Name: "ConfirmPayment",
+		Vars: []has.Variable{
+			has.IDV("c_traveler", "TRAVELERS"),
+			has.V("c_result"),
+		},
+		In:         []string{"c_traveler"},
+		Out:        []string{"c_result"},
+		InMap:      map[string]string{"c_traveler": "traveler"},
+		OutMap:     map[string]string{"c_result": "itinerary"},
+		OpeningPre: fol.MustParse(`flight_state == "Held" && hotel_state == "Held"`),
+		ClosingPre: fol.MustParse(`c_result == "Ticketed" || c_result == "Declined"`),
+		Services: []*has.Service{{
+			Name:      "Charge",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`c_result == "Ticketed" || c_result == "Declined"`),
+			Propagate: []string{"c_traveler"},
+		}},
+	}
+	root := &has.Task{
+		Name: "TripDesk",
+		Vars: []has.Variable{
+			has.IDV("traveler", "TRAVELERS"),
+			has.IDV("flight", "FLIGHTS"),
+			has.IDV("hotel", "HOTELS"),
+			has.V("flight_state"),
+			has.V("hotel_state"),
+			has.V("itinerary"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "OpenTrip",
+				Pre:  fol.MustParse(`itinerary == null`),
+				Post: fol.MustParse(`traveler != null && flight == null && hotel == null
+					&& flight_state == null && hotel_state == null && itinerary == "Planning"`),
+			},
+			{
+				Name: "AbandonTrip",
+				Pre:  fol.MustParse(`flight_state == "NoAvail" || hotel_state == "NoAvail" || itinerary == "Declined"`),
+				Post: fol.MustParse(`traveler == null && flight == null && hotel == null
+					&& flight_state == null && hotel_state == null && itinerary == null`),
+			},
+			{
+				Name: "FinishTrip",
+				Pre:  fol.MustParse(`itinerary == "Ticketed"`),
+				Post: fol.MustParse(`traveler == null && flight == null && hotel == null
+					&& flight_state == null && hotel_state == null && itinerary == null`),
+			},
+		},
+		Children: []*has.Task{bookFlight, bookHotel, confirm},
+	}
+	return &has.System{
+		Name:   "TravelBooking",
+		Schema: schema,
+		Root:   root,
+		GlobalPre: fol.MustParse(`traveler == null && flight == null && hotel == null
+			&& flight_state == null && hotel_state == null && itinerary == null`),
+	}
+}
+
+// Procurement models purchase requests with budget-class approval and
+// supplier ordering; requests queue in an artifact relation.
+func Procurement() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("BUDGETS", has.NK("band")),
+		has.RelDef("DEPARTMENTS", has.NK("dname"), has.FK("budget", "BUDGETS")),
+		has.RelDef("VENDORS", has.NK("approved")),
+	)
+	approve := &has.Task{
+		Name: "ApproveRequest",
+		Vars: []has.Variable{
+			has.IDV("a_dept", "DEPARTMENTS"),
+			has.IDV("a_budget", "BUDGETS"),
+			has.V("a_band"),
+			has.V("a_verdict"),
+		},
+		In:         []string{"a_dept", "a_band"},
+		Out:        []string{"a_verdict"},
+		InMap:      map[string]string{"a_dept": "dept", "a_band": "band"},
+		OutMap:     map[string]string{"a_verdict": "req_state"},
+		OpeningPre: fol.MustParse(`req_state == "Draft" && dept != null`),
+		ClosingPre: fol.MustParse(`a_verdict == "Approved" || a_verdict == "Rejected"`),
+		Services: []*has.Service{{
+			Name: "BudgetCheck",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists dn : val (
+				DEPARTMENTS(a_dept, dn, a_budget)
+				&& (BUDGETS(a_budget, a_band) -> a_verdict == "Approved")
+				&& (!BUDGETS(a_budget, a_band) -> a_verdict == "Rejected"))`),
+			Propagate: []string{"a_dept", "a_band"},
+		}},
+	}
+	order := &has.Task{
+		Name: "PlaceOrder",
+		Vars: []has.Variable{
+			has.IDV("o_dept", "DEPARTMENTS"),
+			has.IDV("o_vendor", "VENDORS"),
+			has.V("o_state"),
+		},
+		In:         []string{"o_dept"},
+		Out:        []string{"o_state"},
+		InMap:      map[string]string{"o_dept": "dept"},
+		OutMap:     map[string]string{"o_state": "req_state"},
+		OpeningPre: fol.MustParse(`req_state == "Approved"`),
+		ClosingPre: fol.MustParse(`o_state == "Ordered"`),
+		Services: []*has.Service{{
+			Name:      "SelectVendor",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`(VENDORS(o_vendor, "Yes") && o_state == "Ordered") || o_state == null`),
+			Propagate: []string{"o_dept"},
+		}},
+	}
+	root := &has.Task{
+		Name: "ProcurementDesk",
+		Vars: []has.Variable{
+			has.IDV("dept", "DEPARTMENTS"),
+			has.V("band"),
+			has.V("req_state"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "REQUESTS",
+			Attrs: []has.Variable{
+				has.IDV("q_dept", "DEPARTMENTS"),
+				has.V("q_band"),
+				has.V("q_state"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "Draft",
+				Pre:  fol.MustParse(`req_state == null`),
+				Post: fol.MustParse(`dept != null && (band == "Small" || band == "Large") && req_state == "Draft"`),
+			},
+			{
+				Name: "Suspend",
+				Pre:  fol.MustParse(`dept != null && req_state != "Ordered"`),
+				Post: fol.MustParse(`dept == null && band == null && req_state == null`),
+				Update: &has.Update{Insert: true, Relation: "REQUESTS",
+					Vars: []string{"dept", "band", "req_state"}},
+			},
+			{
+				Name: "Resume",
+				Pre:  fol.MustParse(`dept == null && req_state == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "REQUESTS",
+					Vars: []string{"dept", "band", "req_state"}},
+			},
+			{
+				Name: "Archive",
+				Pre:  fol.MustParse(`req_state == "Ordered" || req_state == "Rejected"`),
+				Post: fol.MustParse(`dept == null && band == null && req_state == null`),
+			},
+		},
+		Children: []*has.Task{approve, order},
+	}
+	return &has.System{
+		Name:      "Procurement",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`dept == null && band == null && req_state == null`),
+	}
+}
+
+// ReturnMerchandise models e-commerce returns: request, inspection, and
+// either refund or rejection depending on item condition.
+func ReturnMerchandise() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("SKUS", has.NK("returnable")),
+		has.RelDef("PURCHASES", has.NK("paid"), has.FK("sku", "SKUS")),
+	)
+	inspect := &has.Task{
+		Name: "InspectItem",
+		Vars: []has.Variable{
+			has.IDV("i_purchase", "PURCHASES"),
+			has.IDV("i_sku", "SKUS"),
+			has.V("i_condition"),
+			has.V("i_phase"),
+		},
+		In:         []string{"i_purchase"},
+		Out:        []string{"i_condition", "i_phase"},
+		InMap:      map[string]string{"i_purchase": "purchase"},
+		OutMap:     map[string]string{"i_condition": "condition", "i_phase": "phase"},
+		OpeningPre: fol.MustParse(`phase == "Requested"`),
+		ClosingPre: fol.MustParse(`i_condition != null && i_phase == "Inspected"`),
+		Services: []*has.Service{{
+			Name: "Examine",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists pd : val (
+				PURCHASES(i_purchase, pd, i_sku)
+				&& (SKUS(i_sku, "Yes") -> (i_condition == "Good" || i_condition == "Damaged"))
+				&& (!SKUS(i_sku, "Yes") -> i_condition == "NotReturnable"))
+				&& i_phase == "Inspected"`),
+			Propagate: []string{"i_purchase"},
+		}},
+	}
+	refund := &has.Task{
+		Name: "Refund",
+		Vars: []has.Variable{
+			has.IDV("r_purchase", "PURCHASES"),
+			has.V("r_done"),
+		},
+		In:         []string{"r_purchase"},
+		Out:        []string{"r_done"},
+		InMap:      map[string]string{"r_purchase": "purchase"},
+		OutMap:     map[string]string{"r_done": "phase"},
+		OpeningPre: fol.MustParse(`phase == "Inspected" && condition == "Good"`),
+		ClosingPre: fol.MustParse(`r_done == "Refunded"`),
+		Services: []*has.Service{{
+			Name:      "IssueRefund",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`r_done == "Refunded" || r_done == null`),
+			Propagate: []string{"r_purchase"},
+		}},
+	}
+	root := &has.Task{
+		Name: "ReturnsDesk",
+		Vars: []has.Variable{
+			has.IDV("purchase", "PURCHASES"),
+			has.V("condition"),
+			has.V("phase"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "RequestReturn",
+				Pre:  fol.MustParse(`phase == null`),
+				Post: fol.MustParse(`purchase != null && condition == null && phase == "Requested"`),
+			},
+			{
+				Name: "RejectReturn",
+				Pre:  fol.MustParse(`phase == "Inspected" && condition != "Good"`),
+				Post: fol.MustParse(`purchase == null && condition == null && phase == null`),
+			},
+			{
+				Name: "CloseReturn",
+				Pre:  fol.MustParse(`phase == "Refunded"`),
+				Post: fol.MustParse(`purchase == null && condition == null && phase == null`),
+			},
+		},
+		Children: []*has.Task{inspect, refund},
+	}
+	return &has.System{
+		Name:      "ReturnMerchandise",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`purchase == null && condition == null && phase == null`),
+	}
+}
+
+// SubscriptionRenewal is a compact single-child workflow: renewal dunning
+// with retries queued in an artifact relation.
+func SubscriptionRenewal() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("PLANS", has.NK("autorenew")),
+		has.RelDef("SUBSCRIBERS", has.NK("email"), has.FK("plan", "PLANS")),
+	)
+	charge := &has.Task{
+		Name: "ChargeCard",
+		Vars: []has.Variable{
+			has.IDV("c_sub", "SUBSCRIBERS"),
+			has.V("c_outcome"),
+		},
+		In:         []string{"c_sub"},
+		Out:        []string{"c_outcome"},
+		InMap:      map[string]string{"c_sub": "sub"},
+		OutMap:     map[string]string{"c_outcome": "cycle"},
+		OpeningPre: fol.MustParse(`cycle == "Due"`),
+		ClosingPre: fol.MustParse(`c_outcome == "Renewed" || c_outcome == "Failed"`),
+		Services: []*has.Service{{
+			Name:      "AttemptCharge",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`c_outcome == "Renewed" || c_outcome == "Failed" || c_outcome == null`),
+			Propagate: []string{"c_sub"},
+		}},
+	}
+	root := &has.Task{
+		Name: "RenewalEngine",
+		Vars: []has.Variable{
+			has.IDV("sub", "SUBSCRIBERS"),
+			has.V("cycle"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "RETRYQUEUE",
+			Attrs: []has.Variable{
+				has.IDV("u_sub", "SUBSCRIBERS"),
+				has.V("u_cycle"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "MarkDue",
+				Pre:  fol.MustParse(`cycle == null`),
+				Post: fol.MustParse(`exists e : val, p : PLANS (
+					SUBSCRIBERS(sub, e, p) && PLANS(p, "Yes")) && cycle == "Due"`),
+			},
+			{
+				Name: "QueueRetry",
+				Pre:  fol.MustParse(`cycle == "Failed"`),
+				Post: fol.MustParse(`sub == null && cycle == null`),
+				Update: &has.Update{Insert: true, Relation: "RETRYQUEUE",
+					Vars: []string{"sub", "cycle"}},
+			},
+			{
+				Name: "PopRetry",
+				Pre:  fol.MustParse(`sub == null && cycle == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "RETRYQUEUE",
+					Vars: []string{"sub", "cycle"}},
+			},
+			{
+				Name:      "RetryNow",
+				Pre:       fol.MustParse(`sub != null && cycle == "Failed"`),
+				Post:      fol.MustParse(`cycle == "Due"`),
+				Propagate: []string{"sub"},
+			},
+			{
+				Name: "Complete",
+				Pre:  fol.MustParse(`cycle == "Renewed"`),
+				Post: fol.MustParse(`sub == null && cycle == null`),
+			},
+		},
+		Children: []*has.Task{charge},
+	}
+	return &has.System{
+		Name:      "SubscriptionRenewal",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`sub == null && cycle == null`),
+	}
+}

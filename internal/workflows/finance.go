@@ -1,0 +1,410 @@
+package workflows
+
+import (
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+// LoanOrigination models a consumer-loan pipeline: applications are
+// pooled by the root task and pushed through underwriting and contract
+// signature, with the credit bureau consulted through foreign keys.
+func LoanOrigination() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("BUREAU", has.NK("rating")),
+		has.RelDef("APPLICANTS", has.NK("name"), has.NK("income"), has.FK("bureau", "BUREAU")),
+		has.RelDef("PRODUCTS", has.NK("kind"), has.NK("rate")),
+	)
+	submit := &has.Task{
+		Name: "SubmitApplication",
+		Vars: []has.Variable{
+			has.IDV("s_applicant", "APPLICANTS"),
+			has.IDV("s_product", "PRODUCTS"),
+			has.V("s_state"),
+		},
+		Out: []string{"s_applicant", "s_product", "s_state"},
+		OutMap: map[string]string{
+			"s_applicant": "applicant", "s_product": "product", "s_state": "state",
+		},
+		OpeningPre: fol.MustParse(`state == "New"`),
+		ClosingPre: fol.MustParse(`s_applicant != null && s_product != null && s_state == "Submitted"`),
+		Services: []*has.Service{
+			{
+				Name: "FillForm",
+				Pre:  fol.MustParse(`true`),
+				Post: fol.MustParse(`exists n : val, i : val, b : BUREAU (
+					APPLICANTS(s_applicant, n, i, b)
+					&& ((s_product != null) -> s_state == "Submitted")
+					&& ((s_product == null) -> s_state == null))`),
+			},
+			{
+				Name: "PickProduct",
+				Pre:  fol.MustParse(`s_applicant != null`),
+				Post: fol.MustParse(`exists k : val, r : val (
+					PRODUCTS(s_product, k, r) && s_state == "Submitted")`),
+				Propagate: []string{"s_applicant"},
+			},
+		},
+	}
+	underwrite := &has.Task{
+		Name: "Underwrite",
+		Vars: []has.Variable{
+			has.IDV("u_applicant", "APPLICANTS"),
+			has.IDV("u_bureau", "BUREAU"),
+			has.V("u_decision"),
+		},
+		In:         []string{"u_applicant"},
+		Out:        []string{"u_decision"},
+		InMap:      map[string]string{"u_applicant": "applicant"},
+		OutMap:     map[string]string{"u_decision": "state"},
+		OpeningPre: fol.MustParse(`state == "Submitted"`),
+		ClosingPre: fol.MustParse(`u_decision == "Approved" || u_decision == "Rejected"`),
+		Services: []*has.Service{
+			{
+				Name: "ScoreApplicant",
+				Pre:  fol.MustParse(`true`),
+				Post: fol.MustParse(`exists n : val, i : val (
+					APPLICANTS(u_applicant, n, i, u_bureau)
+					&& (BUREAU(u_bureau, "Prime") -> u_decision == "Approved")
+					&& (!BUREAU(u_bureau, "Prime") -> (u_decision == "Approved" || u_decision == "Rejected")))`),
+				Propagate: []string{"u_applicant"},
+			},
+		},
+	}
+	sign := &has.Task{
+		Name: "SignContract",
+		Vars: []has.Variable{
+			has.IDV("g_applicant", "APPLICANTS"),
+			has.V("g_outcome"),
+		},
+		In:         []string{"g_applicant"},
+		Out:        []string{"g_outcome"},
+		InMap:      map[string]string{"g_applicant": "applicant"},
+		OutMap:     map[string]string{"g_outcome": "state"},
+		OpeningPre: fol.MustParse(`state == "Approved"`),
+		ClosingPre: fol.MustParse(`g_outcome == "Signed" || g_outcome == "Declined"`),
+		Services: []*has.Service{{
+			Name:      "CollectSignature",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`g_outcome == "Signed" || g_outcome == "Declined"`),
+			Propagate: []string{"g_applicant"},
+		}},
+	}
+	root := &has.Task{
+		Name: "ProcessLoans",
+		Vars: []has.Variable{
+			has.IDV("applicant", "APPLICANTS"),
+			has.IDV("product", "PRODUCTS"),
+			has.V("state"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "APPLICATIONS",
+			Attrs: []has.Variable{
+				has.IDV("a_applicant", "APPLICANTS"),
+				has.IDV("a_product", "PRODUCTS"),
+				has.V("a_state"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "NewApplication",
+				Pre:  fol.MustParse(`applicant == null && state == null`),
+				Post: fol.MustParse(`applicant == null && product == null && state == "New"`),
+			},
+			{
+				Name: "Park",
+				Pre:  fol.MustParse(`applicant != null && state != "Declined"`),
+				Post: fol.MustParse(`applicant == null && product == null && state == "New"`),
+				Update: &has.Update{Insert: true, Relation: "APPLICATIONS",
+					Vars: []string{"applicant", "product", "state"}},
+			},
+			{
+				Name: "Resume",
+				Pre:  fol.MustParse(`applicant == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "APPLICATIONS",
+					Vars: []string{"applicant", "product", "state"}},
+			},
+		},
+		Children: []*has.Task{submit, underwrite, sign},
+	}
+	return &has.System{
+		Name:      "LoanOrigination",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`applicant == null && product == null && state == null`),
+	}
+}
+
+// InvoiceProcessing models three-way matching of supplier invoices: an
+// invoice is received, matched against its purchase order, then paid or
+// disputed.
+func InvoiceProcessing() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("SUPPLIERS", has.NK("name"), has.NK("trusted")),
+		has.RelDef("PURCHASE_ORDERS", has.NK("total"), has.FK("supplier", "SUPPLIERS")),
+	)
+	match := &has.Task{
+		Name: "MatchInvoice",
+		Vars: []has.Variable{
+			has.IDV("m_po", "PURCHASE_ORDERS"),
+			has.IDV("m_supplier", "SUPPLIERS"),
+			has.V("m_amount"),
+			has.V("m_result"),
+		},
+		In:         []string{"m_po", "m_amount"},
+		Out:        []string{"m_result"},
+		InMap:      map[string]string{"m_po": "po", "m_amount": "amount"},
+		OutMap:     map[string]string{"m_result": "phase"},
+		OpeningPre: fol.MustParse(`phase == "Received" && po != null`),
+		ClosingPre: fol.MustParse(`m_result == "Matched" || m_result == "Mismatch"`),
+		Services: []*has.Service{{
+			Name: "ThreeWayMatch",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists t : val, s : SUPPLIERS (
+				PURCHASE_ORDERS(m_po, t, s)
+				&& (t == m_amount -> m_result == "Matched")
+				&& (t != m_amount -> m_result == "Mismatch"))`),
+			Propagate: []string{"m_po", "m_amount"},
+		}},
+	}
+	pay := &has.Task{
+		Name: "PayInvoice",
+		Vars: []has.Variable{
+			has.IDV("p_po", "PURCHASE_ORDERS"),
+			has.V("p_status"),
+		},
+		In:         []string{"p_po"},
+		Out:        []string{"p_status"},
+		InMap:      map[string]string{"p_po": "po"},
+		OutMap:     map[string]string{"p_status": "phase"},
+		OpeningPre: fol.MustParse(`phase == "Matched"`),
+		ClosingPre: fol.MustParse(`p_status == "Paid"`),
+		Services: []*has.Service{{
+			Name:      "ExecutePayment",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`p_status == "Paid" || p_status == null`),
+			Propagate: []string{"p_po"},
+		}},
+	}
+	dispute := &has.Task{
+		Name: "DisputeInvoice",
+		Vars: []has.Variable{
+			has.IDV("d_po", "PURCHASE_ORDERS"),
+			has.V("d_status"),
+		},
+		In:         []string{"d_po"},
+		Out:        []string{"d_status"},
+		InMap:      map[string]string{"d_po": "po"},
+		OutMap:     map[string]string{"d_status": "phase"},
+		OpeningPre: fol.MustParse(`phase == "Mismatch"`),
+		ClosingPre: fol.MustParse(`d_status == "Received" || d_status == "Cancelled"`),
+		Services: []*has.Service{{
+			Name:      "Negotiate",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`d_status == "Received" || d_status == "Cancelled"`),
+			Propagate: []string{"d_po"},
+		}},
+	}
+	root := &has.Task{
+		Name: "InvoiceDesk",
+		Vars: []has.Variable{
+			has.IDV("po", "PURCHASE_ORDERS"),
+			has.V("amount"),
+			has.V("phase"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "INBOX",
+			Attrs: []has.Variable{
+				has.IDV("i_po", "PURCHASE_ORDERS"),
+				has.V("i_amount"),
+				has.V("i_phase"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "ReceiveInvoice",
+				Pre:  fol.MustParse(`phase == null`),
+				Post: fol.MustParse(`exists t : val, s : SUPPLIERS (
+					PURCHASE_ORDERS(po, t, s) && amount != null && phase == "Received")`),
+			},
+			{
+				Name: "Shelve",
+				Pre:  fol.MustParse(`po != null && phase != "Paid" && phase != "Cancelled"`),
+				Post: fol.MustParse(`po == null && amount == null && phase == null`),
+				Update: &has.Update{Insert: true, Relation: "INBOX",
+					Vars: []string{"po", "amount", "phase"}},
+			},
+			{
+				Name: "Unshelve",
+				Pre:  fol.MustParse(`po == null && phase == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "INBOX",
+					Vars: []string{"po", "amount", "phase"}},
+			},
+		},
+		Children: []*has.Task{match, pay, dispute},
+	}
+	return &has.System{
+		Name:      "InvoiceProcessing",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`po == null && amount == null && phase == null`),
+	}
+}
+
+// ExpenseApproval models employee expense reports with a manager review
+// that must respect the spending policy table.
+func ExpenseApproval() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("POLICIES", has.NK("limitclass")),
+		has.RelDef("EMPLOYEES", has.NK("name"), has.FK("policy", "POLICIES")),
+	)
+	review := &has.Task{
+		Name: "ManagerReview",
+		Vars: []has.Variable{
+			has.IDV("r_emp", "EMPLOYEES"),
+			has.IDV("r_policy", "POLICIES"),
+			has.V("r_class"),
+			has.V("r_verdict"),
+		},
+		In:         []string{"r_emp", "r_class"},
+		Out:        []string{"r_verdict"},
+		InMap:      map[string]string{"r_emp": "emp", "r_class": "class"},
+		OutMap:     map[string]string{"r_verdict": "stage"},
+		OpeningPre: fol.MustParse(`stage == "Filed"`),
+		ClosingPre: fol.MustParse(`r_verdict == "Approved" || r_verdict == "Rejected"`),
+		Services: []*has.Service{{
+			Name: "Decide",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists n : val (
+				EMPLOYEES(r_emp, n, r_policy)
+				&& (POLICIES(r_policy, r_class) -> r_verdict == "Approved")
+				&& (!POLICIES(r_policy, r_class) -> r_verdict == "Rejected"))`),
+			Propagate: []string{"r_emp", "r_class"},
+		}},
+	}
+	reimburse := &has.Task{
+		Name: "Reimburse",
+		Vars: []has.Variable{
+			has.IDV("b_emp", "EMPLOYEES"),
+			has.V("b_done"),
+		},
+		In:         []string{"b_emp"},
+		Out:        []string{"b_done"},
+		InMap:      map[string]string{"b_emp": "emp"},
+		OutMap:     map[string]string{"b_done": "stage"},
+		OpeningPre: fol.MustParse(`stage == "Approved"`),
+		ClosingPre: fol.MustParse(`b_done == "Reimbursed"`),
+		Services: []*has.Service{{
+			Name:      "Transfer",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`b_done == "Reimbursed" || b_done == null`),
+			Propagate: []string{"b_emp"},
+		}},
+	}
+	root := &has.Task{
+		Name: "ExpenseDesk",
+		Vars: []has.Variable{
+			has.IDV("emp", "EMPLOYEES"),
+			has.V("class"),
+			has.V("stage"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "FileReport",
+				Pre:  fol.MustParse(`stage == null`),
+				Post: fol.MustParse(`exists n : val, p : POLICIES (
+					EMPLOYEES(emp, n, p) && class != null && stage == "Filed")`),
+			},
+			{
+				Name: "Archive",
+				Pre:  fol.MustParse(`stage == "Reimbursed" || stage == "Rejected"`),
+				Post: fol.MustParse(`emp == null && class == null && stage == null`),
+			},
+		},
+		Children: []*has.Task{review, reimburse},
+	}
+	return &has.System{
+		Name:      "ExpenseApproval",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`emp == null && class == null && stage == null`),
+	}
+}
+
+// AccountOpening models bank account onboarding with a KYC check against
+// sanction and registry tables.
+func AccountOpening() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("REGISTRY", has.NK("standing")),
+		has.RelDef("APPLICANTS2", has.NK("fullname"), has.FK("registry", "REGISTRY")),
+	)
+	kyc := &has.Task{
+		Name: "KYCCheck",
+		Vars: []has.Variable{
+			has.IDV("k_app", "APPLICANTS2"),
+			has.IDV("k_reg", "REGISTRY"),
+			has.V("k_result"),
+		},
+		In:         []string{"k_app"},
+		Out:        []string{"k_result"},
+		InMap:      map[string]string{"k_app": "app"},
+		OutMap:     map[string]string{"k_result": "progress"},
+		OpeningPre: fol.MustParse(`progress == "Started"`),
+		ClosingPre: fol.MustParse(`k_result == "Cleared" || k_result == "Flagged"`),
+		Services: []*has.Service{{
+			Name: "ScreenApplicant",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists n : val (
+				APPLICANTS2(k_app, n, k_reg)
+				&& (REGISTRY(k_reg, "Clean") -> k_result == "Cleared")
+				&& (!REGISTRY(k_reg, "Clean") -> k_result == "Flagged"))`),
+			Propagate: []string{"k_app"},
+		}},
+	}
+	activate := &has.Task{
+		Name: "ActivateAccount",
+		Vars: []has.Variable{
+			has.IDV("v_app", "APPLICANTS2"),
+			has.V("v_state"),
+		},
+		In:         []string{"v_app"},
+		Out:        []string{"v_state"},
+		InMap:      map[string]string{"v_app": "app"},
+		OutMap:     map[string]string{"v_state": "progress"},
+		OpeningPre: fol.MustParse(`progress == "Cleared"`),
+		ClosingPre: fol.MustParse(`v_state == "Active"`),
+		Services: []*has.Service{{
+			Name:      "ProvisionAccount",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`v_state == "Active" || v_state == null`),
+			Propagate: []string{"v_app"},
+		}},
+	}
+	root := &has.Task{
+		Name: "Onboarding",
+		Vars: []has.Variable{
+			has.IDV("app", "APPLICANTS2"),
+			has.V("progress"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "StartApplication",
+				Pre:  fol.MustParse(`progress == null`),
+				Post: fol.MustParse(`app != null && progress == "Started"`),
+			},
+			{
+				Name: "CloseCase",
+				Pre:  fol.MustParse(`progress == "Active" || progress == "Flagged"`),
+				Post: fol.MustParse(`app == null && progress == null`),
+			},
+		},
+		Children: []*has.Task{kyc, activate},
+	}
+	return &has.System{
+		Name:      "AccountOpening",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`app == null && progress == null`),
+	}
+}

@@ -1,0 +1,408 @@
+package workflows
+
+import (
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+// HiringPipeline models recruiting: candidates are screened, interviewed
+// and given offers; the requisition pool is an artifact relation.
+func HiringPipeline() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("ROLES", has.NK("seniority")),
+		has.RelDef("CANDIDATES", has.NK("cname"), has.FK("role", "ROLES")),
+		has.RelDef("INTERVIEWERS", has.NK("trained")),
+	)
+	screen := &has.Task{
+		Name: "Screen",
+		Vars: []has.Variable{
+			has.IDV("s_cand", "CANDIDATES"),
+			has.V("s_result"),
+		},
+		In:         []string{"s_cand"},
+		Out:        []string{"s_result"},
+		InMap:      map[string]string{"s_cand": "cand"},
+		OutMap:     map[string]string{"s_result": "step"},
+		OpeningPre: fol.MustParse(`step == "Applied"`),
+		ClosingPre: fol.MustParse(`s_result == "Screened" || s_result == "Dropped"`),
+		Services: []*has.Service{{
+			Name:      "ReviewCV",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`s_result == "Screened" || s_result == "Dropped" || s_result == null`),
+			Propagate: []string{"s_cand"},
+		}},
+	}
+	interview := &has.Task{
+		Name: "Interview",
+		Vars: []has.Variable{
+			has.IDV("i_cand", "CANDIDATES"),
+			has.IDV("i_interviewer", "INTERVIEWERS"),
+			has.V("i_result"),
+		},
+		In:         []string{"i_cand"},
+		Out:        []string{"i_result"},
+		InMap:      map[string]string{"i_cand": "cand"},
+		OutMap:     map[string]string{"i_result": "step"},
+		OpeningPre: fol.MustParse(`step == "Screened"`),
+		ClosingPre: fol.MustParse(`i_result == "Passed" || i_result == "Dropped"`),
+		Services: []*has.Service{{
+			Name: "Conduct",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`(INTERVIEWERS(i_interviewer, "Yes") && (i_result == "Passed" || i_result == "Dropped"))
+				|| i_result == null`),
+			Propagate: []string{"i_cand"},
+		}},
+	}
+	offer := &has.Task{
+		Name: "MakeOffer",
+		Vars: []has.Variable{
+			has.IDV("o_cand", "CANDIDATES"),
+			has.IDV("o_role", "ROLES"),
+			has.V("o_result"),
+		},
+		In:         []string{"o_cand"},
+		Out:        []string{"o_result"},
+		InMap:      map[string]string{"o_cand": "cand"},
+		OutMap:     map[string]string{"o_result": "step"},
+		OpeningPre: fol.MustParse(`step == "Passed"`),
+		ClosingPre: fol.MustParse(`o_result == "Hired" || o_result == "Declined"`),
+		Services: []*has.Service{{
+			Name: "Negotiate",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists n : val (
+				CANDIDATES(o_cand, n, o_role)) && (o_result == "Hired" || o_result == "Declined")`),
+			Propagate: []string{"o_cand"},
+		}},
+	}
+	root := &has.Task{
+		Name: "Recruiting",
+		Vars: []has.Variable{
+			has.IDV("cand", "CANDIDATES"),
+			has.V("step"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "PIPELINE",
+			Attrs: []has.Variable{
+				has.IDV("p_cand", "CANDIDATES"),
+				has.V("p_step"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "ReceiveApplication",
+				Pre:  fol.MustParse(`step == null`),
+				Post: fol.MustParse(`cand != null && step == "Applied"`),
+			},
+			{
+				Name: "Hold",
+				Pre:  fol.MustParse(`cand != null && step != "Dropped" && step != "Hired"`),
+				Post: fol.MustParse(`cand == null && step == null`),
+				Update: &has.Update{Insert: true, Relation: "PIPELINE",
+					Vars: []string{"cand", "step"}},
+			},
+			{
+				Name: "Unhold",
+				Pre:  fol.MustParse(`cand == null && step == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "PIPELINE",
+					Vars: []string{"cand", "step"}},
+			},
+			{
+				Name: "CloseCandidate",
+				Pre:  fol.MustParse(`step == "Dropped" || step == "Hired"`),
+				Post: fol.MustParse(`cand == null && step == null`),
+			},
+		},
+		Children: []*has.Task{screen, interview, offer},
+	}
+	return &has.System{
+		Name:      "HiringPipeline",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`cand == null && step == null`),
+	}
+}
+
+// GrantReview models research-grant evaluation with reviewer assignment
+// constrained by conflict-of-interest data.
+func GrantReview() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("INSTITUTES", has.NK("country")),
+		has.RelDef("PROPOSALS", has.NK("area"), has.FK("inst", "INSTITUTES")),
+		has.RelDef("REVIEWERS", has.NK("expertise"), has.FK("affiliation", "INSTITUTES")),
+	)
+	assign := &has.Task{
+		Name: "AssignReviewer",
+		Vars: []has.Variable{
+			has.IDV("a_prop", "PROPOSALS"),
+			has.IDV("a_rev", "REVIEWERS"),
+			has.V("a_state"),
+		},
+		In:         []string{"a_prop"},
+		Out:        []string{"a_rev", "a_state"},
+		InMap:      map[string]string{"a_prop": "prop"},
+		OutMap:     map[string]string{"a_rev": "reviewer", "a_state": "stage"},
+		OpeningPre: fol.MustParse(`stage == "Submitted"`),
+		ClosingPre: fol.MustParse(`a_rev != null && a_state == "Assigned"`),
+		Services: []*has.Service{{
+			// Conflict of interest: the reviewer must not be affiliated
+			// with the proposing institute.
+			Name: "PickReviewer",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists ar : val, pi : INSTITUTES, e : val, ri : INSTITUTES (
+				PROPOSALS(a_prop, ar, pi) && REVIEWERS(a_rev, e, ri) && pi != ri)
+				&& a_state == "Assigned"`),
+			Propagate: []string{"a_prop"},
+		}},
+	}
+	decide := &has.Task{
+		Name: "Decide",
+		Vars: []has.Variable{
+			has.IDV("d_prop", "PROPOSALS"),
+			has.IDV("d_rev", "REVIEWERS"),
+			has.V("d_verdict"),
+		},
+		In:         []string{"d_prop", "d_rev"},
+		Out:        []string{"d_verdict"},
+		InMap:      map[string]string{"d_prop": "prop", "d_rev": "reviewer"},
+		OutMap:     map[string]string{"d_verdict": "stage"},
+		OpeningPre: fol.MustParse(`stage == "Assigned" && reviewer != null`),
+		ClosingPre: fol.MustParse(`d_verdict == "Funded" || d_verdict == "Rejected"`),
+		Services: []*has.Service{{
+			Name:      "Review",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`d_verdict == "Funded" || d_verdict == "Rejected" || d_verdict == null`),
+			Propagate: []string{"d_prop", "d_rev"},
+		}},
+	}
+	root := &has.Task{
+		Name: "GrantOffice",
+		Vars: []has.Variable{
+			has.IDV("prop", "PROPOSALS"),
+			has.IDV("reviewer", "REVIEWERS"),
+			has.V("stage"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "ReceiveProposal",
+				Pre:  fol.MustParse(`stage == null`),
+				Post: fol.MustParse(`prop != null && reviewer == null && stage == "Submitted"`),
+			},
+			{
+				Name: "Publish",
+				Pre:  fol.MustParse(`stage == "Funded" || stage == "Rejected"`),
+				Post: fol.MustParse(`prop == null && reviewer == null && stage == null`),
+			},
+		},
+		Children: []*has.Task{assign, decide},
+	}
+	return &has.System{
+		Name:      "GrantReview",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`prop == null && reviewer == null && stage == null`),
+	}
+}
+
+// PatientIntake models emergency-department intake: registration, triage
+// by acuity, and admission or discharge.
+func PatientIntake() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("WARDS", has.NK("specialty")),
+		has.RelDef("PATIENTS", has.NK("pname"), has.NK("insured")),
+	)
+	triage := &has.Task{
+		Name: "TriagePatient",
+		Vars: []has.Variable{
+			has.IDV("t_patient", "PATIENTS"),
+			has.V("t_acuity"),
+			has.V("t_state"),
+		},
+		In:         []string{"t_patient"},
+		Out:        []string{"t_acuity", "t_state"},
+		InMap:      map[string]string{"t_patient": "patient"},
+		OutMap:     map[string]string{"t_acuity": "acuity", "t_state": "visit"},
+		OpeningPre: fol.MustParse(`visit == "Registered"`),
+		ClosingPre: fol.MustParse(`t_acuity != null && t_state == "Triaged"`),
+		Services: []*has.Service{{
+			Name:      "Evaluate",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`(t_acuity == "Urgent" || t_acuity == "Routine") && t_state == "Triaged"`),
+			Propagate: []string{"t_patient"},
+		}},
+	}
+	admit := &has.Task{
+		Name: "Admit",
+		Vars: []has.Variable{
+			has.IDV("m_patient", "PATIENTS"),
+			has.IDV("m_ward", "WARDS"),
+			has.V("m_state"),
+		},
+		In:         []string{"m_patient"},
+		Out:        []string{"m_state"},
+		InMap:      map[string]string{"m_patient": "patient"},
+		OutMap:     map[string]string{"m_state": "visit"},
+		OpeningPre: fol.MustParse(`visit == "Triaged" && acuity == "Urgent"`),
+		ClosingPre: fol.MustParse(`m_state == "Admitted"`),
+		Services: []*has.Service{{
+			Name:      "AllocateBed",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`(exists sp : val (WARDS(m_ward, sp)) && m_state == "Admitted") || m_state == null`),
+			Propagate: []string{"m_patient"},
+		}},
+	}
+	discharge := &has.Task{
+		Name: "Discharge",
+		Vars: []has.Variable{
+			has.IDV("g_patient", "PATIENTS"),
+			has.V("g_state"),
+		},
+		In:         []string{"g_patient"},
+		Out:        []string{"g_state"},
+		InMap:      map[string]string{"g_patient": "patient"},
+		OutMap:     map[string]string{"g_state": "visit"},
+		OpeningPre: fol.MustParse(`(visit == "Triaged" && acuity == "Routine") || visit == "Admitted"`),
+		ClosingPre: fol.MustParse(`g_state == "Discharged"`),
+		Services: []*has.Service{{
+			Name:      "Release",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`g_state == "Discharged" || g_state == null`),
+			Propagate: []string{"g_patient"},
+		}},
+	}
+	root := &has.Task{
+		Name: "EmergencyDept",
+		Vars: []has.Variable{
+			has.IDV("patient", "PATIENTS"),
+			has.V("acuity"),
+			has.V("visit"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "Register",
+				Pre:  fol.MustParse(`visit == null`),
+				Post: fol.MustParse(`exists n : val, i : val (
+					PATIENTS(patient, n, i)) && acuity == null && visit == "Registered"`),
+			},
+			{
+				Name: "CloseVisit",
+				Pre:  fol.MustParse(`visit == "Discharged"`),
+				Post: fol.MustParse(`patient == null && acuity == null && visit == null`),
+			},
+		},
+		Children: []*has.Task{triage, admit, discharge},
+	}
+	return &has.System{
+		Name:      "PatientIntake",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`patient == null && acuity == null && visit == null`),
+	}
+}
+
+// CourseEnrollment models university enrollment with prerequisite
+// checking through foreign keys and a waitlist artifact relation.
+func CourseEnrollment() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("DEPTS2", has.NK("faculty")),
+		has.RelDef("COURSES", has.NK("level"), has.FK("dept", "DEPTS2")),
+		has.RelDef("STUDENTS", has.NK("standing")),
+	)
+	check := &has.Task{
+		Name: "CheckPrereqs",
+		Vars: []has.Variable{
+			has.IDV("c_student", "STUDENTS"),
+			has.IDV("c_course", "COURSES"),
+			has.V("c_ok"),
+		},
+		In:         []string{"c_student", "c_course"},
+		Out:        []string{"c_ok"},
+		InMap:      map[string]string{"c_student": "student", "c_course": "course"},
+		OutMap:     map[string]string{"c_ok": "enrollment"},
+		OpeningPre: fol.MustParse(`enrollment == "Requested"`),
+		ClosingPre: fol.MustParse(`c_ok == "Eligible" || c_ok == "Ineligible"`),
+		Services: []*has.Service{{
+			Name: "Evaluate",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`(STUDENTS(c_student, "Good") -> c_ok == "Eligible")
+				&& (!STUDENTS(c_student, "Good") -> c_ok == "Ineligible")`),
+			Propagate: []string{"c_student", "c_course"},
+		}},
+	}
+	seat := &has.Task{
+		Name: "AllocateSeat",
+		Vars: []has.Variable{
+			has.IDV("s_student", "STUDENTS"),
+			has.IDV("s_course", "COURSES"),
+			has.V("s_result"),
+		},
+		In:         []string{"s_student", "s_course"},
+		Out:        []string{"s_result"},
+		InMap:      map[string]string{"s_student": "student", "s_course": "course"},
+		OutMap:     map[string]string{"s_result": "enrollment"},
+		OpeningPre: fol.MustParse(`enrollment == "Eligible"`),
+		ClosingPre: fol.MustParse(`s_result == "Enrolled" || s_result == "Full"`),
+		Services: []*has.Service{{
+			Name:      "TrySeat",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`s_result == "Enrolled" || s_result == "Full" || s_result == null`),
+			Propagate: []string{"s_student", "s_course"},
+		}},
+	}
+	root := &has.Task{
+		Name: "Registrar",
+		Vars: []has.Variable{
+			has.IDV("student", "STUDENTS"),
+			has.IDV("course", "COURSES"),
+			has.V("enrollment"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "WAITLIST",
+			Attrs: []has.Variable{
+				has.IDV("w_student", "STUDENTS"),
+				has.IDV("w_course", "COURSES"),
+				has.V("w_state"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "Request",
+				Pre:  fol.MustParse(`enrollment == null`),
+				Post: fol.MustParse(`exists l : val, d : DEPTS2 (
+					COURSES(course, l, d)) && student != null && enrollment == "Requested"`),
+			},
+			{
+				Name: "Waitlist",
+				Pre:  fol.MustParse(`enrollment == "Full"`),
+				Post: fol.MustParse(`student == null && course == null && enrollment == null`),
+				Update: &has.Update{Insert: true, Relation: "WAITLIST",
+					Vars: []string{"student", "course", "enrollment"}},
+			},
+			{
+				Name: "PromoteFromWaitlist",
+				Pre:  fol.MustParse(`student == null && enrollment == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "WAITLIST",
+					Vars: []string{"student", "course", "enrollment"}},
+			},
+			{
+				Name:      "RetrySeat",
+				Pre:       fol.MustParse(`student != null && enrollment == "Full"`),
+				Post:      fol.MustParse(`enrollment == "Eligible"`),
+				Propagate: []string{"student", "course"},
+			},
+			{
+				Name: "Finish",
+				Pre:  fol.MustParse(`enrollment == "Enrolled" || enrollment == "Ineligible"`),
+				Post: fol.MustParse(`student == null && course == null && enrollment == null`),
+			},
+		},
+		Children: []*has.Task{check, seat},
+	}
+	return &has.System{
+		Name:      "CourseEnrollment",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`student == null && course == null && enrollment == null`),
+	}
+}

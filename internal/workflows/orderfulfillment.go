@@ -1,0 +1,200 @@
+// Package workflows provides the "Real" benchmark suite: hand-written
+// HAS* specifications of business processes in the style of the BPMN
+// workflows the paper rewrote (Section 4.1), including the paper's fully
+// specified Order Fulfillment running example (Appendix B).
+package workflows
+
+import (
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+// OrderFulfillment builds the paper's running example: a supplier
+// processes customer orders through TakeOrder, CheckCredit, Restock and
+// ShipItem stages coordinated by the root ProcessOrders task with an
+// ORDERS artifact relation (paper Appendix B).
+//
+// With buggy set, the in-stock test of ShipItem is moved from the opening
+// service into the shipping service's pre-condition — the erroneous
+// variant discussed in Section 2.1, which violates property (†) because
+// ShipItem can then be opened without restocking first.
+func OrderFulfillment(buggy bool) *has.System {
+	schema := has.NewSchema(
+		has.RelDef("CREDIT_RECORD", has.NK("status")),
+		has.RelDef("CUSTOMERS", has.NK("name"), has.NK("address"), has.FK("record", "CREDIT_RECORD")),
+		has.RelDef("ITEMS", has.NK("item_name"), has.NK("price")),
+	)
+
+	takeOrder := &has.Task{
+		Name: "TakeOrder",
+		Vars: []has.Variable{
+			has.IDV("t_cust", "CUSTOMERS"),
+			has.IDV("t_item", "ITEMS"),
+			has.V("t_status"),
+			has.V("t_instock"),
+		},
+		Out: []string{"t_cust", "t_item", "t_status", "t_instock"},
+		OutMap: map[string]string{
+			"t_cust": "cust_id", "t_item": "item_id",
+			"t_status": "status", "t_instock": "instock",
+		},
+		OpeningPre: fol.MustParse(`status == "Init"`),
+		ClosingPre: fol.MustParse(`t_cust != null && t_item != null`),
+		Services: []*has.Service{
+			{
+				Name: "EnterCustomer",
+				Pre:  fol.MustParse(`true`),
+				Post: fol.MustParse(`exists n : val, a : val, r : CREDIT_RECORD (
+					CUSTOMERS(t_cust, n, a, r)
+					&& ((t_cust != null && t_item != null) -> t_status == "OrderPlaced")
+					&& ((t_cust == null || t_item == null) -> t_status == null))`),
+				Propagate: []string{"t_instock", "t_item"},
+			},
+			{
+				Name: "EnterItem",
+				Pre:  fol.MustParse(`true`),
+				Post: fol.MustParse(`exists i : val, p : val (
+					ITEMS(t_item, i, p)
+					&& (t_instock == "Yes" || t_instock == "No")
+					&& ((t_cust != null && t_item != null) -> t_status == "OrderPlaced")
+					&& ((t_cust == null || t_item == null) -> t_status == null))`),
+				Propagate: []string{"t_cust"},
+			},
+		},
+	}
+
+	checkCredit := &has.Task{
+		Name: "CheckCredit",
+		Vars: []has.Variable{
+			has.IDV("c_cust", "CUSTOMERS"),
+			has.IDV("c_record", "CREDIT_RECORD"),
+			has.V("c_status"),
+		},
+		In:         []string{"c_cust"},
+		Out:        []string{"c_status"},
+		InMap:      map[string]string{"c_cust": "cust_id"},
+		OutMap:     map[string]string{"c_status": "status"},
+		OpeningPre: fol.MustParse(`status == "OrderPlaced"`),
+		ClosingPre: fol.MustParse(`c_status != null`),
+		Services: []*has.Service{{
+			Name: "Check",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists n : val, a : val (
+				CUSTOMERS(c_cust, n, a, c_record)
+				&& (CREDIT_RECORD(c_record, "Good") -> c_status == "Passed")
+				&& (!CREDIT_RECORD(c_record, "Good") -> c_status == "Failed"))`),
+			Propagate: []string{"c_cust"},
+		}},
+	}
+
+	restock := &has.Task{
+		Name: "Restock",
+		Vars: []has.Variable{
+			has.IDV("r_item", "ITEMS"),
+			has.V("r_instock"),
+		},
+		In:         []string{"r_item"},
+		Out:        []string{"r_instock"},
+		InMap:      map[string]string{"r_item": "item_id"},
+		OutMap:     map[string]string{"r_instock": "instock"},
+		OpeningPre: fol.MustParse(`instock == "No"`),
+		ClosingPre: fol.MustParse(`r_instock == "Yes"`),
+		Services: []*has.Service{{
+			Name:      "Procure",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`r_instock == "Yes" || r_instock == "No"`),
+			Propagate: []string{"r_item"},
+		}},
+	}
+
+	shipOpen := `status == "Passed" && instock == "Yes"`
+	shipPre := `true`
+	if buggy {
+		// The erroneous variant: the stock test is performed inside
+		// ShipItem instead of guarding its opening.
+		shipOpen = `status == "Passed"`
+		shipPre = `s_instock == "Yes"`
+	}
+	shipItem := &has.Task{
+		Name: "ShipItem",
+		Vars: []has.Variable{
+			has.IDV("s_cust", "CUSTOMERS"),
+			has.IDV("s_item", "ITEMS"),
+			has.V("s_instock"),
+			has.V("s_status"),
+		},
+		In:  []string{"s_cust", "s_item", "s_instock"},
+		Out: []string{"s_status"},
+		InMap: map[string]string{
+			"s_cust": "cust_id", "s_item": "item_id", "s_instock": "instock",
+		},
+		OutMap:     map[string]string{"s_status": "status"},
+		OpeningPre: fol.MustParse(shipOpen),
+		ClosingPre: fol.MustParse(`s_status == "Shipped" || s_status == "Failed"`),
+		Services: []*has.Service{{
+			Name:      "Ship",
+			Pre:       fol.MustParse(shipPre),
+			Post:      fol.MustParse(`s_status == "Shipped" || s_status == "Failed"`),
+			Propagate: []string{"s_cust", "s_item", "s_instock"},
+		}},
+	}
+
+	root := &has.Task{
+		Name: "ProcessOrders",
+		Vars: []has.Variable{
+			has.IDV("cust_id", "CUSTOMERS"),
+			has.IDV("item_id", "ITEMS"),
+			has.V("status"),
+			has.V("instock"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "ORDERS",
+			Attrs: []has.Variable{
+				has.IDV("o_cust", "CUSTOMERS"),
+				has.IDV("o_item", "ITEMS"),
+				has.V("o_status"),
+				has.V("o_instock"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "Initialize",
+				Pre:  fol.MustParse(`cust_id == null && item_id == null && status == null`),
+				Post: fol.MustParse(`cust_id == null && item_id == null && status == "Init" && instock == null`),
+			},
+			{
+				Name: "StoreOrder",
+				Pre:  fol.MustParse(`cust_id != null && item_id != null && status != "Failed"`),
+				Post: fol.MustParse(`cust_id == null && item_id == null && status == "Init"`),
+				Update: &has.Update{
+					Insert:   true,
+					Relation: "ORDERS",
+					Vars:     []string{"cust_id", "item_id", "status", "instock"},
+				},
+			},
+			{
+				Name: "RetrieveOrder",
+				Pre:  fol.MustParse(`cust_id == null && item_id == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{
+					Insert:   false,
+					Relation: "ORDERS",
+					Vars:     []string{"cust_id", "item_id", "status", "instock"},
+				},
+			},
+		},
+		Children: []*has.Task{takeOrder, checkCredit, restock, shipItem},
+	}
+
+	name := "OrderFulfillment"
+	if buggy {
+		name = "OrderFulfillmentBuggy"
+	}
+	return &has.System{
+		Name:   name,
+		Schema: schema,
+		Root:   root,
+		GlobalPre: fol.MustParse(
+			`cust_id == null && item_id == null && status == null && instock == null`),
+	}
+}

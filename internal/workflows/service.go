@@ -1,0 +1,454 @@
+package workflows
+
+import (
+	"verifas/internal/fol"
+	"verifas/internal/has"
+)
+
+// SupportTicketing models a help-desk: tickets are pooled in an artifact
+// relation and cycle between triage, resolution and escalation.
+func SupportTicketing() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("TEAMS", has.NK("tier")),
+		has.RelDef("AGENTS", has.NK("name"), has.FK("team", "TEAMS")),
+		has.RelDef("CUSTACCTS", has.NK("plan")),
+	)
+	triage := &has.Task{
+		Name: "Triage",
+		Vars: []has.Variable{
+			has.IDV("t_acct", "CUSTACCTS"),
+			has.IDV("t_agent", "AGENTS"),
+			has.V("t_severity"),
+			has.V("t_state"),
+		},
+		In:         []string{"t_acct"},
+		Out:        []string{"t_agent", "t_severity", "t_state"},
+		InMap:      map[string]string{"t_acct": "acct"},
+		OutMap:     map[string]string{"t_agent": "agent", "t_severity": "severity", "t_state": "state"},
+		OpeningPre: fol.MustParse(`state == "Open" && acct != null`),
+		ClosingPre: fol.MustParse(`t_agent != null && t_severity != null && t_state == "Triaged"`),
+		Services: []*has.Service{{
+			Name: "Assign",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists n : val, tm : TEAMS (
+				AGENTS(t_agent, n, tm)
+				&& (t_severity == "Low" || t_severity == "High")
+				&& t_state == "Triaged")`),
+			Propagate: []string{"t_acct"},
+		}},
+	}
+	resolve := &has.Task{
+		Name: "Resolve",
+		Vars: []has.Variable{
+			has.IDV("r_agent", "AGENTS"),
+			has.V("r_outcome"),
+		},
+		In:         []string{"r_agent"},
+		Out:        []string{"r_outcome"},
+		InMap:      map[string]string{"r_agent": "agent"},
+		OutMap:     map[string]string{"r_outcome": "state"},
+		OpeningPre: fol.MustParse(`state == "Triaged" && severity == "Low"`),
+		ClosingPre: fol.MustParse(`r_outcome == "Resolved" || r_outcome == "Stuck"`),
+		Services: []*has.Service{{
+			Name:      "Work",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`r_outcome == "Resolved" || r_outcome == "Stuck" || r_outcome == null`),
+			Propagate: []string{"r_agent"},
+		}},
+	}
+	escalate := &has.Task{
+		Name: "Escalate",
+		Vars: []has.Variable{
+			has.IDV("e_agent", "AGENTS"),
+			has.IDV("e_team", "TEAMS"),
+			has.V("e_outcome"),
+		},
+		In:         []string{"e_agent"},
+		Out:        []string{"e_outcome"},
+		InMap:      map[string]string{"e_agent": "agent"},
+		OutMap:     map[string]string{"e_outcome": "state"},
+		OpeningPre: fol.MustParse(`(state == "Triaged" && severity == "High") || state == "Stuck"`),
+		ClosingPre: fol.MustParse(`e_outcome == "Resolved"`),
+		Services: []*has.Service{{
+			Name: "SeniorReview",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists n : val (
+				AGENTS(e_agent, n, e_team) && TEAMS(e_team, "Senior") && e_outcome == "Resolved")
+				|| e_outcome == null`),
+			Propagate: []string{"e_agent"},
+		}},
+	}
+	root := &has.Task{
+		Name: "TicketDesk",
+		Vars: []has.Variable{
+			has.IDV("acct", "CUSTACCTS"),
+			has.IDV("agent", "AGENTS"),
+			has.V("severity"),
+			has.V("state"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "BACKLOG",
+			Attrs: []has.Variable{
+				has.IDV("b_acct", "CUSTACCTS"),
+				has.IDV("b_agent", "AGENTS"),
+				has.V("b_severity"),
+				has.V("b_state"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "OpenTicket",
+				Pre:  fol.MustParse(`state == null`),
+				Post: fol.MustParse(`exists p : val (CUSTACCTS(acct, p)) && agent == null && state == "Open"`),
+			},
+			{
+				Name: "Defer",
+				Pre:  fol.MustParse(`acct != null && state != "Resolved"`),
+				Post: fol.MustParse(`acct == null && agent == null && severity == null && state == null`),
+				Update: &has.Update{Insert: true, Relation: "BACKLOG",
+					Vars: []string{"acct", "agent", "severity", "state"}},
+			},
+			{
+				Name: "Reopen",
+				Pre:  fol.MustParse(`acct == null && state == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "BACKLOG",
+					Vars: []string{"acct", "agent", "severity", "state"}},
+			},
+			{
+				Name: "CloseTicket",
+				Pre:  fol.MustParse(`state == "Resolved"`),
+				Post: fol.MustParse(`acct == null && agent == null && severity == null && state == null`),
+			},
+		},
+		Children: []*has.Task{triage, resolve, escalate},
+	}
+	return &has.System{
+		Name:      "SupportTicketing",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`acct == null && agent == null && severity == null && state == null`),
+	}
+}
+
+// InsuranceClaim models claim handling: damage assessment against the
+// policy table, approval and payout.
+func InsuranceClaim() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("COVERAGE", has.NK("klass")),
+		has.RelDef("POLICYHOLDERS", has.NK("name"), has.FK("coverage", "COVERAGE")),
+		has.RelDef("GARAGES", has.NK("certified")),
+	)
+	assess := &has.Task{
+		Name: "AssessDamage",
+		Vars: []has.Variable{
+			has.IDV("a_holder", "POLICYHOLDERS"),
+			has.IDV("a_garage", "GARAGES"),
+			has.V("a_damage"),
+			has.V("a_phase"),
+		},
+		In:         []string{"a_holder"},
+		Out:        []string{"a_damage", "a_phase"},
+		InMap:      map[string]string{"a_holder": "holder"},
+		OutMap:     map[string]string{"a_damage": "damage", "a_phase": "phase"},
+		OpeningPre: fol.MustParse(`phase == "Filed"`),
+		ClosingPre: fol.MustParse(`a_damage != null && a_phase == "Assessed"`),
+		Services: []*has.Service{{
+			Name: "Inspect",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`GARAGES(a_garage, "Yes")
+				&& (a_damage == "Minor" || a_damage == "Total")
+				&& a_phase == "Assessed"`),
+			Propagate: []string{"a_holder"},
+		}},
+	}
+	approve := &has.Task{
+		Name: "ApproveClaim",
+		Vars: []has.Variable{
+			has.IDV("p_holder", "POLICYHOLDERS"),
+			has.IDV("p_cov", "COVERAGE"),
+			has.V("p_damage"),
+			has.V("p_verdict"),
+		},
+		In:         []string{"p_holder", "p_damage"},
+		Out:        []string{"p_verdict"},
+		InMap:      map[string]string{"p_holder": "holder", "p_damage": "damage"},
+		OutMap:     map[string]string{"p_verdict": "phase"},
+		OpeningPre: fol.MustParse(`phase == "Assessed"`),
+		ClosingPre: fol.MustParse(`p_verdict == "Approved" || p_verdict == "Denied"`),
+		Services: []*has.Service{{
+			Name: "PolicyDecision",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists n : val (
+				POLICYHOLDERS(p_holder, n, p_cov)
+				&& ((COVERAGE(p_cov, "Full")) -> p_verdict == "Approved")
+				&& ((!COVERAGE(p_cov, "Full") && p_damage == "Total") -> p_verdict == "Denied")
+				&& ((!COVERAGE(p_cov, "Full") && p_damage != "Total") -> (p_verdict == "Approved" || p_verdict == "Denied")))`),
+			Propagate: []string{"p_holder", "p_damage"},
+		}},
+	}
+	payout := &has.Task{
+		Name: "PayClaim",
+		Vars: []has.Variable{
+			has.IDV("y_holder", "POLICYHOLDERS"),
+			has.V("y_done"),
+		},
+		In:         []string{"y_holder"},
+		Out:        []string{"y_done"},
+		InMap:      map[string]string{"y_holder": "holder"},
+		OutMap:     map[string]string{"y_done": "phase"},
+		OpeningPre: fol.MustParse(`phase == "Approved"`),
+		ClosingPre: fol.MustParse(`y_done == "Paid"`),
+		Services: []*has.Service{{
+			Name:      "IssuePayment",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`y_done == "Paid" || y_done == null`),
+			Propagate: []string{"y_holder"},
+		}},
+	}
+	root := &has.Task{
+		Name: "ClaimsDesk",
+		Vars: []has.Variable{
+			has.IDV("holder", "POLICYHOLDERS"),
+			has.V("damage"),
+			has.V("phase"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "FileClaim",
+				Pre:  fol.MustParse(`phase == null`),
+				Post: fol.MustParse(`holder != null && damage == null && phase == "Filed"`),
+			},
+			{
+				Name: "ArchiveClaim",
+				Pre:  fol.MustParse(`phase == "Paid" || phase == "Denied"`),
+				Post: fol.MustParse(`holder == null && damage == null && phase == null`),
+			},
+		},
+		Children: []*has.Task{assess, approve, payout},
+	}
+	return &has.System{
+		Name:      "InsuranceClaim",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`holder == null && damage == null && phase == null`),
+	}
+}
+
+// WarrantyRepair models a repair shop with a nested hierarchy: the repair
+// stage itself delegates part procurement to a grandchild task.
+func WarrantyRepair() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("MODELS", has.NK("supported")),
+		has.RelDef("DEVICES", has.NK("serial"), has.FK("model", "MODELS")),
+		has.RelDef("PARTS", has.NK("stocked"), has.FK("formodel", "MODELS")),
+	)
+	orderParts := &has.Task{
+		Name: "OrderParts",
+		Vars: []has.Variable{
+			has.IDV("o_part", "PARTS"),
+			has.V("o_arrived"),
+		},
+		In:         []string{"o_part"},
+		Out:        []string{"o_arrived"},
+		InMap:      map[string]string{"o_part": "r_part"},
+		OutMap:     map[string]string{"o_arrived": "r_partready"},
+		OpeningPre: fol.MustParse(`r_part != null && r_partready == null`),
+		ClosingPre: fol.MustParse(`o_arrived == "Yes"`),
+		Services: []*has.Service{{
+			Name:      "ChaseSupplier",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`o_arrived == "Yes" || o_arrived == null`),
+			Propagate: []string{"o_part"},
+		}},
+	}
+	repair := &has.Task{
+		Name: "Repair",
+		Vars: []has.Variable{
+			has.IDV("r_device", "DEVICES"),
+			has.IDV("r_model", "MODELS"),
+			has.IDV("r_part", "PARTS"),
+			has.V("r_partready"),
+			has.V("r_result"),
+		},
+		In:         []string{"r_device"},
+		Out:        []string{"r_result"},
+		InMap:      map[string]string{"r_device": "device"},
+		OutMap:     map[string]string{"r_result": "status"},
+		OpeningPre: fol.MustParse(`status == "Diagnosed"`),
+		ClosingPre: fol.MustParse(`r_result == "Repaired" || r_result == "Scrapped"`),
+		Services: []*has.Service{
+			{
+				Name: "SelectPart",
+				Pre:  fol.MustParse(`r_part == null`),
+				Post: fol.MustParse(`exists s : val, sr : val (
+					DEVICES(r_device, sr, r_model) && PARTS(r_part, s, r_model))
+					&& r_partready == null && r_result == null`),
+				Propagate: []string{"r_device"},
+			},
+			{
+				Name: "FitPart",
+				Pre:  fol.MustParse(`r_part != null && r_partready == "Yes"`),
+				Post: fol.MustParse(`r_result == "Repaired"`),
+				// Fitting does not change which part arrived.
+				Propagate: []string{"r_device", "r_part", "r_partready"},
+			},
+			{
+				Name:      "Scrap",
+				Pre:       fol.MustParse(`true`),
+				Post:      fol.MustParse(`r_result == "Scrapped"`),
+				Propagate: []string{"r_device"},
+			},
+		},
+		Children: []*has.Task{orderParts},
+	}
+	diagnose := &has.Task{
+		Name: "Diagnose",
+		Vars: []has.Variable{
+			has.IDV("d_device", "DEVICES"),
+			has.IDV("d_model", "MODELS"),
+			has.V("d_status"),
+		},
+		In:         []string{"d_device"},
+		Out:        []string{"d_status"},
+		InMap:      map[string]string{"d_device": "device"},
+		OutMap:     map[string]string{"d_status": "status"},
+		OpeningPre: fol.MustParse(`status == "CheckedIn"`),
+		ClosingPre: fol.MustParse(`d_status == "Diagnosed" || d_status == "NoFault"`),
+		Services: []*has.Service{{
+			Name: "RunTests",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`exists sr : val (
+				DEVICES(d_device, sr, d_model)
+				&& (MODELS(d_model, "Yes") -> (d_status == "Diagnosed" || d_status == "NoFault"))
+				&& (!MODELS(d_model, "Yes") -> d_status == "NoFault"))`),
+			Propagate: []string{"d_device"},
+		}},
+	}
+	root := &has.Task{
+		Name: "RepairShop",
+		Vars: []has.Variable{
+			has.IDV("device", "DEVICES"),
+			has.V("status"),
+		},
+		Services: []*has.Service{
+			{
+				Name: "CheckIn",
+				Pre:  fol.MustParse(`status == null`),
+				Post: fol.MustParse(`device != null && status == "CheckedIn"`),
+			},
+			{
+				Name: "ReturnDevice",
+				Pre:  fol.MustParse(`status == "Repaired" || status == "NoFault" || status == "Scrapped"`),
+				Post: fol.MustParse(`device == null && status == null`),
+			},
+		},
+		Children: []*has.Task{diagnose, repair},
+	}
+	return &has.System{
+		Name:      "WarrantyRepair",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`device == null && status == null`),
+	}
+}
+
+// CarRental models vehicle reservation, pickup and return with fleet
+// state kept in an artifact relation.
+func CarRental() *has.System {
+	schema := has.NewSchema(
+		has.RelDef("BRANCHES", has.NK("city")),
+		has.RelDef("VEHICLES", has.NK("vclass"), has.FK("home", "BRANCHES")),
+		has.RelDef("DRIVERS", has.NK("licensed")),
+	)
+	pickup := &has.Task{
+		Name: "Pickup",
+		Vars: []has.Variable{
+			has.IDV("p_vehicle", "VEHICLES"),
+			has.IDV("p_driver", "DRIVERS"),
+			has.V("p_state"),
+		},
+		In:         []string{"p_vehicle", "p_driver"},
+		Out:        []string{"p_state"},
+		InMap:      map[string]string{"p_vehicle": "vehicle", "p_driver": "driver"},
+		OutMap:     map[string]string{"p_state": "rental"},
+		OpeningPre: fol.MustParse(`rental == "Reserved"`),
+		ClosingPre: fol.MustParse(`p_state == "OnRoad" || p_state == "Cancelled"`),
+		Services: []*has.Service{{
+			Name: "HandOver",
+			Pre:  fol.MustParse(`true`),
+			Post: fol.MustParse(`(DRIVERS(p_driver, "Yes") -> (p_state == "OnRoad" || p_state == "Cancelled"))
+				&& (!DRIVERS(p_driver, "Yes") -> p_state == "Cancelled")`),
+			Propagate: []string{"p_vehicle", "p_driver"},
+		}},
+	}
+	ret := &has.Task{
+		Name: "Return",
+		Vars: []has.Variable{
+			has.IDV("t_vehicle", "VEHICLES"),
+			has.V("t_state"),
+		},
+		In:         []string{"t_vehicle"},
+		Out:        []string{"t_state"},
+		InMap:      map[string]string{"t_vehicle": "vehicle"},
+		OutMap:     map[string]string{"t_state": "rental"},
+		OpeningPre: fol.MustParse(`rental == "OnRoad"`),
+		ClosingPre: fol.MustParse(`t_state == "Returned"`),
+		Services: []*has.Service{{
+			Name:      "Inspect",
+			Pre:       fol.MustParse(`true`),
+			Post:      fol.MustParse(`t_state == "Returned" || t_state == null`),
+			Propagate: []string{"t_vehicle"},
+		}},
+	}
+	root := &has.Task{
+		Name: "RentalDesk",
+		Vars: []has.Variable{
+			has.IDV("vehicle", "VEHICLES"),
+			has.IDV("driver", "DRIVERS"),
+			has.V("rental"),
+		},
+		Relations: []*has.ArtifactRelation{{
+			Name: "RESERVATIONS",
+			Attrs: []has.Variable{
+				has.IDV("v_vehicle", "VEHICLES"),
+				has.IDV("v_driver", "DRIVERS"),
+				has.V("v_rental"),
+			},
+		}},
+		Services: []*has.Service{
+			{
+				Name: "Reserve",
+				Pre:  fol.MustParse(`rental == null`),
+				Post: fol.MustParse(`exists c : val, b : BRANCHES (
+					VEHICLES(vehicle, c, b)) && driver != null && rental == "Reserved"`),
+			},
+			{
+				Name: "Queue",
+				Pre:  fol.MustParse(`vehicle != null && rental == "Reserved"`),
+				Post: fol.MustParse(`vehicle == null && driver == null && rental == null`),
+				Update: &has.Update{Insert: true, Relation: "RESERVATIONS",
+					Vars: []string{"vehicle", "driver", "rental"}},
+			},
+			{
+				Name: "Dequeue",
+				Pre:  fol.MustParse(`vehicle == null && rental == null`),
+				Post: fol.MustParse(`true`),
+				Update: &has.Update{Insert: false, Relation: "RESERVATIONS",
+					Vars: []string{"vehicle", "driver", "rental"}},
+			},
+			{
+				Name: "Complete",
+				Pre:  fol.MustParse(`rental == "Returned" || rental == "Cancelled"`),
+				Post: fol.MustParse(`vehicle == null && driver == null && rental == null`),
+			},
+		},
+		Children: []*has.Task{pickup, ret},
+	}
+	return &has.System{
+		Name:      "CarRental",
+		Schema:    schema,
+		Root:      root,
+		GlobalPre: fol.MustParse(`vehicle == null && driver == null && rental == null`),
+	}
+}
