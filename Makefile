@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Static hygiene: vet must be clean and every file gofmt-formatted.
+check:
+	$(GO) vet ./...
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
+		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+
+# Race-detector pass over the packages with concurrent schedulers.
+race:
+	$(GO) test -race -short ./internal/core/... ./internal/benchmark/... ./internal/vass/... ./internal/spinlike/...
+
+bench:
+	$(GO) test -bench=. -benchmem

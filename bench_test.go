@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -75,8 +76,8 @@ func BenchmarkTable2Verifiers(b *testing.B) {
 	for _, verifier := range []string{benchmark.VSpinlike, benchmark.VVerifasNoSet, benchmark.VVerifas} {
 		b.Run(verifier, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				runs := append(benchmark.RunSuite(real, verifier, cfg),
-					benchmark.RunSuite(synth, verifier, cfg)...)
+				runs := append(benchmark.RunSuite(context.Background(), real, verifier, cfg),
+					benchmark.RunSuite(context.Background(), synth, verifier, cfg)...)
 				if i == b.N-1 {
 					report(b, runs)
 				}
@@ -93,7 +94,7 @@ func BenchmarkTable3Optimizations(b *testing.B) {
 	var base []benchmark.Run
 	b.Run("full", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			base = benchmark.RunSuite(specs, benchmark.VVerifas, cfg)
+			base = benchmark.RunSuite(context.Background(), specs, benchmark.VVerifas, cfg)
 		}
 		report(b, base)
 	})
@@ -105,7 +106,7 @@ func BenchmarkTable3Optimizations(b *testing.B) {
 		b.Run(opt.name, func(b *testing.B) {
 			var off []benchmark.Run
 			for i := 0; i < b.N; i++ {
-				off = benchmark.RunSuite(specs, opt.verifier, cfg)
+				off = benchmark.RunSuite(context.Background(), specs, opt.verifier, cfg)
 			}
 			report(b, off)
 			if len(base) == len(off) && len(base) > 0 {
@@ -141,7 +142,7 @@ func BenchmarkTable4Templates(b *testing.B) {
 				var runs []benchmark.Run
 				for si, spec := range real {
 					props := benchmark.Properties(spec.Sys, cfg.Seed+int64(si))
-					runs = append(runs, benchmark.RunOne(spec, props[ti], benchmark.VVerifas, cfg))
+					runs = append(runs, benchmark.RunOne(context.Background(), spec, props[ti], benchmark.VVerifas, cfg))
 				}
 				if i == b.N-1 {
 					report(b, runs)
@@ -158,7 +159,7 @@ func BenchmarkFigure9Cyclomatic(b *testing.B) {
 	real, synth := smallReal(b), smallSynth(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		_, out = benchmark.Figure9(real, synth, cfg)
+		_, out = benchmark.Figure9(context.Background(), real, synth, cfg)
 	}
 	b.Log("\n" + out)
 }
@@ -170,8 +171,8 @@ func BenchmarkRepeatedReachabilityOverhead(b *testing.B) {
 	specs := smallReal(b)
 	var full, noRR []benchmark.Run
 	for i := 0; i < b.N; i++ {
-		full = benchmark.RunSuite(specs, benchmark.VVerifas, cfg)
-		noRR = benchmark.RunSuite(specs, benchmark.VNoRR, cfg)
+		full = benchmark.RunSuite(context.Background(), specs, benchmark.VVerifas, cfg)
+		noRR = benchmark.RunSuite(context.Background(), specs, benchmark.VNoRR, cfg)
 	}
 	var overheads []float64
 	for i := range full {
@@ -225,7 +226,7 @@ func BenchmarkRRStrategyAblation(b *testing.B) {
 }
 
 func runWithRRMode(spec *benchmark.Spec, prop *core.Property, aggressive bool, cfg benchmark.Config) benchmark.Run {
-	res, err := core.Verify(spec.Sys, prop, core.Options{
+	res, err := core.Verify(context.Background(), spec.Sys, prop, core.Options{
 		MaxStates:    cfg.MaxStates,
 		Timeout:      cfg.Timeout,
 		AggressiveRR: aggressive,

@@ -6,15 +6,26 @@
 //
 //	benchrun [-table 1|2|3|4|rr] [-figure 9] [-all]
 //	         [-synth N] [-real N] [-timeout D] [-seed S]
+//	         [-j N] [-json] [-quiet]
+//
+// -j fans the independent (spec, property, verifier) runs over N worker
+// goroutines (default GOMAXPROCS); table content is unaffected by the
+// parallelism. -json emits one machine-readable record per run on stdout
+// (the human-readable tables and progress move to stderr so stdout stays
+// parseable). Ctrl-C cancels the running searches cooperatively.
 //
 // Absolute numbers depend on the host; the shapes (who wins, by what
 // factor, where timeouts appear) reproduce the paper — see EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"time"
 
 	"verifas/internal/benchmark"
@@ -31,10 +42,23 @@ func main() {
 		seed     = flag.Int64("seed", 1, "suite and property seed")
 		spinMax  = flag.Int("spin-max-states", 150000, "state budget of the spin-like baseline")
 		maxState = flag.Int("max-states", 400000, "state budget per VERIFAS search phase")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel verification workers per suite")
+		jsonOut  = flag.Bool("json", false, "emit one JSON record per run on stdout (tables move to stderr)")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line")
 	)
 	flag.Parse()
 	if *table == "" && *figure == "" && !*all {
 		*all = true
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// With -json, stdout carries only the per-run records; everything
+	// human-readable goes to stderr.
+	var out io.Writer = os.Stdout
+	if *jsonOut {
+		out = os.Stderr
 	}
 
 	cfg := benchmark.Config{
@@ -43,45 +67,63 @@ func main() {
 		SpinMaxStates: *spinMax,
 		SpinFresh:     2,
 		Seed:          *seed,
+		Workers:       *workers,
 	}
-	fmt.Printf("building suites (synthetic N=%d, seed=%d)...\n", *synthN, *seed)
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	if *jsonOut {
+		cfg.OnRun = func(r benchmark.Run) {
+			if err := benchmark.WriteRecord(os.Stdout, r); err != nil {
+				fmt.Fprintln(os.Stderr, "json:", err)
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "building suites (synthetic N=%d, seed=%d)...\n", *synthN, *seed)
 	real := benchmark.RealSuite()
 	if *realN > 0 && *realN < len(real) {
 		real = real[:*realN]
 	}
 	synthetic := benchmark.SyntheticSuite(*synthN, *seed)
-	fmt.Printf("suites ready: %d real, %d synthetic\n\n", len(real), len(synthetic))
+	fmt.Fprintf(out, "suites ready: %d real, %d synthetic (j=%d)\n\n", len(real), len(synthetic), *workers)
 
-	want := func(t string) bool { return *all || *table == t }
+	// Once cancelled, skip the remaining sections instead of printing
+	// degenerate all-error tables.
+	want := func(t string) bool { return ctx.Err() == nil && (*all || *table == t) }
 
 	if want("1") {
-		fmt.Println(benchmark.Table1(real, synthetic))
+		fmt.Fprintln(out, benchmark.Table1(real, synthetic))
 	}
 	if want("2") {
 		start := time.Now()
-		fmt.Println(benchmark.Table2(real, synthetic, cfg))
-		fmt.Printf("(table 2 took %s)\n\n", time.Since(start).Round(time.Second))
+		fmt.Fprintln(out, benchmark.Table2(ctx, real, synthetic, cfg))
+		fmt.Fprintf(out, "(table 2 took %s)\n\n", time.Since(start).Round(time.Second))
 	}
 	if want("3") {
 		start := time.Now()
-		fmt.Println(benchmark.Table3(real, synthetic, cfg))
-		fmt.Printf("(table 3 took %s)\n\n", time.Since(start).Round(time.Second))
+		fmt.Fprintln(out, benchmark.Table3(ctx, real, synthetic, cfg))
+		fmt.Fprintf(out, "(table 3 took %s)\n\n", time.Since(start).Round(time.Second))
 	}
 	if want("4") {
 		start := time.Now()
-		fmt.Println(benchmark.Table4(real, synthetic, cfg))
-		fmt.Printf("(table 4 took %s)\n\n", time.Since(start).Round(time.Second))
+		fmt.Fprintln(out, benchmark.Table4(ctx, real, synthetic, cfg))
+		fmt.Fprintf(out, "(table 4 took %s)\n\n", time.Since(start).Round(time.Second))
 	}
-	if *all || *figure == "9" {
+	if ctx.Err() == nil && (*all || *figure == "9") {
 		start := time.Now()
-		_, out := benchmark.Figure9(real, synthetic, cfg)
-		fmt.Println(out)
-		fmt.Printf("(figure 9 took %s)\n\n", time.Since(start).Round(time.Second))
+		_, figOut := benchmark.Figure9(ctx, real, synthetic, cfg)
+		fmt.Fprintln(out, figOut)
+		fmt.Fprintf(out, "(figure 9 took %s)\n\n", time.Since(start).Round(time.Second))
 	}
 	if want("rr") {
 		start := time.Now()
-		fmt.Println(benchmark.RROverhead(real, synthetic, cfg))
-		fmt.Printf("(rr overhead took %s)\n", time.Since(start).Round(time.Second))
+		fmt.Fprintln(out, benchmark.RROverhead(ctx, real, synthetic, cfg))
+		fmt.Fprintf(out, "(rr overhead took %s)\n", time.Since(start).Round(time.Second))
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
 	}
 	os.Exit(0)
 }

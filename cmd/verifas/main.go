@@ -6,15 +6,22 @@
 //
 // The specification file uses the textual format of internal/spec and may
 // contain any number of property blocks; by default every property is
-// verified. Exit status: 0 when all verified properties hold, 1 when a
-// violation was found, 2 on errors or timeouts.
+// verified. With -j N, up to N properties are verified concurrently
+// (cooperatively cancellable with Ctrl-C); reports are still printed in
+// specification order. Exit status: 0 when all verified properties hold,
+// 1 when a violation was found, 2 on errors or timeouts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"strings"
+	"sync"
 	"time"
 
 	"verifas/internal/concrete"
@@ -43,6 +50,7 @@ func run() int {
 		showTrace = flag.Bool("trace", true, "print counterexample traces")
 		showStats = flag.Bool("stats", false, "print search statistics")
 		witness   = flag.Bool("witness", false, "try to realize root-task counterexample prefixes concretely on random databases")
+		workers   = flag.Int("j", 1, "verify up to N properties concurrently (output order is preserved)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -83,29 +91,35 @@ func run() int {
 		return 0
 	}
 
-	exit := 0
-	for _, prop := range props {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// verifyProp renders one property's full report; with -j > 1 the
+	// reports are produced concurrently and printed in property order.
+	verifyProp := func(prop *core.Property) (string, int) {
+		var sb strings.Builder
 		switch *engine {
 		case "spinlike":
-			res, err := spinlike.Verify(file.System, &spinlike.Property{
+			res, err := spinlike.Verify(ctx, file.System, &spinlike.Property{
 				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
 			}, spinlike.Options{Timeout: *timeout})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: error: %v\n", prop.Name, err)
-				return 2
+				fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
+				return sb.String(), 2
 			}
 			switch {
 			case res.TimedOut:
-				fmt.Printf("%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
-				exit = max(exit, 2)
+				fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
+				return sb.String(), 2
 			case res.Holds:
-				fmt.Printf("%-30s HOLDS    (%s, %d states, bounded domain)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
+				fmt.Fprintf(&sb, "%-30s HOLDS    (%s, %d states, bounded domain)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
+				return sb.String(), 0
 			default:
-				fmt.Printf("%-30s VIOLATED (%s, %d states, bounded domain)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
-				exit = max(exit, 1)
+				fmt.Fprintf(&sb, "%-30s VIOLATED (%s, %d states, bounded domain)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
+				return sb.String(), 1
 			}
 		default:
-			res, err := core.Verify(file.System, prop, core.Options{
+			res, err := core.Verify(ctx, file.System, prop, core.Options{
 				IgnoreSets:               *noSet,
 				NoStatePruning:           *noSP,
 				NoStaticAnalysis:         *noSA,
@@ -115,32 +129,68 @@ func run() int {
 				MaxStates:                *maxStates,
 			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: error: %v\n", prop.Name, err)
-				return 2
+				fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
+				return sb.String(), 2
 			}
+			code := 0
 			switch {
 			case res.Stats.TimedOut:
-				fmt.Printf("%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
-				exit = max(exit, 2)
+				fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+				code = 2
 			case res.Holds:
-				fmt.Printf("%-30s HOLDS    (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+				fmt.Fprintf(&sb, "%-30s HOLDS    (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
 			default:
-				fmt.Printf("%-30s VIOLATED (%s, %d states, %s counterexample)\n",
+				fmt.Fprintf(&sb, "%-30s VIOLATED (%s, %d states, %s counterexample)\n",
 					prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored, res.Violation.Kind)
 				if *showTrace {
-					printTrace(res.Violation)
+					printTrace(&sb, res.Violation)
 				}
 				if *witness && prop.Task == file.System.Root.Name {
-					replayWitness(file.System, res.Violation)
+					replayWitness(&sb, file.System, res.Violation)
 				}
-				exit = max(exit, 1)
+				code = 1
 			}
 			if *showStats {
-				fmt.Printf("  büchi=%d explored=%d pruned=%d skipped=%d accel=%d rr=%d\n",
+				fmt.Fprintf(&sb, "  büchi=%d explored=%d pruned=%d skipped=%d accel=%d rr=%d\n",
 					res.Stats.BuchiStates, res.Stats.StatesExplored, res.Stats.Pruned,
 					res.Stats.Skipped, res.Stats.Accelerations, res.Stats.RRStates)
 			}
+			return sb.String(), code
 		}
+	}
+
+	reports := make([]string, len(props))
+	codes := make([]int, len(props))
+	n := *workers
+	if n <= 1 || len(props) == 1 {
+		for i, prop := range props {
+			reports[i], codes[i] = verifyProp(prop)
+		}
+	} else {
+		if n > len(props) {
+			n = len(props)
+		}
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					reports[i], codes[i] = verifyProp(props[i])
+				}
+			}()
+		}
+		for i := range props {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	exit := 0
+	for i := range props {
+		fmt.Print(reports[i])
+		exit = max(exit, codes[i])
 	}
 	return exit
 }
@@ -149,7 +199,7 @@ func run() int {
 // run over random databases, printing the realized trace when found. The
 // sampler is incomplete: failure to realize does not refute the symbolic
 // counterexample.
-func replayWitness(sys *has.System, v *core.Violation) {
+func replayWitness(w io.Writer, sys *has.System, v *core.Violation) {
 	var atoms []string
 	for i, step := range v.Prefix {
 		if i == 0 {
@@ -183,23 +233,23 @@ func replayWitness(sys *has.System, v *core.Violation) {
 			}
 			kind = "observable subsequence"
 		}
-		fmt.Printf("    concrete realization of the counterexample %s (random database):\n", kind)
+		fmt.Fprintf(w, "    concrete realization of the counterexample %s (random database):\n", kind)
 		for i, st := range run.Trace {
-			fmt.Printf("      %2d. %s\n", i, st.Event.AtomName())
+			fmt.Fprintf(w, "      %2d. %s\n", i, st.Event.AtomName())
 		}
 		return
 	}
-	fmt.Println("    (no concrete realization sampled within the budget)")
+	fmt.Fprintln(w, "    (no concrete realization sampled within the budget)")
 }
 
-func printTrace(v *core.Violation) {
+func printTrace(w io.Writer, v *core.Violation) {
 	for i, step := range v.Prefix {
-		fmt.Printf("    %2d. %-28s %s\n", i, step.Service.AtomName(), step.State)
+		fmt.Fprintf(w, "    %2d. %-28s %s\n", i, step.Service.AtomName(), step.State)
 	}
 	if len(v.Cycle) > 0 {
-		fmt.Println("    -- repeat forever:")
+		fmt.Fprintln(w, "    -- repeat forever:")
 		for _, step := range v.Cycle {
-			fmt.Printf("        %s\n", step.Service.AtomName())
+			fmt.Fprintf(w, "        %s\n", step.Service.AtomName())
 		}
 	}
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -77,7 +78,7 @@ func main() {
 	}
 
 	verify := func(prop *core.Property) {
-		res, err := core.Verify(sys, prop, core.Options{Timeout: 30 * time.Second})
+		res, err := core.Verify(context.Background(), sys, prop, core.Options{Timeout: 30 * time.Second})
 		if err != nil {
 			log.Fatal(err)
 		}

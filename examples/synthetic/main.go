@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -49,7 +50,7 @@ func main() {
 	tmpls := benchmark.Templates()
 	fmt.Println("\nverifying the 12 Table 4 template properties of the root task:")
 	for i, prop := range props {
-		res, err := core.Verify(sys, prop, core.Options{
+		res, err := core.Verify(context.Background(), sys, prop, core.Options{
 			Timeout:   20 * time.Second,
 			MaxStates: 300_000,
 		})

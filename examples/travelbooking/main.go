@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,7 +54,7 @@ func main() {
 		},
 	}
 	for _, prop := range props {
-		res, err := core.Verify(sys, prop, core.Options{Timeout: 60 * time.Second})
+		res, err := core.Verify(context.Background(), sys, prop, core.Options{Timeout: 60 * time.Second})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -101,7 +102,7 @@ func TestTable1Format(t *testing.T) {
 func TestRunSuiteSmall(t *testing.T) {
 	real := RealSuite()[:2]
 	cfg := quickCfg()
-	runs := RunSuite(real, VVerifas, cfg)
+	runs := RunSuite(context.Background(), real, VVerifas, cfg)
 	if len(runs) != 24 {
 		t.Fatalf("got %d runs, want 24 (2 specs × 12 templates)", len(runs))
 	}
@@ -118,7 +119,7 @@ func TestRunSuiteSmall(t *testing.T) {
 
 func TestFigure9Small(t *testing.T) {
 	real := RealSuite()[:3]
-	points, out := Figure9(real, nil, quickCfg())
+	points, out := Figure9(context.Background(), real, nil, quickCfg())
 	if len(points) != 3 {
 		t.Fatalf("got %d points", len(points))
 	}
@@ -138,7 +139,7 @@ func TestVerifierVariantsAgree(t *testing.T) {
 		var verdicts []bool
 		var fails []bool
 		for _, v := range []string{VVerifas, VNoSP, VNoSA, VNoDSS} {
-			r := RunOne(spec, prop, v, cfg)
+			r := RunOne(context.Background(), spec, prop, v, cfg)
 			verdicts = append(verdicts, r.Holds)
 			fails = append(fails, r.Fail)
 		}

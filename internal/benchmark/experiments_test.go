@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func TestTable2Driver(t *testing.T) {
 	}
 	real := RealSuite()[:2]
 	synth := SyntheticSuite(1, 21)
-	out := Table2(real, synth, tinyCfg())
+	out := Table2(context.Background(), real, synth, tinyCfg())
 	for _, want := range []string{"Spin-like", "VERIFAS-NoSet", "VERIFAS", "#Fail"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 2 missing %q:\n%s", want, out)
@@ -36,7 +37,7 @@ func TestTable3Driver(t *testing.T) {
 		t.Skip("slow driver test")
 	}
 	real := RealSuite()[:2]
-	out := Table3(real, nil, tinyCfg())
+	out := Table3(context.Background(), real, nil, tinyCfg())
 	for _, want := range []string{"SP", "SA", "DSS", "Trimmed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 3 missing %q:\n%s", want, out)
@@ -50,7 +51,7 @@ func TestTable4Driver(t *testing.T) {
 		t.Skip("slow driver test")
 	}
 	real := RealSuite()[:2]
-	out := Table4(real, nil, tinyCfg())
+	out := Table4(context.Background(), real, nil, tinyCfg())
 	for _, want := range []string{"False", "Safety", "Liveness", "Fairness"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 4 missing %q:\n%s", want, out)
@@ -64,7 +65,7 @@ func TestRROverheadDriver(t *testing.T) {
 		t.Skip("slow driver test")
 	}
 	real := RealSuite()[:2]
-	out := RROverhead(real, nil, tinyCfg())
+	out := RROverhead(context.Background(), real, nil, tinyCfg())
 	if !strings.Contains(out, "overhead") {
 		t.Errorf("RR overhead malformed:\n%s", out)
 	}

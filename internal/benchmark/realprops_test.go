@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,7 +25,7 @@ func TestCheckedProperties(t *testing.T) {
 			}
 			systems[cp.Workflow] = sys
 		}
-		res, err := core.Verify(sys, cp.Prop, core.Options{
+		res, err := core.Verify(context.Background(), sys, cp.Prop, core.Options{
 			MaxStates: 400_000,
 			Timeout:   120 * time.Second,
 		})

@@ -1,0 +1,66 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Record is the machine-readable form of one Run, emitted by
+// `benchrun -json` as one JSON object per line so successive revisions can
+// track the performance trajectory of each (spec, property, verifier)
+// cell.
+type Record struct {
+	Spec     string `json:"spec"`
+	Set      string `json:"set"`
+	M        int    `json:"m"`
+	Template string `json:"template"`
+	Class    string `json:"class"`
+	Verifier string `json:"verifier"`
+	// TimeUS is the elapsed wall-clock time in microseconds.
+	TimeUS int64 `json:"time_us"`
+	// Timeout marks wall-clock or state-budget exhaustion.
+	Timeout bool `json:"timeout"`
+	// Err carries a hard verifier error (absent for clean runs).
+	Err   string `json:"err,omitempty"`
+	Holds bool   `json:"holds"`
+	// Search-effort counters from core.Stats (spin-like runs populate
+	// only States).
+	BuchiStates   int `json:"buchi_states,omitempty"`
+	States        int `json:"states"`
+	Pruned        int `json:"pruned,omitempty"`
+	Skipped       int `json:"skipped,omitempty"`
+	Accelerations int `json:"accelerations,omitempty"`
+	RRStates      int `json:"rr_states,omitempty"`
+}
+
+// Record converts the run into its JSON-emission form.
+func (r Run) Record() Record {
+	rec := Record{
+		Template:      r.Template,
+		Class:         r.Class,
+		Verifier:      r.Verifier,
+		TimeUS:        r.Time.Microseconds(),
+		Timeout:       r.Fail,
+		Holds:         r.Holds,
+		BuchiStates:   r.Stats.BuchiStates,
+		States:        r.Stats.StatesExplored,
+		Pruned:        r.Stats.Pruned,
+		Skipped:       r.Stats.Skipped,
+		Accelerations: r.Stats.Accelerations,
+		RRStates:      r.Stats.RRStates,
+	}
+	if r.Spec != nil {
+		rec.Spec = r.Spec.Name
+		rec.Set = r.Spec.Set
+		rec.M = r.Spec.M
+	}
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	}
+	return rec
+}
+
+// WriteRecord emits the run as one JSON line.
+func WriteRecord(w io.Writer, r Run) error {
+	return json.NewEncoder(w).Encode(r.Record())
+}

@@ -1,7 +1,11 @@
 package benchmark
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"verifas/internal/core"
@@ -83,6 +87,19 @@ type Config struct {
 	SpinFresh     int
 	// Seed drives property instantiation.
 	Seed int64
+	// Workers bounds RunSuite's parallelism: n > 1 fans the independent
+	// (spec, property) jobs over n goroutines; <= 1 runs serially. Result
+	// order, content and seeding are identical either way — only the
+	// wall-clock timings vary with scheduling.
+	Workers int
+	// Progress, when non-nil, receives a live single-line progress report
+	// (completed/total, failures, ETA) rewritten in place with '\r';
+	// point it at a terminal's stderr, not at a log file.
+	Progress io.Writer
+	// OnRun, when non-nil, is called once per completed run, in
+	// deterministic suite order after the worker pool drains (used by
+	// benchrun -json to emit per-run records).
+	OnRun func(Run)
 }
 
 // DefaultConfig returns a budget suitable for a small container.
@@ -103,8 +120,17 @@ type Run struct {
 	Class    string
 	Verifier string
 	Time     time.Duration
-	Fail     bool // timeout or budget exhaustion
-	Holds    bool
+	// Fail marks budget exhaustion: the wall-clock timeout or the state
+	// budget expired before the search finished.
+	Fail bool
+	// Err records a hard verifier error (invalid property, compilation
+	// failure, cancellation). Errored runs are NOT timeouts: they are
+	// excluded from time averages and counted separately — see avgTime.
+	Err   error
+	Holds bool
+	// Stats carries the verifier's search-effort counters. For spin-like
+	// runs only StatesExplored, Elapsed and TimedOut are meaningful.
+	Stats core.Stats
 }
 
 // Verifier names.
@@ -118,13 +144,27 @@ const (
 	VNoRR         = "VERIFAS-noRR"
 )
 
-// RunOne verifies one property of a spec with the named verifier.
-func RunOne(spec *Spec, prop *core.Property, verifier string, cfg Config) Run {
-	tmplClass := ""
-	run := Run{Spec: spec, Template: prop.Name, Class: tmplClass, Verifier: verifier}
+// templateClasses maps template names to their Table 4 class.
+var templateClasses = func() map[string]string {
+	m := map[string]string{}
+	for _, t := range Templates() {
+		m[t.Name] = t.Class
+	}
+	return m
+}()
+
+// TemplateClass returns the Table 4 class of a template name, or "" for
+// properties outside the template set.
+func TemplateClass(name string) string { return templateClasses[name] }
+
+// RunOne verifies one property of a spec with the named verifier. The
+// template class is resolved from the property name, so direct callers get
+// a populated Run.Class without going through RunSuite.
+func RunOne(ctx context.Context, spec *Spec, prop *core.Property, verifier string, cfg Config) Run {
+	run := Run{Spec: spec, Template: prop.Name, Class: TemplateClass(prop.Name), Verifier: verifier}
 	switch verifier {
 	case VSpinlike:
-		res, err := spinlike.Verify(spec.Sys, &spinlike.Property{
+		res, err := spinlike.Verify(ctx, spec.Sys, &spinlike.Property{
 			Task:    prop.Task,
 			Globals: prop.Globals,
 			Conds:   prop.Conds,
@@ -135,12 +175,17 @@ func RunOne(spec *Spec, prop *core.Property, verifier string, cfg Config) Run {
 			Timeout:      cfg.Timeout,
 		})
 		if err != nil {
-			run.Fail = true
+			run.Err = err
 			return run
 		}
 		run.Time = res.Stats.Elapsed
 		run.Fail = res.TimedOut
 		run.Holds = res.Holds
+		run.Stats = core.Stats{
+			StatesExplored: res.Stats.States,
+			Elapsed:        res.Stats.Elapsed,
+			TimedOut:       res.TimedOut,
+		}
 		return run
 	default:
 		opts := core.Options{MaxStates: cfg.MaxStates, Timeout: cfg.Timeout}
@@ -156,30 +201,131 @@ func RunOne(spec *Spec, prop *core.Property, verifier string, cfg Config) Run {
 		case VNoRR:
 			opts.SkipRepeatedReachability = true
 		}
-		res, err := core.Verify(spec.Sys, prop, opts)
+		res, err := core.Verify(ctx, spec.Sys, prop, opts)
 		if err != nil {
-			run.Fail = true
+			run.Err = err
 			return run
 		}
 		run.Time = res.Stats.Elapsed
 		run.Fail = res.Stats.TimedOut
 		run.Holds = res.Holds
+		run.Stats = res.Stats
 		return run
 	}
 }
 
 // RunSuite verifies the 12 template properties of every spec with the
-// named verifier.
-func RunSuite(specs []*Spec, verifier string, cfg Config) []Run {
+// named verifier, fanning the independent (spec, property) jobs over
+// cfg.Workers goroutines. Properties are instantiated up front with the
+// per-spec seeds, and results land at their job index, so the returned
+// slice is identical in order and content to a serial run regardless of
+// parallelism (timings aside). Cancelling ctx stops the suite promptly;
+// unfinished runs carry ctx's error in Run.Err.
+func RunSuite(ctx context.Context, specs []*Spec, verifier string, cfg Config) []Run {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	type job struct {
+		spec  *Spec
+		prop  *core.Property
+		class string
+	}
 	tmpls := Templates()
-	var out []Run
+	var jobs []job
 	for si, spec := range specs {
 		props := Properties(spec.Sys, cfg.Seed+int64(si))
 		for ti, prop := range props {
-			r := RunOne(spec, prop, verifier, cfg)
-			r.Class = tmpls[ti].Class
-			out = append(out, r)
+			jobs = append(jobs, job{spec: spec, prop: prop, class: tmpls[ti].Class})
+		}
+	}
+	out := make([]Run, len(jobs))
+	meter := newProgressMeter(cfg.Progress, verifier, len(jobs))
+	runJob := func(i int) {
+		j := jobs[i]
+		r := RunOne(ctx, j.spec, j.prop, verifier, cfg)
+		r.Class = j.class
+		out[i] = r
+		meter.completed(r)
+	}
+	workers := cfg.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			runJob(i)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(jobs) {
+						return
+					}
+					runJob(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	meter.finish()
+	if cfg.OnRun != nil {
+		for i := range out {
+			cfg.OnRun(out[i])
 		}
 	}
 	return out
+}
+
+// progressMeter renders the live progress line. All methods are safe for
+// concurrent use; a nil writer disables everything.
+type progressMeter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	done  int
+	fails int
+	errs  int
+	start time.Time
+}
+
+func newProgressMeter(w io.Writer, label string, total int) *progressMeter {
+	return &progressMeter{w: w, label: label, total: total, start: time.Now()}
+}
+
+func (p *progressMeter) completed(r Run) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	switch {
+	case r.Err != nil:
+		p.errs++
+	case r.Fail:
+		p.fails++
+	}
+	eta := time.Duration(0)
+	if p.done > 0 && p.done < p.total {
+		eta = time.Since(p.start) / time.Duration(p.done) * time.Duration(p.total-p.done)
+	}
+	fmt.Fprintf(p.w, "\r%-16s %d/%d done, %d failed, %d errors, ETA %-8s",
+		p.label, p.done, p.total, p.fails, p.errs, eta.Round(time.Second))
+}
+
+func (p *progressMeter) finish() {
+	if p.w == nil || p.total == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintln(p.w)
 }

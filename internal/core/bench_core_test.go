@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,7 +24,7 @@ func BenchmarkVerifySafety(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Verify(sys, prop, Options{Timeout: 30 * time.Second})
+		res, err := Verify(context.Background(), sys, prop, Options{Timeout: 30 * time.Second})
 		if err != nil || !res.Holds {
 			b.Fatal("unexpected result")
 		}
@@ -42,7 +43,7 @@ func BenchmarkVerifyLiveness(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Verify(sys, prop, Options{Timeout: 30 * time.Second})
+		res, err := Verify(context.Background(), sys, prop, Options{Timeout: 30 * time.Second})
 		if err != nil || res.Holds {
 			b.Fatal("unexpected result")
 		}
@@ -62,7 +63,7 @@ func BenchmarkVerifyNoPruning(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Verify(sys, prop, Options{NoStatePruning: true, Timeout: 30 * time.Second}); err != nil {
+		if _, err := Verify(context.Background(), sys, prop, Options{NoStatePruning: true, Timeout: 30 * time.Second}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"verifas/internal/ltl"
+	"verifas/internal/workflows"
+)
+
+// The cancellation contract of Verify: a cancelled context surfaces as a
+// context.Canceled error, while a context deadline (like Options.Timeout
+// and the state budget) yields a TimedOut result with a nil error.
+
+func TestVerifyPreCancelled(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	prop := &Property{Task: "ProcessOrders", Formula: ltl.MustParse(`F close(TakeOrder)`)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Verify(ctx, sys, prop, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestVerifyCtxDeadlineReportsTimeout(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	prop := &Property{Task: "ProcessOrders", Formula: ltl.MustParse(`F close(TakeOrder)`)}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := Verify(ctx, sys, prop, Options{})
+	if err != nil {
+		t.Fatalf("an expired deadline is a timeout, not an error: %v", err)
+	}
+	if !res.Stats.TimedOut {
+		t.Error("expired context deadline must report TimedOut")
+	}
+	if res.Holds {
+		t.Error("a timed-out verification must not claim the property holds")
+	}
+}
+
+func TestVerifyCancelledMidSearch(t *testing.T) {
+	sys := workflows.OrderFulfillment(true)
+	prop := &Property{Task: "ProcessOrders", Formula: ltl.MustParse(`G F close(TakeOrder)`)}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// Pessimize the search so the cancellation usually lands mid-search;
+	// when the machine wins the race anyway, the run must still have
+	// finished promptly.
+	res, err := Verify(ctx, sys, prop, Options{
+		NoStatePruning:   true,
+		NoStaticAnalysis: true,
+		NoIndexes:        true,
+		MaxStates:        100_000_000,
+	})
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("Verify took %s to honor cancellation", elapsed)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled or a completed result", err)
+	}
+	if err == nil && res == nil {
+		t.Fatal("nil result without an error")
+	}
+}

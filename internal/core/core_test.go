@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -17,7 +18,7 @@ func mustVerify(t *testing.T, sys *has.System, prop *Property, opts Options) *Re
 	}
 	opts.MaxStates = 300_000
 	opts.Timeout = 60 * time.Second
-	res, err := Verify(sys, prop, opts)
+	res, err := Verify(context.Background(), sys, prop, opts)
 	if err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
@@ -307,7 +308,7 @@ func TestPropertyValidation(t *testing.T) {
 		},
 	}
 	for i, prop := range cases {
-		if _, err := Verify(sys, prop, Options{MaxStates: 10}); err == nil {
+		if _, err := Verify(context.Background(), sys, prop, Options{MaxStates: 10}); err == nil {
 			t.Errorf("case %d: expected validation error", i)
 		}
 	}
@@ -331,7 +332,7 @@ func TestTimeoutReported(t *testing.T) {
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Verify(sys, prop, Options{MaxStates: 3})
+	res, err := Verify(context.Background(), sys, prop, Options{MaxStates: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -20,7 +21,7 @@ func xVerify(t *testing.T, sys *has.System, prop *core.Property, opts core.Optio
 	}
 	opts.MaxStates = 300_000
 	opts.Timeout = 60 * time.Second
-	res, err := core.Verify(sys, prop, opts)
+	res, err := core.Verify(context.Background(), sys, prop, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestCrossCheckSpinlike(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, prop := range props {
-			vres, err := core.Verify(sys, prop, core.Options{
+			vres, err := core.Verify(context.Background(), sys, prop, core.Options{
 				IgnoreSets: true,
 				MaxStates:  300_000,
 				Timeout:    60 * time.Second,
@@ -77,7 +78,7 @@ func TestCrossCheckSpinlike(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", prop.Name, err)
 			}
-			sres, err := spinlike.Verify(sys, &spinlike.Property{
+			sres, err := spinlike.Verify(context.Background(), sys, &spinlike.Property{
 				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
 			}, spinlike.Options{FreshPerSort: 1, MaxStates: 150_000, Timeout: 60 * time.Second})
 			if err != nil {
@@ -123,11 +124,11 @@ func TestCrossCheckSynthetic(t *testing.T) {
 			ltl.MustParse(`F open(` + child + `)`),
 		} {
 			prop := &core.Property{Task: sys.Root.Name, Formula: f}
-			vres, err := core.Verify(sys, prop, core.Options{IgnoreSets: true, MaxStates: 100_000, Timeout: 20 * time.Second})
+			vres, err := core.Verify(context.Background(), sys, prop, core.Options{IgnoreSets: true, MaxStates: 100_000, Timeout: 20 * time.Second})
 			if err != nil {
 				t.Fatal(err)
 			}
-			sres, err := spinlike.Verify(sys, &spinlike.Property{Task: prop.Task, Formula: f},
+			sres, err := spinlike.Verify(context.Background(), sys, &spinlike.Property{Task: prop.Task, Formula: f},
 				spinlike.Options{FreshPerSort: 1, MaxStates: 60_000, MaxBranch: 1 << 15, Timeout: 20 * time.Second})
 			if err != nil {
 				t.Fatal(err)

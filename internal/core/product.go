@@ -7,7 +7,7 @@
 package core
 
 import (
-	"time"
+	"context"
 
 	"verifas/internal/ltl"
 	"verifas/internal/symbolic"
@@ -68,10 +68,10 @@ type product struct {
 	// the first phase's ω states (Appendix C).
 	extraDominators []*PState
 
-	// deadline, when non-zero, truncates successor expansion once
-	// exceeded, so that a single highly-branching state cannot delay the
-	// search's budget checks indefinitely.
-	deadline time.Time
+	// ctx, when non-nil, truncates successor expansion once done, so that
+	// a single highly-branching state cannot delay the search's
+	// cancellation checks indefinitely.
+	ctx context.Context
 }
 
 // newProduct precompiles the Büchi states' literals. Atoms must have been
@@ -172,8 +172,8 @@ func (p *product) Successors(s vass.State) []vass.Succ {
 	}
 	var out []vass.Succ
 	for _, sc := range p.ts.Successors(ps.PSI) {
-		if !p.deadline.IsZero() && time.Now().After(p.deadline) {
-			return out // truncated; the explorer's budget check fires next
+		if p.ctx != nil && p.ctx.Err() != nil {
+			return out // truncated; the explorer's cancellation check fires next
 		}
 		for _, n := range p.buchi.States[ps.Node].Succs {
 			n32 := int32(n)

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"time"
+	"context"
+	"errors"
 
 	"verifas/internal/ltl"
 	"verifas/internal/symbolic"
@@ -26,18 +27,18 @@ import (
 // unless NoRRConfirmation is set; its "holds" verdicts are not — the
 // paper's completeness argument for ⪯+ is informal, and differential
 // testing exposed real violations it can miss, which is why it is opt-in.
-func repeatedReachability(ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, deadline time.Time) (*Violation, int, bool, error) {
+func repeatedReachability(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int) (*Violation, int, bool, error) {
 	if !opts.AggressiveRR {
-		return rrClassical(ts, buchi, opts, maxStates, deadline)
+		return rrClassical(ctx, ts, buchi, opts, maxStates)
 	}
-	v, states, timedOut, err := rrAggressive(ts, buchi, phase1, opts, maxStates, deadline)
+	v, states, timedOut, err := rrAggressive(ctx, ts, buchi, phase1, opts, maxStates)
 	if err != nil || timedOut || v == nil {
 		return v, states, timedOut, err
 	}
 	if opts.NoRRConfirmation {
 		return v, states, false, nil
 	}
-	cv, cstates, ctimed, err := rrClassical(ts, buchi, opts, maxStates, deadline)
+	cv, cstates, ctimed, err := rrClassical(ctx, ts, buchi, opts, maxStates)
 	states += cstates
 	if err != nil {
 		return nil, states, false, err
@@ -53,18 +54,21 @@ func repeatedReachability(ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vas
 // rrClassical: ≤-pruned Karp-Miller with acceleration; the active nodes
 // form a coverability set, and an accepting state is repeatedly reachable
 // iff it lies on a cycle of the coverability graph (paper Section 3.3).
-func rrClassical(ts *symbolic.TaskSystem, buchi *ltl.Buchi, opts Options, maxStates int, deadline time.Time) (*Violation, int, bool, error) {
+func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, opts Options, maxStates int) (*Violation, int, bool, error) {
 	prod := newProduct(ts, buchi, OrderLeq)
-	prod.deadline = deadline
+	prod.ctx = ctx
 	tree, err := vass.Explore(prod, vass.Options{
 		Prune:      true,
 		Accelerate: true,
 		UseIndex:   !opts.NoIndexes,
 		MaxStates:  maxStates,
-		Deadline:   deadline,
+		Ctx:        ctx,
 	})
 	states := tree.Created
-	if err == vass.ErrBudget {
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return nil, states, false, err
+		}
 		return nil, states, true, nil
 	}
 	return cycleViolation(ts, prod, tree.Active()), states, false, nil
@@ -72,9 +76,9 @@ func rrClassical(ts *symbolic.TaskSystem, buchi *ltl.Buchi, opts Options, maxSta
 
 // rrAggressive: the Appendix C second phase with ⪯+ pruning, no
 // acceleration, pruning against the first phase's ω states.
-func rrAggressive(ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, deadline time.Time) (*Violation, int, bool, error) {
+func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int) (*Violation, int, bool, error) {
 	prod := newProduct(ts, buchi, OrderPrecedesStrict)
-	prod.deadline = deadline
+	prod.ctx = ctx
 	var omegaDoms []vass.State
 	for _, n := range phase1.Active() {
 		if n.S.(*PState).PSI.HasOmega() {
@@ -86,11 +90,14 @@ func rrAggressive(ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, 
 		Accelerate:      false,
 		UseIndex:        !opts.NoIndexes,
 		MaxStates:       maxStates,
-		Deadline:        deadline,
+		Ctx:             ctx,
 		ExtraDominators: omegaDoms,
 	})
 	states := tree.Created
-	if err == vass.ErrBudget {
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return nil, states, false, err
+		}
 		return nil, states, true, nil
 	}
 	return cycleViolation(ts, prod, tree.Active()), states, false, nil

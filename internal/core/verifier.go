@@ -1,7 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"verifas/internal/fol"
@@ -60,7 +65,9 @@ type Options struct {
 	NoRRConfirmation bool
 	// MaxStates bounds each search phase (0 = DefaultMaxStates).
 	MaxStates int
-	// Timeout bounds the whole verification (0 = none).
+	// Timeout bounds the whole verification (0 = none). It is layered on
+	// top of the Context passed to Verify: whichever expires first stops
+	// the search.
 	Timeout time.Duration
 }
 
@@ -113,18 +120,31 @@ type Result struct {
 
 // Verify checks that every local run of the property's task satisfies the
 // property (paper Section 3). The system must already be validated.
-func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
+//
+// Cancellation contract: the search polls ctx cooperatively in its hot
+// loops. If ctx is cancelled, Verify returns promptly with ctx.Err() and a
+// nil Result. If ctx's deadline or opts.Timeout expires (or MaxStates is
+// exhausted), Verify returns a Result with Stats.TimedOut set and a nil
+// error. A nil ctx is treated as context.Background().
+func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err == context.Canceled {
+		return nil, err
+	}
 	task, ok := sys.Task(prop.Task)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown task %q", prop.Task)
 	}
-	if err := validateProperty(sys, task, prop); err != nil {
+	if err := validatePropertyCached(sys, task, prop); err != nil {
 		return nil, err
 	}
 
-	// Büchi automaton of the NEGATED property.
-	buchi := ltl.Translate(ltl.Not(prop.Formula))
+	// Büchi automaton of the NEGATED property (memoized: benchmark suites
+	// re-translate the same formula once per verifier variant).
+	buchi := ltl.TranslateCached(ltl.Not(prop.Formula))
 
 	// Compile the task's symbolic semantics with the property bound.
 	ts, err := symbolic.CompileTask(sys, task, symbolic.PropertyBinding{
@@ -144,9 +164,10 @@ func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
-	var deadline time.Time
 	if opts.Timeout > 0 {
-		deadline = start.Add(opts.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
 	}
 
 	// ---- Phase 1: reachability with on-the-fly violation detection.
@@ -155,7 +176,7 @@ func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
 		order = OrderLeq
 	}
 	prod := newProduct(ts, buchi, order)
-	prod.deadline = deadline
+	prod.ctx = ctx
 
 	var finViolation *vass.Node
 	var pumpAncestor *vass.Node
@@ -167,7 +188,7 @@ func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
 		Accelerate: true,
 		UseIndex:   !opts.NoIndexes,
 		MaxStates:  maxStates,
-		Deadline:   deadline,
+		Ctx:        ctx,
 		OnNode: func(n *vass.Node) bool {
 			ps := n.S.(*PState)
 			if prod.FinViolation(ps) {
@@ -200,7 +221,11 @@ func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
 	res.Stats.Pruned = tree.Pruned
 	res.Stats.Skipped = tree.Skipped
 	res.Stats.Accelerations = tree.Accelerations
-	if exploreErr == vass.ErrBudget {
+	if exploreErr != nil {
+		if errors.Is(exploreErr, context.Canceled) {
+			return nil, exploreErr
+		}
+		// State budget or deadline exhausted.
 		res.Stats.TimedOut = true
 		res.Stats.Elapsed = time.Since(start)
 		return res, nil
@@ -221,7 +246,7 @@ func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
 
 	// ---- Phase 2: repeated reachability for infinite-run violations.
 	if !opts.SkipRepeatedReachability && anyAccepting {
-		v, rrStates, timedOut, err := repeatedReachability(ts, buchi, tree, opts, maxStates, deadline)
+		v, rrStates, timedOut, err := repeatedReachability(ctx, ts, buchi, tree, opts, maxStates)
 		res.Stats.RRStates = rrStates
 		if err != nil {
 			return nil, err
@@ -241,6 +266,52 @@ func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
 	res.Holds = true
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// validationResult wraps a (possibly nil) validation error for the cache.
+type validationResult struct{ err error }
+
+// validationCache memoizes validateProperty per (system, property
+// signature): the benchmark scheduler validates each (spec, property) pair
+// once per verifier variant, and the check is pure — systems are not
+// mutated after Validate().
+var validationCache sync.Map // validationKey -> validationResult
+
+type validationKey struct {
+	sys *has.System
+	sig string
+}
+
+// propertySignature renders the property's content deterministically so
+// that structurally equal properties (rebuilt per suite run) share one
+// cache entry.
+func propertySignature(prop *Property) string {
+	var sb strings.Builder
+	sb.WriteString(prop.Task)
+	sb.WriteString("|")
+	sb.WriteString(ltl.String(prop.Formula))
+	for _, g := range prop.Globals {
+		fmt.Fprintf(&sb, "|g:%s:%v", g.Name, g.Type)
+	}
+	names := make([]string, 0, len(prop.Conds))
+	for n := range prop.Conds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "|c:%s=%s", n, fol.String(prop.Conds[n]))
+	}
+	return sb.String()
+}
+
+func validatePropertyCached(sys *has.System, task *has.Task, prop *Property) error {
+	k := validationKey{sys: sys, sig: propertySignature(prop)}
+	if v, ok := validationCache.Load(k); ok {
+		return v.(validationResult).err
+	}
+	err := validateProperty(sys, task, prop)
+	validationCache.Store(k, validationResult{err: err})
+	return err
 }
 
 // validateProperty type-checks the property against the system and task.

@@ -1,0 +1,22 @@
+package ltl
+
+import "sync"
+
+// translateCache memoizes Translate by the formula's canonical string.
+// Benchmark suites translate the same negated property once per verifier
+// variant (7×) and once per suite repetition; the automaton is immutable
+// after construction, so sharing one instance across goroutines is safe.
+var translateCache sync.Map // string -> *Buchi
+
+// TranslateCached is Translate with memoization on the formula's canonical
+// string form. The returned automaton is shared: callers must treat it as
+// read-only (every in-repo consumer already does).
+func TranslateCached(f Formula) *Buchi {
+	k := String(f)
+	if b, ok := translateCache.Load(k); ok {
+		return b.(*Buchi)
+	}
+	b := Translate(f)
+	actual, _ := translateCache.LoadOrStore(k, b)
+	return actual.(*Buchi)
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"verifas/internal/fol"
 	"verifas/internal/has"
@@ -665,7 +664,7 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 	}
 
 	checkTime := func() bool {
-		return !c.deadline.IsZero() && time.Now().After(c.deadline)
+		return c.ctx != nil && c.ctx.Err() != nil
 	}
 
 	// Outer DFS with post-order accepting-state probing (NDFS).

@@ -23,6 +23,7 @@
 package spinlike
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -129,13 +130,25 @@ type checker struct {
 
 	totalStates int
 	budget      int
-	deadline    time.Time
+	ctx         context.Context
 	overflow    bool
 }
 
 // Verify runs the bounded explicit-state check of the property.
-func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
+//
+// Cancellation contract (mirrors core.Verify): the nested DFS polls ctx
+// cooperatively. A cancelled ctx makes Verify return promptly with
+// ctx.Err(); an expired deadline (ctx's or opts.Timeout, whichever fires
+// first) is reported as Result.TimedOut with a nil error. A nil ctx is
+// treated as context.Background().
+func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err == context.Canceled {
+		return nil, err
+	}
 	if opts.FreshPerSort <= 0 {
 		opts.FreshPerSort = 2
 	}
@@ -149,17 +162,20 @@ func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("spinlike: unknown task %q", prop.Task)
 	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	c := &checker{
 		sys:    sys,
 		task:   task,
 		prop:   prop,
-		buchi:  ltl.Translate(ltl.Not(prop.Formula)),
+		buchi:  ltl.TranslateCached(ltl.Not(prop.Formula)),
 		opts:   opts,
 		idDom:  map[string][]fol.Value{},
 		budget: opts.MaxStates,
-	}
-	if opts.Timeout > 0 {
-		c.deadline = start.Add(opts.Timeout)
+		ctx:    ctx,
 	}
 	c.tasks = sys.Tasks()
 	c.taskIdx = map[string]int{}
@@ -215,6 +231,9 @@ func Verify(sys *has.System, prop *Property, opts Options) (*Result, error) {
 		violated, timedOut := c.checkForGlobals(gv)
 		res.Stats.States = c.totalStates
 		if timedOut {
+			if err := ctx.Err(); err == context.Canceled {
+				return nil, err
+			}
 			res.TimedOut = true
 			res.Holds = false
 			res.Stats.Elapsed = time.Since(start)

@@ -1,6 +1,7 @@
 package spinlike
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -15,7 +16,7 @@ func run(t *testing.T, sys *has.System, prop *Property) *Result {
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Verify(sys, prop, Options{
+	res, err := Verify(context.Background(), sys, prop, Options{
 		FreshPerSort: 2,
 		MaxStates:    400000,
 		MaxBranch:    1 << 17,
@@ -101,7 +102,7 @@ func TestTinyBudgetTimesOut(t *testing.T) {
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Verify(sys, &Property{
+	res, err := Verify(context.Background(), sys, &Property{
 		Task:    "ProcessOrders",
 		Formula: ltl.MustParse(`F open(ShipItem)`),
 	}, Options{MaxStates: 5, MaxBranch: 1 << 16})

@@ -14,6 +14,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -95,7 +96,7 @@ func GenerateValid(p Params, seed int64, minStates, tries int) *has.System {
 		if err := sys.Validate(); err != nil {
 			continue
 		}
-		res, err := core.Verify(sys, &core.Property{
+		res, err := core.Verify(context.Background(), sys, &core.Property{
 			Task: sys.Root.Name,
 			// False's negation is True, whose automaton accepts
 			// everything: the product enumerates the real state space.

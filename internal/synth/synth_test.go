@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -79,7 +80,7 @@ func TestGenerateValidHasNonEmptyStateSpace(t *testing.T) {
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Verify(sys, &core.Property{
+	res, err := core.Verify(context.Background(), sys, &core.Property{
 		Task:    sys.Root.Name,
 		Formula: ltl.FalseF{},
 	}, core.Options{MaxStates: 30000, Timeout: 30 * time.Second, SkipRepeatedReachability: true})

@@ -7,8 +7,8 @@
 package vass
 
 import (
+	"context"
 	"errors"
-	"time"
 )
 
 // State is an opaque search state owned by the Domain.
@@ -93,8 +93,10 @@ type Options struct {
 	// MaxStates aborts the search after creating this many nodes
 	// (0 = unlimited).
 	MaxStates int
-	// Deadline aborts the search at this time (zero = none).
-	Deadline time.Time
+	// Ctx cooperatively cancels the search (nil = never). Timeouts are
+	// expressed as context deadlines; once the context is done, Explore
+	// stops promptly and returns ctx.Err().
+	Ctx context.Context
 	// OnAccelerate, if set, is invoked when acceleration fires, with the
 	// ancestor node and the new (pre-insertion) state. Returning true
 	// stops the search immediately (used for the ω-accepting shortcut).
@@ -109,8 +111,10 @@ type Options struct {
 	ExtraDominators []State
 }
 
-// ErrBudget is returned when MaxStates or Deadline is exceeded.
-var ErrBudget = errors.New("vass: state or time budget exceeded")
+// ErrBudget is returned when MaxStates is exceeded. Context expiry is
+// reported as the context's own error (context.DeadlineExceeded or
+// context.Canceled) instead.
+var ErrBudget = errors.New("vass: state budget exceeded")
 
 // Tree is the result of an exploration.
 type Tree struct {
@@ -136,7 +140,8 @@ func (t *Tree) Active() []*Node {
 }
 
 // Explore runs the (pruned) Karp-Miller construction to completion, or
-// until a callback stops it, or until the budget is exceeded (ErrBudget).
+// until a callback stops it, or until the state budget is exceeded
+// (ErrBudget), or until opts.Ctx is done (its ctx.Err()).
 func Explore(sys System, opts Options) (*Tree, error) {
 	e := &explorer{sys: sys, opts: opts, tree: &Tree{}, byKey: map[uint64][]*Node{}}
 	if opts.UseIndex {
@@ -157,8 +162,10 @@ func Explore(sys System, opts Options) (*Tree, error) {
 		if opts.MaxStates > 0 && e.tree.Created > opts.MaxStates {
 			return e.tree, ErrBudget
 		}
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return e.tree, ErrBudget
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return e.tree, err
+			}
 		}
 		n := work[len(work)-1]
 		work = work[:len(work)-1]

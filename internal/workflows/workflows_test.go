@@ -1,6 +1,7 @@
 package workflows_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func TestAllWorkflowsValidateAndRun(t *testing.T) {
 			// Symbolic sanity: the trivially-false property must be
 			// violated (the initial state exists and the Büchi automaton
 			// of True accepts); True must hold.
-			resF, err := core.Verify(sys, &core.Property{
+			resF, err := core.Verify(context.Background(), sys, &core.Property{
 				Task:    sys.Root.Name,
 				Formula: ltl.FalseF{},
 			}, core.Options{MaxStates: 200000, Timeout: 60 * time.Second})
@@ -143,7 +144,7 @@ func TestDomainProperties(t *testing.T) {
 		if err := sys.Validate(); err != nil {
 			t.Fatalf("%s: %v", c.flow, err)
 		}
-		res, err := core.Verify(sys, c.prop, core.Options{MaxStates: 300000, Timeout: 120 * time.Second})
+		res, err := core.Verify(context.Background(), sys, c.prop, core.Options{MaxStates: 300000, Timeout: 120 * time.Second})
 		if err != nil {
 			t.Fatalf("%s: %v", c.flow, err)
 		}
