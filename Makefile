@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench
+.PHONY: build test check race bench profile
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,20 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# CPU-profile a live suite through the -debug-addr pprof endpoint:
+# start benchrun in the background, sample its CPU for PROFILE_SECONDS,
+# write cpu.pprof, then let the suite finish.
+PROFILE_ADDR ?= localhost:6363
+PROFILE_SECONDS ?= 10
+
+profile:
+	$(GO) build -o benchrun.profiled ./cmd/benchrun
+	@./benchrun.profiled -all -synth 6 -timeout 3s -quiet \
+		-debug-addr $(PROFILE_ADDR) >/dev/null 2>&1 & pid=$$!; \
+	sleep 1; \
+	$(GO) tool pprof -proto -seconds $(PROFILE_SECONDS) \
+		-output cpu.pprof http://$(PROFILE_ADDR)/debug/pprof/profile; \
+	wait $$pid || true; \
+	rm -f benchrun.profiled; \
+	echo "wrote cpu.pprof — inspect with: $(GO) tool pprof -top cpu.pprof"

@@ -238,6 +238,6 @@ func runWithRRMode(spec *benchmark.Spec, prop *core.Property, aggressive bool, c
 	}
 	run.Time = res.Stats.Elapsed
 	run.Fail = res.Stats.TimedOut
-	run.Holds = res.Holds
+	run.Verdict = res.Verdict
 	return run
 }

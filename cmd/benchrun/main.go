@@ -7,12 +7,17 @@
 //	benchrun [-table 1|2|3|4|rr] [-figure 9] [-all]
 //	         [-synth N] [-real N] [-timeout D] [-seed S]
 //	         [-j N] [-json] [-quiet]
+//	         [-trace FILE] [-debug-addr ADDR]
 //
 // -j fans the independent (spec, property, verifier) runs over N worker
 // goroutines (default GOMAXPROCS); table content is unaffected by the
 // parallelism. -json emits one machine-readable record per run on stdout
 // (the human-readable tables and progress move to stderr so stdout stays
-// parseable). Ctrl-C cancels the running searches cooperatively.
+// parseable). -trace records every run's verification event stream
+// (phase boundaries, progress snapshots, verdicts) to FILE as JSON lines;
+// -debug-addr serves net/http/pprof and expvar (including the aggregated
+// verifier metrics) on ADDR for live inspection of a running suite.
+// Ctrl-C cancels the running searches cooperatively.
 //
 // Absolute numbers depend on the host; the shapes (who wins, by what
 // factor, where timeouts appear) reproduce the paper — see EXPERIMENTS.md.
@@ -29,22 +34,26 @@ import (
 	"time"
 
 	"verifas/internal/benchmark"
+	"verifas/internal/core"
+	"verifas/internal/obs"
 )
 
 func main() {
 	var (
-		table    = flag.String("table", "", "regenerate one table: 1, 2, 3, 4 or rr")
-		figure   = flag.String("figure", "", "regenerate one figure: 9")
-		all      = flag.Bool("all", false, "regenerate everything")
-		synthN   = flag.Int("synth", 12, "number of synthetic specifications")
-		realN    = flag.Int("real", 0, "cap on real specifications (0 = all)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-run timeout")
-		seed     = flag.Int64("seed", 1, "suite and property seed")
-		spinMax  = flag.Int("spin-max-states", 150000, "state budget of the spin-like baseline")
-		maxState = flag.Int("max-states", 400000, "state budget per VERIFAS search phase")
-		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel verification workers per suite")
-		jsonOut  = flag.Bool("json", false, "emit one JSON record per run on stdout (tables move to stderr)")
-		quiet    = flag.Bool("quiet", false, "suppress the live progress line")
+		table     = flag.String("table", "", "regenerate one table: 1, 2, 3, 4 or rr")
+		figure    = flag.String("figure", "", "regenerate one figure: 9")
+		all       = flag.Bool("all", false, "regenerate everything")
+		synthN    = flag.Int("synth", 12, "number of synthetic specifications")
+		realN     = flag.Int("real", 0, "cap on real specifications (0 = all)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-run timeout")
+		seed      = flag.Int64("seed", 1, "suite and property seed")
+		spinMax   = flag.Int("spin-max-states", 150000, "state budget of the spin-like baseline")
+		maxState  = flag.Int("max-states", 400000, "state budget per VERIFAS search phase")
+		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel verification workers per suite")
+		jsonOut   = flag.Bool("json", false, "emit one JSON record per run on stdout (tables move to stderr)")
+		quiet     = flag.Bool("quiet", false, "suppress the live progress line")
+		traceFile = flag.String("trace", "", "write the verification event stream to FILE as JSON lines")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *table == "" && *figure == "" && !*all {
@@ -77,6 +86,50 @@ func main() {
 			if err := benchmark.WriteRecord(os.Stdout, r); err != nil {
 				fmt.Fprintln(os.Stderr, "json:", err)
 			}
+		}
+	}
+
+	// Observability: the debug server and the JSONL event trace share the
+	// run observers; without either flag the runs stay unobserved (the
+	// meter aside) and the searches keep their nil fast path.
+	exitCode := 0
+	finish := func() {}
+	if *debugAddr != "" || *traceFile != "" {
+		reg := obs.NewRegistry()
+		reg.Publish("verifas")
+		var tw *obs.TraceWriter
+		if *debugAddr != "" {
+			addr, err := obs.ServeDebug(*debugAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "debug server:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics on /debug/vars)\n", addr)
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+				os.Exit(2)
+			}
+			tw = obs.NewTraceWriter(f)
+			finish = func() {
+				if err := tw.Err(); err != nil {
+					fmt.Fprintln(os.Stderr, "trace:", err)
+					exitCode = 2
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "trace:", err)
+					exitCode = 2
+				}
+			}
+		}
+		cfg.ObserverFor = func(spec *benchmark.Spec, template, verifier string) core.Observer {
+			var t core.Observer
+			if tw != nil {
+				t = tw.Run(spec.Name + "/" + template + "/" + verifier)
+			}
+			return core.MultiObserver(t, reg.Run())
 		}
 	}
 
@@ -121,9 +174,10 @@ func main() {
 		fmt.Fprintln(out, benchmark.RROverhead(ctx, real, synthetic, cfg))
 		fmt.Fprintf(out, "(rr overhead took %s)\n", time.Since(start).Round(time.Second))
 	}
+	finish()
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "interrupted")
 		os.Exit(130)
 	}
-	os.Exit(0)
+	os.Exit(exitCode)
 }

@@ -8,8 +8,11 @@
 // contain any number of property blocks; by default every property is
 // verified. With -j N, up to N properties are verified concurrently
 // (cooperatively cancellable with Ctrl-C); reports are still printed in
-// specification order. Exit status: 0 when all verified properties hold,
-// 1 when a violation was found, 2 on errors or timeouts.
+// specification order. -events FILE records the verification event
+// stream (phase boundaries, progress snapshots, verdicts) as JSON lines;
+// -debug-addr ADDR serves net/http/pprof and expvar for live inspection.
+// Exit status: 0 when all verified properties hold, 1 when a violation
+// was found, 2 on errors or timeouts.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"verifas/internal/core"
 	"verifas/internal/cyclo"
 	"verifas/internal/has"
+	"verifas/internal/obs"
 	"verifas/internal/spec"
 	"verifas/internal/spinlike"
 )
@@ -51,6 +55,8 @@ func run() int {
 		showStats = flag.Bool("stats", false, "print search statistics")
 		witness   = flag.Bool("witness", false, "try to realize root-task counterexample prefixes concretely on random databases")
 		workers   = flag.Int("j", 1, "verify up to N properties concurrently (output order is preserved)")
+		events    = flag.String("events", "", "write the verification event stream to FILE as JSON lines")
+		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -94,6 +100,32 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "debug server:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics on /debug/vars)\n", addr)
+	}
+	var tw *obs.TraceWriter
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "events:", err)
+			return 2
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+	}
+	// observerFor attaches the event sinks to one property's run.
+	observerFor := func(prop *core.Property) core.Observer {
+		if tw == nil {
+			return nil
+		}
+		return tw.Run(prop.Name)
+	}
+
 	// verifyProp renders one property's full report; with -j > 1 the
 	// reports are produced concurrently and printed in property order.
 	verifyProp := func(prop *core.Property) (string, int) {
@@ -102,16 +134,16 @@ func run() int {
 		case "spinlike":
 			res, err := spinlike.Verify(ctx, file.System, &spinlike.Property{
 				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
-			}, spinlike.Options{Timeout: *timeout})
+			}, spinlike.Options{Timeout: *timeout, Observer: observerFor(prop)})
 			if err != nil {
 				fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
 				return sb.String(), 2
 			}
 			switch {
-			case res.TimedOut:
+			case res.TimedOut():
 				fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
 				return sb.String(), 2
-			case res.Holds:
+			case res.Holds():
 				fmt.Fprintf(&sb, "%-30s HOLDS    (%s, %d states, bounded domain)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
 				return sb.String(), 0
 			default:
@@ -127,6 +159,7 @@ func run() int {
 				SkipRepeatedReachability: *noRR,
 				Timeout:                  *timeout,
 				MaxStates:                *maxStates,
+				Observer:                 observerFor(prop),
 			})
 			if err != nil {
 				fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
@@ -134,14 +167,14 @@ func run() int {
 			}
 			code := 0
 			switch {
-			case res.Stats.TimedOut:
-				fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+			case res.TimedOut():
+				fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored())
 				code = 2
-			case res.Holds:
-				fmt.Fprintf(&sb, "%-30s HOLDS    (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+			case res.Holds():
+				fmt.Fprintf(&sb, "%-30s HOLDS    (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored())
 			default:
 				fmt.Fprintf(&sb, "%-30s VIOLATED (%s, %d states, %s counterexample)\n",
-					prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored, res.Violation.Kind)
+					prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored(), res.Violation.Kind)
 				if *showTrace {
 					printTrace(&sb, res.Violation)
 				}
@@ -151,9 +184,19 @@ func run() int {
 				code = 1
 			}
 			if *showStats {
-				fmt.Fprintf(&sb, "  büchi=%d explored=%d pruned=%d skipped=%d accel=%d rr=%d\n",
-					res.Stats.BuchiStates, res.Stats.StatesExplored, res.Stats.Pruned,
-					res.Stats.Skipped, res.Stats.Accelerations, res.Stats.RRStates)
+				fmt.Fprintf(&sb, "  büchi=%d explored=%d pruned=%d skipped=%d accel=%d\n",
+					res.Stats.BuchiStates, res.Stats.StatesExplored(), res.Stats.Pruned(),
+					res.Stats.Skipped(), res.Stats.Accelerations())
+				printPhase := func(name string, ps core.PhaseStats) {
+					if ps.States == 0 && ps.Elapsed == 0 {
+						return
+					}
+					fmt.Fprintf(&sb, "  %-8s states=%-8d pruned=%-8d skipped=%-8d accel=%-6d %s\n",
+						name, ps.States, ps.Pruned, ps.Skipped, ps.Accelerations, ps.Elapsed.Round(time.Microsecond))
+				}
+				printPhase("reach", res.Stats.Reachability)
+				printPhase("rr", res.Stats.RR)
+				printPhase("confirm", res.Stats.Confirm)
 			}
 			return sb.String(), code
 		}
@@ -191,6 +234,12 @@ func run() int {
 	for i := range props {
 		fmt.Print(reports[i])
 		exit = max(exit, codes[i])
+	}
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "events:", err)
+			exit = max(exit, 2)
+		}
 	}
 	return exit
 }

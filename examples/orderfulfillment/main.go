@@ -67,12 +67,12 @@ func main() {
 				log.Fatal(err)
 			}
 			verdict := "HOLDS"
-			if !res.Holds {
+			if !res.Holds() {
 				verdict = "VIOLATED"
 			}
 			fmt.Printf("  %-24s %-9s (%v, %d states, Büchi %d)\n",
 				prop.Name, verdict, res.Stats.Elapsed.Round(time.Millisecond),
-				res.Stats.StatesExplored, res.Stats.BuchiStates)
+				res.Stats.StatesExplored(), res.Stats.BuchiStates)
 			if res.Violation != nil && prop == guard {
 				fmt.Println("  counterexample (symbolic local run of ProcessOrders):")
 				for i, step := range res.Violation.Prefix {

@@ -83,11 +83,11 @@ func main() {
 			log.Fatal(err)
 		}
 		verdict := "HOLDS"
-		if !res.Holds {
+		if !res.Holds() {
 			verdict = "VIOLATED"
 		}
 		fmt.Printf("%-34s %-9s (%v, %d states)\n",
-			prop.Name, verdict, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+			prop.Name, verdict, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored())
 		if res.Violation != nil {
 			for i, step := range res.Violation.Prefix {
 				fmt.Printf("   %2d. %-18s %s\n", i, step.Service.AtomName(), step.State)

@@ -61,11 +61,11 @@ func main() {
 		switch {
 		case res.Stats.TimedOut:
 			verdict = "TIMEOUT"
-		case !res.Holds:
+		case !res.Holds():
 			verdict = "VIOLATED"
 		}
 		fmt.Printf("  %-34s %-9s %-9s (%v, %d states)\n",
 			tmpls[i].Name, tmpls[i].Class, verdict,
-			res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+			res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored())
 	}
 }

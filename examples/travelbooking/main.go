@@ -59,11 +59,11 @@ func main() {
 			log.Fatal(err)
 		}
 		verdict := "HOLDS"
-		if !res.Holds {
+		if !res.Holds() {
 			verdict = "VIOLATED"
 		}
 		fmt.Printf("%-28s %-9s (%v, %d states)\n",
-			prop.Name, verdict, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored)
+			prop.Name, verdict, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored())
 	}
 
 	// Concrete execution over a random database.

@@ -140,7 +140,7 @@ func TestVerifierVariantsAgree(t *testing.T) {
 		var fails []bool
 		for _, v := range []string{VVerifas, VNoSP, VNoSA, VNoDSS} {
 			r := RunOne(context.Background(), spec, prop, v, cfg)
-			verdicts = append(verdicts, r.Holds)
+			verdicts = append(verdicts, r.Holds())
 			fails = append(fails, r.Fail)
 		}
 		for i := 1; i < len(verdicts); i++ {

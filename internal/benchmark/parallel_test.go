@@ -35,9 +35,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 			t.Errorf("run %d identity differs: serial %s/%s, parallel %s/%s",
 				i, s.Spec.Name, s.Template, p.Spec.Name, p.Template)
 		}
-		if s.Holds != p.Holds || s.Fail != p.Fail {
-			t.Errorf("run %d verdict differs: serial holds=%v fail=%v, parallel holds=%v fail=%v",
-				i, s.Holds, s.Fail, p.Holds, p.Fail)
+		if s.Verdict != p.Verdict || s.Fail != p.Fail {
+			t.Errorf("run %d verdict differs: serial verdict=%v fail=%v, parallel verdict=%v fail=%v",
+				i, s.Verdict, s.Fail, p.Verdict, p.Fail)
 		}
 		if (s.Err == nil) != (p.Err == nil) {
 			t.Errorf("run %d error status differs: serial %v, parallel %v", i, s.Err, p.Err)

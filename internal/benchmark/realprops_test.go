@@ -33,10 +33,10 @@ func TestCheckedProperties(t *testing.T) {
 			t.Fatalf("%s/%s: %v", cp.Workflow, cp.Prop.Name, err)
 		}
 		if res.Stats.TimedOut {
-			t.Fatalf("%s/%s: timed out after %d states", cp.Workflow, cp.Prop.Name, res.Stats.StatesExplored)
+			t.Fatalf("%s/%s: timed out after %d states", cp.Workflow, cp.Prop.Name, res.Stats.StatesExplored())
 		}
-		if res.Holds != cp.Holds {
-			t.Errorf("%s/%s: Holds = %v, want %v (%s)", cp.Workflow, cp.Prop.Name, res.Holds, cp.Holds, cp.Why)
+		if res.Holds() != cp.Holds {
+			t.Errorf("%s/%s: Holds = %v, want %v (%s)", cp.Workflow, cp.Prop.Name, res.Holds(), cp.Holds, cp.Why)
 		}
 	}
 }

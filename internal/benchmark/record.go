@@ -21,8 +21,13 @@ type Record struct {
 	// Timeout marks wall-clock or state-budget exhaustion.
 	Timeout bool `json:"timeout"`
 	// Err carries a hard verifier error (absent for clean runs).
-	Err   string `json:"err,omitempty"`
-	Holds bool   `json:"holds"`
+	Err string `json:"err,omitempty"`
+	// Verdict is the three-valued outcome ("holds", "violated",
+	// "timed-out"; "unknown" for errored runs).
+	Verdict string `json:"verdict"`
+	// Holds is kept alongside Verdict so older record consumers keep
+	// working.
+	Holds bool `json:"holds"`
 	// Search-effort counters from core.Stats (spin-like runs populate
 	// only States).
 	BuchiStates   int `json:"buchi_states,omitempty"`
@@ -41,13 +46,14 @@ func (r Run) Record() Record {
 		Verifier:      r.Verifier,
 		TimeUS:        r.Time.Microseconds(),
 		Timeout:       r.Fail,
-		Holds:         r.Holds,
+		Verdict:       r.Verdict.String(),
+		Holds:         r.Holds(),
 		BuchiStates:   r.Stats.BuchiStates,
-		States:        r.Stats.StatesExplored,
-		Pruned:        r.Stats.Pruned,
-		Skipped:       r.Stats.Skipped,
-		Accelerations: r.Stats.Accelerations,
-		RRStates:      r.Stats.RRStates,
+		States:        r.Stats.StatesExplored(),
+		Pruned:        r.Stats.Pruned(),
+		Skipped:       r.Stats.Skipped(),
+		Accelerations: r.Stats.Accelerations(),
+		RRStates:      r.Stats.RRStates(),
 	}
 	if r.Spec != nil {
 		rec.Spec = r.Spec.Name

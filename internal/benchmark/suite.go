@@ -93,13 +93,23 @@ type Config struct {
 	// wall-clock timings vary with scheduling.
 	Workers int
 	// Progress, when non-nil, receives a live single-line progress report
-	// (completed/total, failures, ETA) rewritten in place with '\r';
-	// point it at a terminal's stderr, not at a log file.
+	// (completed/total, failures, live state count and throughput, ETA)
+	// rewritten in place with '\r'; point it at a terminal's stderr, not
+	// at a log file. The live counters are fed by the same Observer
+	// events the verifiers emit.
 	Progress io.Writer
 	// OnRun, when non-nil, is called once per completed run, in
 	// deterministic suite order after the worker pool drains (used by
 	// benchrun -json to emit per-run records).
 	OnRun func(Run)
+	// ObserverFor, when non-nil, supplies the Observer attached to each
+	// run (trace writers, metrics registries); it is called once per
+	// (spec, property, verifier) job and may return nil to leave that
+	// run unobserved. Handles it returns are used by one run at a time.
+	ObserverFor func(spec *Spec, template, verifier string) core.Observer
+	// ProgressStride overrides the state-count stride between Progress
+	// events (0 = core.DefaultProgressStride).
+	ProgressStride int
 }
 
 // DefaultConfig returns a budget suitable for a small container.
@@ -126,23 +136,67 @@ type Run struct {
 	// Err records a hard verifier error (invalid property, compilation
 	// failure, cancellation). Errored runs are NOT timeouts: they are
 	// excluded from time averages and counted separately — see avgTime.
-	Err   error
-	Holds bool
-	// Stats carries the verifier's search-effort counters. For spin-like
-	// runs only StatesExplored, Elapsed and TimedOut are meaningful.
+	Err error
+	// Verdict is the engine's three-valued outcome (VerdictUnknown for
+	// errored runs).
+	Verdict core.Verdict
+	// Stats carries the verifier's search-effort counters. Spin-like
+	// runs populate only the Reachability phase.
 	Stats core.Stats
 }
 
-// Verifier names.
-const (
-	VVerifas      = "VERIFAS"
-	VVerifasNoSet = "VERIFAS-NoSet"
-	VSpinlike     = "Spin-like"
-	VNoSP         = "VERIFAS-noSP"
-	VNoSA         = "VERIFAS-noSA"
-	VNoDSS        = "VERIFAS-noDSS"
-	VNoRR         = "VERIFAS-noRR"
+// Holds reports whether the run's verdict was VerdictHolds.
+func (r Run) Holds() bool { return r.Verdict == core.VerdictHolds }
+
+// Verifier names: the canonical variant labels, derived from the options
+// each one dispatches to (core.Options.Variant / spinlike.Variant), so
+// table labels and configurations cannot drift apart.
+var (
+	VVerifas      = core.Options{}.Variant()
+	VVerifasNoSet = core.Options{IgnoreSets: true}.Variant()
+	VSpinlike     = spinlike.Variant
+	VNoSP         = core.Options{NoStatePruning: true}.Variant()
+	VNoSA         = core.Options{NoStaticAnalysis: true}.Variant()
+	VNoDSS        = core.Options{NoIndexes: true}.Variant()
+	VNoRR         = core.Options{SkipRepeatedReachability: true}.Variant()
 )
+
+// Engine resolves a verifier name into a core.Verifier with the config's
+// budgets and the given observer attached. Unknown names report
+// core.ErrUnknownVariant.
+func (cfg Config) Engine(verifier string, obs core.Observer) (core.Verifier, error) {
+	if verifier == VSpinlike {
+		return spinlike.Engine(spinlike.Options{
+			FreshPerSort:   cfg.SpinFresh,
+			MaxStates:      cfg.SpinMaxStates,
+			Timeout:        cfg.Timeout,
+			Observer:       obs,
+			ProgressStride: cfg.ProgressStride,
+		}), nil
+	}
+	opts := core.Options{
+		MaxStates:      cfg.MaxStates,
+		Timeout:        cfg.Timeout,
+		Observer:       obs,
+		ProgressStride: cfg.ProgressStride,
+	}
+	switch verifier {
+	case VVerifas:
+	case VVerifasNoSet:
+		opts.IgnoreSets = true
+	case VNoSP:
+		opts.NoStatePruning = true
+	case VNoSA:
+		opts.NoStaticAnalysis = true
+	case VNoDSS:
+		opts.NoIndexes = true
+	case VNoRR:
+		opts.SkipRepeatedReachability = true
+	default:
+		return nil, fmt.Errorf("benchmark: %w %q", core.ErrUnknownVariant, verifier)
+	}
+	return core.Engine(opts), nil
+}
 
 // templateClasses maps template names to their Table 4 class.
 var templateClasses = func() map[string]string {
@@ -157,61 +211,31 @@ var templateClasses = func() map[string]string {
 // properties outside the template set.
 func TemplateClass(name string) string { return templateClasses[name] }
 
-// RunOne verifies one property of a spec with the named verifier. The
-// template class is resolved from the property name, so direct callers get
-// a populated Run.Class without going through RunSuite.
+// RunOne verifies one property of a spec with the named verifier,
+// dispatching through Config.Engine. The template class is resolved from
+// the property name, so direct callers get a populated Run.Class without
+// going through RunSuite.
 func RunOne(ctx context.Context, spec *Spec, prop *core.Property, verifier string, cfg Config) Run {
 	run := Run{Spec: spec, Template: prop.Name, Class: TemplateClass(prop.Name), Verifier: verifier}
-	switch verifier {
-	case VSpinlike:
-		res, err := spinlike.Verify(ctx, spec.Sys, &spinlike.Property{
-			Task:    prop.Task,
-			Globals: prop.Globals,
-			Conds:   prop.Conds,
-			Formula: prop.Formula,
-		}, spinlike.Options{
-			FreshPerSort: cfg.SpinFresh,
-			MaxStates:    cfg.SpinMaxStates,
-			Timeout:      cfg.Timeout,
-		})
-		if err != nil {
-			run.Err = err
-			return run
-		}
-		run.Time = res.Stats.Elapsed
-		run.Fail = res.TimedOut
-		run.Holds = res.Holds
-		run.Stats = core.Stats{
-			StatesExplored: res.Stats.States,
-			Elapsed:        res.Stats.Elapsed,
-			TimedOut:       res.TimedOut,
-		}
-		return run
-	default:
-		opts := core.Options{MaxStates: cfg.MaxStates, Timeout: cfg.Timeout}
-		switch verifier {
-		case VVerifasNoSet:
-			opts.IgnoreSets = true
-		case VNoSP:
-			opts.NoStatePruning = true
-		case VNoSA:
-			opts.NoStaticAnalysis = true
-		case VNoDSS:
-			opts.NoIndexes = true
-		case VNoRR:
-			opts.SkipRepeatedReachability = true
-		}
-		res, err := core.Verify(ctx, spec.Sys, prop, opts)
-		if err != nil {
-			run.Err = err
-			return run
-		}
-		run.Time = res.Stats.Elapsed
-		run.Fail = res.Stats.TimedOut
-		run.Holds = res.Holds
-		run.Stats = res.Stats
+	var obsv core.Observer
+	if cfg.ObserverFor != nil {
+		obsv = cfg.ObserverFor(spec, prop.Name, verifier)
+	}
+	eng, err := cfg.Engine(verifier, obsv)
+	if err != nil {
+		run.Err = err
 		return run
 	}
+	res, err := eng(ctx, spec.Sys, prop)
+	if err != nil {
+		run.Err = err
+		return run
+	}
+	run.Time = res.Stats.Elapsed
+	run.Fail = res.TimedOut()
+	run.Verdict = res.Verdict
+	run.Stats = res.Stats
+	return run
 }
 
 // RunSuite verifies the 12 template properties of every spec with the
@@ -240,6 +264,16 @@ func RunSuite(ctx context.Context, specs []*Spec, verifier string, cfg Config) [
 	}
 	out := make([]Run, len(jobs))
 	meter := newProgressMeter(cfg.Progress, verifier, len(jobs))
+	// The meter taps the runs' event streams for its live state counter,
+	// stacked in front of any caller-supplied observers.
+	userFor := cfg.ObserverFor
+	cfg.ObserverFor = func(spec *Spec, template, verifier string) core.Observer {
+		var user core.Observer
+		if userFor != nil {
+			user = userFor(spec, template, verifier)
+		}
+		return core.MultiObserver(meter.observer(), user)
+	}
 	runJob := func(i int) {
 		j := jobs[i]
 		r := RunOne(ctx, j.spec, j.prop, verifier, cfg)
@@ -284,16 +318,22 @@ func RunSuite(ctx context.Context, specs []*Spec, verifier string, cfg Config) [
 }
 
 // progressMeter renders the live progress line. All methods are safe for
-// concurrent use; a nil writer disables everything.
+// concurrent use; a nil writer disables everything. Besides the
+// done/failed/ETA counters updated per completed run, it taps the event
+// stream of every in-flight run (see observer) for a live aggregate state
+// count and throughput.
 type progressMeter struct {
-	mu    sync.Mutex
-	w     io.Writer
-	label string
-	total int
-	done  int
-	fails int
-	errs  int
-	start time.Time
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	total    int
+	done     int
+	fails    int
+	errs     int
+	start    time.Time
+	lastDraw time.Time
+
+	states atomic.Int64
 }
 
 func newProgressMeter(w io.Writer, label string, total int) *progressMeter {
@@ -313,12 +353,38 @@ func (p *progressMeter) completed(r Run) {
 	case r.Fail:
 		p.fails++
 	}
+	p.draw()
+}
+
+// draw renders the line; the caller holds p.mu.
+func (p *progressMeter) draw() {
+	p.lastDraw = time.Now()
 	eta := time.Duration(0)
+	elapsed := time.Since(p.start)
 	if p.done > 0 && p.done < p.total {
-		eta = time.Since(p.start) / time.Duration(p.done) * time.Duration(p.total-p.done)
+		eta = elapsed / time.Duration(p.done) * time.Duration(p.total-p.done)
 	}
-	fmt.Fprintf(p.w, "\r%-16s %d/%d done, %d failed, %d errors, ETA %-8s",
-		p.label, p.done, p.total, p.fails, p.errs, eta.Round(time.Second))
+	states := p.states.Load()
+	rate := float64(0)
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(states) / secs
+	}
+	fmt.Fprintf(p.w, "\r%-16s %d/%d done, %d failed, %d errors, %d states (%.0f/s), ETA %-8s",
+		p.label, p.done, p.total, p.fails, p.errs, states, rate, eta.Round(time.Second))
+}
+
+// meterRedrawInterval throttles event-driven redraws so fast runs do not
+// spend their time repainting the terminal.
+const meterRedrawInterval = 200 * time.Millisecond
+
+// maybeRedraw repaints on a Progress event, rate-limited.
+func (p *progressMeter) maybeRedraw() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if time.Since(p.lastDraw) < meterRedrawInterval {
+		return
+	}
+	p.draw()
 }
 
 func (p *progressMeter) finish() {
@@ -329,3 +395,34 @@ func (p *progressMeter) finish() {
 	defer p.mu.Unlock()
 	fmt.Fprintln(p.w)
 }
+
+// observer returns a fresh per-run observer handle feeding the live state
+// counter, or nil when the meter is disabled.
+func (p *progressMeter) observer() core.Observer {
+	if p.w == nil {
+		return nil
+	}
+	return &meterHandle{m: p}
+}
+
+// meterHandle converts one run's cumulative per-phase counters into
+// deltas on the meter's aggregate state count.
+type meterHandle struct {
+	m          *progressMeter
+	lastStates int
+}
+
+func (h *meterHandle) PhaseStart(core.Phase) { h.lastStates = 0 }
+
+func (h *meterHandle) Progress(e core.ProgressEvent) {
+	h.m.states.Add(int64(e.States - h.lastStates))
+	h.lastStates = e.States
+	h.m.maybeRedraw()
+}
+
+func (h *meterHandle) PhaseEnd(_ core.Phase, ps core.PhaseStats) {
+	h.m.states.Add(int64(ps.States - h.lastStates))
+	h.lastStates = 0
+}
+
+func (h *meterHandle) Verdict(core.VerdictEvent) {}

@@ -25,7 +25,7 @@ func BenchmarkVerifySafety(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Verify(context.Background(), sys, prop, Options{Timeout: 30 * time.Second})
-		if err != nil || !res.Holds {
+		if err != nil || !res.Holds() {
 			b.Fatal("unexpected result")
 		}
 	}
@@ -44,7 +44,7 @@ func BenchmarkVerifyLiveness(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Verify(context.Background(), sys, prop, Options{Timeout: 30 * time.Second})
-		if err != nil || res.Holds {
+		if err != nil || res.Holds() {
 			b.Fatal("unexpected result")
 		}
 	}
@@ -67,4 +67,87 @@ func BenchmarkVerifyNoPruning(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// nopObserver receives every event and drops it: the cheapest possible
+// attached observer, isolating the instrumentation's own cost.
+type nopObserver struct{}
+
+func (nopObserver) PhaseStart(Phase)           {}
+func (nopObserver) PhaseEnd(Phase, PhaseStats) {}
+func (nopObserver) Progress(ProgressEvent)     {}
+func (nopObserver) Verdict(VerdictEvent)       {}
+
+// BenchmarkVerifySafetyObserved is BenchmarkVerifySafety with a no-op
+// observer attached at the default stride — compare the two to see the
+// instrumentation cost when enabled.
+func BenchmarkVerifySafetyObserved(b *testing.B) {
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Verify(context.Background(), sys, prop, Options{Timeout: 30 * time.Second, Observer: nopObserver{}})
+		if err != nil || !res.Holds() {
+			b.Fatal("unexpected result")
+		}
+	}
+}
+
+// TestObserverOverheadGuard bounds the observability layer's cost on the
+// BenchmarkVerifySafety workload: a no-op observer at the default stride
+// must stay within 2% of the nil-observer run. The nil path does strictly
+// less work than the attached path (one nil check per loop iteration
+// instead of event construction), so the bound covers it a fortiori.
+// Benchmark comparisons are noisy, so the guard retries and accepts the
+// best of several attempts.
+func TestObserverOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison skipped in -short mode")
+	}
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+	}
+	measure := func(opts Options) float64 {
+		opts.Timeout = 30 * time.Second
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Verify(context.Background(), sys, prop, opts)
+				if err != nil || !res.Holds() {
+					b.Fatal("unexpected result")
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	// Warm the memoized caches (Büchi translation, validation) so the
+	// first measurement is not penalized.
+	measure(Options{})
+	const attempts = 4
+	worst := 0.0
+	for i := 0; i < attempts; i++ {
+		base := measure(Options{})
+		observed := measure(Options{Observer: nopObserver{}})
+		ratio := observed / base
+		t.Logf("attempt %d: nil=%.0fns observed=%.0fns ratio=%.4f", i, base, observed, ratio)
+		if ratio <= 1.02 {
+			return
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	t.Errorf("observer overhead above 2%% in all %d attempts (worst ratio %.4f)", attempts, worst)
 }

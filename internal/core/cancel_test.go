@@ -36,7 +36,7 @@ func TestVerifyCtxDeadlineReportsTimeout(t *testing.T) {
 	if !res.Stats.TimedOut {
 		t.Error("expired context deadline must report TimedOut")
 	}
-	if res.Holds {
+	if res.Holds() {
 		t.Error("a timed-out verification must not claim the property holds")
 	}
 }

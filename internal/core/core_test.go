@@ -23,7 +23,7 @@ func mustVerify(t *testing.T, sys *has.System, prop *Property, opts Options) *Re
 		t.Fatalf("Verify: %v", err)
 	}
 	if res.Stats.TimedOut {
-		t.Fatalf("verification timed out after %d states", res.Stats.StatesExplored)
+		t.Fatalf("verification timed out after %d states", res.Stats.StatesExplored())
 	}
 	return res
 }
@@ -39,7 +39,7 @@ func TestStoreOrderPostcondition(t *testing.T) {
 		Formula: ltl.MustParse(`G (call(StoreOrder) -> reset)`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if !res.Holds {
+	if !res.Holds() {
 		t.Errorf("property should hold; violation: %+v", res.Violation)
 	}
 }
@@ -55,7 +55,7 @@ func TestShipRequiresStockCorrect(t *testing.T) {
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if !res.Holds {
+	if !res.Holds() {
 		t.Errorf("correct variant should satisfy the guard property; violation: %+v", res.Violation)
 	}
 }
@@ -71,7 +71,7 @@ func TestShipRequiresStockBuggy(t *testing.T) {
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if res.Holds {
+	if res.Holds() {
 		t.Error("buggy variant should violate the guard property")
 	}
 	if res.Violation == nil || len(res.Violation.Prefix) == 0 {
@@ -96,7 +96,7 @@ func TestPaperPropertyBuggy(t *testing.T) {
 			`G ((close(TakeOrder) && p) -> (!(open(ShipItem) && q) U (open(Restock) && r)))`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if res.Holds {
+	if res.Holds() {
 		t.Error("buggy variant should violate property (†)")
 	}
 }
@@ -112,7 +112,7 @@ func TestLivenessHolds(t *testing.T) {
 		Formula: ltl.MustParse(`F close(TakeOrder)`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if !res.Holds {
+	if !res.Holds() {
 		t.Errorf("liveness should hold; violation: %+v", res.Violation)
 	}
 }
@@ -126,7 +126,7 @@ func TestLivenessViolated(t *testing.T) {
 		Formula: ltl.MustParse(`F open(ShipItem)`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if res.Holds {
+	if res.Holds() {
 		t.Error("shipping is not inevitable; expected an infinite counterexample")
 	}
 	if res.Violation == nil {
@@ -151,7 +151,7 @@ func TestFiniteViolationOnChildTask(t *testing.T) {
 		Formula: ltl.MustParse(`G undecided`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if res.Holds {
+	if res.Holds() {
 		t.Error("CheckCredit decides; property must be violated")
 	}
 }
@@ -167,7 +167,7 @@ func TestChildTaskClosingGuard(t *testing.T) {
 		Formula: ltl.MustParse(`G (close(CheckCredit) -> decided)`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if !res.Holds {
+	if !res.Holds() {
 		t.Errorf("closing guard property should hold; violation: %+v", res.Violation)
 	}
 }
@@ -182,7 +182,7 @@ func TestFalseProperty(t *testing.T) {
 		Formula: ltl.FalseF{},
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if res.Holds {
+	if res.Holds() {
 		t.Error("False must be violated")
 	}
 }
@@ -195,7 +195,7 @@ func TestTrueProperty(t *testing.T) {
 		Formula: ltl.TrueF{},
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if !res.Holds {
+	if !res.Holds() {
 		t.Error("True must hold")
 	}
 }
@@ -216,7 +216,7 @@ func TestGlobalVariableProperty(t *testing.T) {
 		Formula: ltl.MustParse(`G ((call(StoreOrder) && isc) -> isnc)`),
 	}
 	res := mustVerify(t, sys, prop, Options{})
-	if !res.Holds {
+	if !res.Holds() {
 		t.Errorf("StoreOrder forces cust_id = null, so cust_id == c implies c == null; violation: %+v", res.Violation)
 	}
 }
@@ -262,8 +262,8 @@ func TestOptionsMatrixAgreement(t *testing.T) {
 	for _, c := range cases {
 		for name, opts := range optVariants {
 			res := mustVerify(t, c.sys, c.prop, opts)
-			if res.Holds != c.want {
-				t.Errorf("%s/%s: Holds = %v, want %v", c.name, name, res.Holds, c.want)
+			if res.Holds() != c.want {
+				t.Errorf("%s/%s: Holds = %v, want %v", c.name, name, res.Holds(), c.want)
 			}
 		}
 	}
@@ -277,7 +277,7 @@ func TestNoSetStillVerifies(t *testing.T) {
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	}
 	res := mustVerify(t, sys, prop, Options{IgnoreSets: true})
-	if !res.Holds {
+	if !res.Holds() {
 		t.Errorf("NoSet over-approximation should still satisfy the guard property (it does not involve the relation contents)")
 	}
 }
@@ -318,7 +318,7 @@ func TestStatsPopulated(t *testing.T) {
 	sys := workflows.OrderFulfillment(false)
 	prop := &Property{Task: "ProcessOrders", Formula: ltl.MustParse(`F close(TakeOrder)`)}
 	res := mustVerify(t, sys, prop, Options{})
-	if res.Stats.StatesExplored == 0 || res.Stats.BuchiStates == 0 {
+	if res.Stats.StatesExplored() == 0 || res.Stats.BuchiStates == 0 {
 		t.Errorf("stats not populated: %+v", res.Stats)
 	}
 	if res.Stats.Elapsed <= 0 {
@@ -339,7 +339,7 @@ func TestTimeoutReported(t *testing.T) {
 	if !res.Stats.TimedOut {
 		t.Error("tiny budget should report a timeout")
 	}
-	if res.Holds {
+	if res.Holds() {
 		t.Error("timed-out verification must not claim the property holds")
 	}
 }

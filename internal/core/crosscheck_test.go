@@ -26,7 +26,7 @@ func xVerify(t *testing.T, sys *has.System, prop *core.Property, opts core.Optio
 		t.Fatal(err)
 	}
 	if res.Stats.TimedOut {
-		t.Fatalf("verification timed out after %d states", res.Stats.StatesExplored)
+		t.Fatalf("verification timed out after %d states", res.Stats.StatesExplored())
 	}
 	return res
 }
@@ -64,34 +64,42 @@ func TestCrossCheckSpinlike(t *testing.T) {
 			Formula: ltl.MustParse(`G F placed`),
 		},
 	}
+	// Both engines behind the shared Verifier signature: the cross-check
+	// logic below never dispatches on the engine kind again.
+	engines := map[string]core.Verifier{
+		core.Options{IgnoreSets: true}.Variant(): core.Engine(core.Options{
+			IgnoreSets: true, MaxStates: 300_000, Timeout: 60 * time.Second,
+		}),
+		spinlike.Variant: spinlike.Engine(spinlike.Options{
+			FreshPerSort: 1, MaxStates: 150_000, Timeout: 60 * time.Second,
+		}),
+	}
 	for _, buggy := range []bool{false, true} {
 		sys := workflows.OrderFulfillment(buggy)
 		if err := sys.Validate(); err != nil {
 			t.Fatal(err)
 		}
 		for _, prop := range props {
-			vres, err := core.Verify(context.Background(), sys, prop, core.Options{
-				IgnoreSets: true,
-				MaxStates:  300_000,
-				Timeout:    60 * time.Second,
-			})
-			if err != nil {
-				t.Fatalf("%s: %v", prop.Name, err)
+			results := map[string]*core.Result{}
+			budget := false
+			for name, eng := range engines {
+				res, err := eng(context.Background(), sys, prop)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", prop.Name, name, err)
+				}
+				results[name] = res
+				budget = budget || res.TimedOut()
 			}
-			sres, err := spinlike.Verify(context.Background(), sys, &spinlike.Property{
-				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
-			}, spinlike.Options{FreshPerSort: 1, MaxStates: 150_000, Timeout: 60 * time.Second})
-			if err != nil {
-				t.Fatalf("%s: %v", prop.Name, err)
-			}
-			if vres.Stats.TimedOut || sres.TimedOut {
+			if budget {
 				t.Logf("%s (buggy=%v): skipped (budget)", prop.Name, buggy)
 				continue
 			}
-			if !sres.Holds && vres.Holds {
+			vres := results[core.Options{IgnoreSets: true}.Variant()]
+			sres := results[spinlike.Variant]
+			if !sres.Holds() && vres.Holds() {
 				t.Errorf("%s (buggy=%v): bounded checker finds a violation but VERIFAS-NoSet claims the property holds (UNSOUND)", prop.Name, buggy)
 			}
-			t.Logf("%s (buggy=%v): verifas=%v spinlike=%v", prop.Name, buggy, vres.Holds, sres.Holds)
+			t.Logf("%s (buggy=%v): verifas=%v spinlike=%v", prop.Name, buggy, vres.Holds(), sres.Holds())
 		}
 	}
 }
@@ -124,20 +132,21 @@ func TestCrossCheckSynthetic(t *testing.T) {
 			ltl.MustParse(`F open(` + child + `)`),
 		} {
 			prop := &core.Property{Task: sys.Root.Name, Formula: f}
-			vres, err := core.Verify(context.Background(), sys, prop, core.Options{IgnoreSets: true, MaxStates: 100_000, Timeout: 20 * time.Second})
+			verifas := core.Engine(core.Options{IgnoreSets: true, MaxStates: 100_000, Timeout: 20 * time.Second})
+			bounded := spinlike.Engine(spinlike.Options{FreshPerSort: 1, MaxStates: 60_000, MaxBranch: 1 << 15, Timeout: 20 * time.Second})
+			vres, err := verifas(context.Background(), sys, prop)
 			if err != nil {
 				t.Fatal(err)
 			}
-			sres, err := spinlike.Verify(context.Background(), sys, &spinlike.Property{Task: prop.Task, Formula: f},
-				spinlike.Options{FreshPerSort: 1, MaxStates: 60_000, MaxBranch: 1 << 15, Timeout: 20 * time.Second})
+			sres, err := bounded(context.Background(), sys, prop)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if vres.Stats.TimedOut || sres.TimedOut {
+			if vres.TimedOut() || sres.TimedOut() {
 				continue
 			}
 			checked++
-			if !sres.Holds && vres.Holds {
+			if !sres.Holds() && vres.Holds() {
 				t.Errorf("seed %d / %s: bounded violation missed by VERIFAS (UNSOUND)", seed, ltl.String(f))
 			}
 		}
@@ -168,9 +177,9 @@ func TestAggressiveRRConfirmed(t *testing.T) {
 		// A confirmed aggressive violation must agree with the classical
 		// verdict; an aggressive "holds" may in principle be wrong (the
 		// documented limitation), so only the violation side is checked.
-		if !aggressive.Holds && classical.Holds {
+		if !aggressive.Holds() && classical.Holds() {
 			t.Errorf("%s: aggressive RR reports a violation the classical method rejects", ltl.String(prop.Formula))
 		}
-		t.Logf("%s: classical=%v aggressive=%v", ltl.String(prop.Formula), classical.Holds, aggressive.Holds)
+		t.Logf("%s: classical=%v aggressive=%v", ltl.String(prop.Formula), classical.Holds(), aggressive.Holds())
 	}
 }

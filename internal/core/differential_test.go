@@ -110,7 +110,7 @@ func TestDifferentialConcreteVsSymbolic(t *testing.T) {
 			if res.Stats.TimedOut {
 				t.Fatalf("%s: timed out", p.name)
 			}
-			verdicts[p.name] = res.Holds
+			verdicts[p.name] = res.Holds()
 		}
 
 		// Sample concrete runs and check every closed local run.
@@ -163,7 +163,7 @@ func TestDifferentialRootInvariants(t *testing.T) {
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	}
 	res, err := Verify(context.Background(), sys, prop, Options{MaxStates: 300_000})
-	if err != nil || !res.Holds {
+	if err != nil || !res.Holds() {
 		t.Fatalf("setup: expected property to hold (err=%v)", err)
 	}
 	for seed := int64(0); seed < 30; seed++ {

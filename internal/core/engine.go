@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"strings"
+
+	"verifas/internal/has"
+)
+
+// Verifier is the engine signature shared by the VERIFAS core and the
+// baseline verifiers: verify one property of a validated system. The
+// benchmark suite and the cross-check tests dispatch engines through this
+// type instead of per-engine switch arms; spinlike.Engine adapts the
+// bounded baseline to it.
+type Verifier func(ctx context.Context, sys *has.System, prop *Property) (*Result, error)
+
+// Engine binds a fixed Options configuration into a Verifier running
+// Verify.
+func Engine(opts Options) Verifier {
+	return func(ctx context.Context, sys *has.System, prop *Property) (*Result, error) {
+		return Verify(ctx, sys, prop, opts)
+	}
+}
+
+// Variant returns the canonical name of the configuration, used as the
+// table label in the evaluation harness: "VERIFAS" for the full
+// configuration, with "-NoSet", "-noSP", "-noSA", "-noDSS", "-noRR",
+// "-aggRR" suffixes for each disabled optimization or mode switch.
+// Budget fields (MaxStates, Timeout) and observers do not contribute.
+func (o Options) Variant() string {
+	var sb strings.Builder
+	sb.WriteString("VERIFAS")
+	if o.IgnoreSets {
+		sb.WriteString("-NoSet")
+	}
+	if o.NoStatePruning {
+		sb.WriteString("-noSP")
+	}
+	if o.NoStaticAnalysis {
+		sb.WriteString("-noSA")
+	}
+	if o.NoIndexes {
+		sb.WriteString("-noDSS")
+	}
+	if o.SkipRepeatedReachability {
+		sb.WriteString("-noRR")
+	}
+	if o.AggressiveRR {
+		sb.WriteString("-aggRR")
+	}
+	return sb.String()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"time"
 
 	"verifas/internal/ltl"
 	"verifas/internal/symbolic"
@@ -27,56 +28,69 @@ import (
 // unless NoRRConfirmation is set; its "holds" verdicts are not — the
 // paper's completeness argument for ⪯+ is informal, and differential
 // testing exposed real violations it can miss, which is why it is opt-in.
-func repeatedReachability(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int) (*Violation, int, bool, error) {
+//
+// The two returned PhaseStats separate the RR search proper from the
+// optional confirmation pass; both searches stream Progress events to the
+// emitter's observer (PhaseRR and PhaseRRConfirm respectively).
+func repeatedReachability(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, em emitter) (*Violation, PhaseStats, PhaseStats, bool, error) {
+	var confirm PhaseStats
 	if !opts.AggressiveRR {
-		return rrClassical(ctx, ts, buchi, opts, maxStates)
+		v, st, timedOut, err := rrClassical(ctx, ts, buchi, opts, maxStates, em, PhaseRR)
+		return v, st, confirm, timedOut, err
 	}
-	v, states, timedOut, err := rrAggressive(ctx, ts, buchi, phase1, opts, maxStates)
+	v, st, timedOut, err := rrAggressive(ctx, ts, buchi, phase1, opts, maxStates, em)
 	if err != nil || timedOut || v == nil {
-		return v, states, timedOut, err
+		return v, st, confirm, timedOut, err
 	}
 	if opts.NoRRConfirmation {
-		return v, states, false, nil
+		return v, st, confirm, false, nil
 	}
-	cv, cstates, ctimed, err := rrClassical(ctx, ts, buchi, opts, maxStates)
-	states += cstates
+	cv, cst, ctimed, err := rrClassical(ctx, ts, buchi, opts, maxStates, em, PhaseRRConfirm)
+	confirm = cst
 	if err != nil {
-		return nil, states, false, err
+		return nil, st, confirm, false, err
 	}
 	if ctimed {
 		// The confirmation ran out of budget; report the aggressive
 		// finding but note the budget exhaustion.
-		return v, states, true, nil
+		return v, st, confirm, true, nil
 	}
-	return cv, states, false, nil
+	return cv, st, confirm, false, nil
 }
 
 // rrClassical: ≤-pruned Karp-Miller with acceleration; the active nodes
 // form a coverability set, and an accepting state is repeatedly reachable
 // iff it lies on a cycle of the coverability graph (paper Section 3.3).
-func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, opts Options, maxStates int) (*Violation, int, bool, error) {
+// The phase label distinguishes the primary RR search from the Appendix C
+// confirmation pass in the event stream.
+func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, opts Options, maxStates int, em emitter, phase Phase) (*Violation, PhaseStats, bool, error) {
 	prod := newProduct(ts, buchi, OrderLeq)
 	prod.ctx = ctx
+	start := time.Now()
+	em.phaseStart(phase)
 	tree, err := vass.Explore(prod, vass.Options{
-		Prune:      true,
-		Accelerate: true,
-		UseIndex:   !opts.NoIndexes,
-		MaxStates:  maxStates,
-		Ctx:        ctx,
+		Prune:          true,
+		Accelerate:     true,
+		UseIndex:       !opts.NoIndexes,
+		MaxStates:      maxStates,
+		Ctx:            ctx,
+		OnProgress:     em.searchProgress(phase),
+		ProgressStride: em.stride,
 	})
-	states := tree.Created
+	stats := treeStats(tree, start)
+	em.phaseEnd(phase, stats)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			return nil, states, false, err
+			return nil, stats, false, err
 		}
-		return nil, states, true, nil
+		return nil, stats, true, nil
 	}
-	return cycleViolation(ts, prod, tree.Active()), states, false, nil
+	return cycleViolation(ts, prod, tree.Active()), stats, false, nil
 }
 
 // rrAggressive: the Appendix C second phase with ⪯+ pruning, no
 // acceleration, pruning against the first phase's ω states.
-func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int) (*Violation, int, bool, error) {
+func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, em emitter) (*Violation, PhaseStats, bool, error) {
 	prod := newProduct(ts, buchi, OrderPrecedesStrict)
 	prod.ctx = ctx
 	var omegaDoms []vass.State
@@ -85,22 +99,27 @@ func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi
 			omegaDoms = append(omegaDoms, n.S)
 		}
 	}
+	start := time.Now()
+	em.phaseStart(PhaseRR)
 	tree, err := vass.Explore(prod, vass.Options{
 		Prune:           true,
 		Accelerate:      false,
 		UseIndex:        !opts.NoIndexes,
 		MaxStates:       maxStates,
 		Ctx:             ctx,
+		OnProgress:      em.searchProgress(PhaseRR),
+		ProgressStride:  em.stride,
 		ExtraDominators: omegaDoms,
 	})
-	states := tree.Created
+	stats := treeStats(tree, start)
+	em.phaseEnd(PhaseRR, stats)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			return nil, states, false, err
+			return nil, stats, false, err
 		}
-		return nil, states, true, nil
+		return nil, stats, true, nil
 	}
-	return cycleViolation(ts, prod, tree.Active()), states, false, nil
+	return cycleViolation(ts, prod, tree.Active()), stats, false, nil
 }
 
 // cycleViolation extracts an accepting state on a cycle of the

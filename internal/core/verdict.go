@@ -1,0 +1,54 @@
+package core
+
+import "fmt"
+
+// Verdict is the outcome of a verification. It replaces the old ambiguous
+// Result.Holds bool, which was false both for violations and for budget
+// exhaustion; callers that only care about the positive case can keep
+// using the derived Result.Holds() accessor.
+type Verdict int
+
+const (
+	// VerdictUnknown is the zero value; a successful Verify never
+	// returns it.
+	VerdictUnknown Verdict = iota
+	// VerdictHolds: every local run of the task satisfies the property.
+	VerdictHolds
+	// VerdictViolated: a counterexample local run was found (see
+	// Result.Violation).
+	VerdictViolated
+	// VerdictTimedOut: the wall-clock or state budget expired before the
+	// search finished; nothing is known about the property.
+	VerdictTimedOut
+)
+
+var verdictNames = map[Verdict]string{
+	VerdictUnknown:  "unknown",
+	VerdictHolds:    "holds",
+	VerdictViolated: "violated",
+	VerdictTimedOut: "timed-out",
+}
+
+func (v Verdict) String() string {
+	if s, ok := verdictNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// MarshalText renders the verdict as its lower-case name, so JSON trace
+// records stay readable ("holds", "violated", "timed-out").
+func (v Verdict) MarshalText() ([]byte, error) {
+	return []byte(v.String()), nil
+}
+
+// UnmarshalText parses the lower-case verdict name.
+func (v *Verdict) UnmarshalText(b []byte) error {
+	for k, s := range verdictNames {
+		if s == string(b) {
+			*v = k
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown verdict %q", b)
+}

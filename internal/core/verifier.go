@@ -69,6 +69,15 @@ type Options struct {
 	// top of the Context passed to Verify: whichever expires first stops
 	// the search.
 	Timeout time.Duration
+	// Observer, when non-nil, receives the verification's typed event
+	// stream: PhaseStart/PhaseEnd for every phase, periodic Progress
+	// snapshots from the search loops, and a terminal Verdict event. A
+	// nil Observer disables all instrumentation (the hot loops pay only a
+	// nil check).
+	Observer Observer
+	// ProgressStride is the state-count stride between Progress events
+	// (0 = DefaultProgressStride). Ignored without an Observer.
+	ProgressStride int
 }
 
 // DefaultMaxStates bounds each search phase unless overridden.
@@ -96,36 +105,75 @@ type Violation struct {
 	Cycle []Step
 }
 
-// Stats reports search effort.
+// Stats reports search effort, broken down per phase.
 type Stats struct {
-	BuchiStates    int
-	StatesExplored int
-	Pruned         int
-	Skipped        int
-	Accelerations  int
-	RRStates       int
-	Elapsed        time.Duration
-	TimedOut       bool
+	BuchiStates int `json:"buchi_states"`
+	// Reachability is phase 1: the reachability search with on-the-fly
+	// violation detection. The spin-like baseline reports its whole
+	// nested DFS here.
+	Reachability PhaseStats `json:"reachability"`
+	// RR is the repeated-reachability phase (classical, or the opt-in
+	// Appendix C aggressive search).
+	RR PhaseStats `json:"rr"`
+	// Confirm is the classical re-confirmation of an aggressive-RR
+	// finding (zero unless Options.AggressiveRR fired it).
+	Confirm  PhaseStats    `json:"confirm"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	TimedOut bool          `json:"timed_out"`
 }
+
+// StatesExplored aggregates the states created across all search phases.
+func (s Stats) StatesExplored() int {
+	return s.Reachability.States + s.RR.States + s.Confirm.States
+}
+
+// Pruned aggregates the nodes deactivated by pruning across all phases.
+func (s Stats) Pruned() int {
+	return s.Reachability.Pruned + s.RR.Pruned + s.Confirm.Pruned
+}
+
+// Skipped aggregates the dominated/duplicate states across all phases.
+func (s Stats) Skipped() int {
+	return s.Reachability.Skipped + s.RR.Skipped + s.Confirm.Skipped
+}
+
+// Accelerations aggregates the ω-acceleration count across all phases.
+func (s Stats) Accelerations() int {
+	return s.Reachability.Accelerations + s.RR.Accelerations + s.Confirm.Accelerations
+}
+
+// RRStates is the state count of the repeated-reachability module
+// (including any confirmation search).
+func (s Stats) RRStates() int { return s.RR.States + s.Confirm.States }
 
 // Result is the outcome of a verification.
 type Result struct {
-	// Holds is true when every local run of the task satisfies the
-	// property. It is false when a violation was found OR the search
-	// timed out (check Stats.TimedOut and Violation).
-	Holds     bool
+	// Verdict is the three-valued outcome: VerdictHolds, VerdictViolated
+	// (see Violation) or VerdictTimedOut (budget exhaustion; nothing is
+	// known).
+	Verdict   Verdict
 	Violation *Violation
 	Stats     Stats
 }
+
+// Holds reports whether every local run of the task satisfies the
+// property. It is the derived form of Verdict == VerdictHolds; note that
+// !Holds() does NOT imply a violation — check Verdict (or TimedOut) to
+// distinguish budget exhaustion.
+func (r *Result) Holds() bool { return r.Verdict == VerdictHolds }
+
+// TimedOut reports budget exhaustion (wall clock or state count).
+func (r *Result) TimedOut() bool { return r.Verdict == VerdictTimedOut }
 
 // Verify checks that every local run of the property's task satisfies the
 // property (paper Section 3). The system must already be validated.
 //
 // Cancellation contract: the search polls ctx cooperatively in its hot
 // loops. If ctx is cancelled, Verify returns promptly with ctx.Err() and a
-// nil Result. If ctx's deadline or opts.Timeout expires (or MaxStates is
-// exhausted), Verify returns a Result with Stats.TimedOut set and a nil
-// error. A nil ctx is treated as context.Background().
+// nil Result (no Verdict event is emitted). If ctx's deadline or
+// opts.Timeout expires (or MaxStates is exhausted), Verify returns a
+// Result with VerdictTimedOut and a nil error. A nil ctx is treated as
+// context.Background().
 func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) (*Result, error) {
 	start := time.Now()
 	if ctx == nil {
@@ -136,29 +184,46 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 	}
 	task, ok := sys.Task(prop.Task)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown task %q", prop.Task)
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownTask, prop.Task)
 	}
 	if err := validatePropertyCached(sys, task, prop); err != nil {
 		return nil, err
 	}
 
-	// Büchi automaton of the NEGATED property (memoized: benchmark suites
-	// re-translate the same formula once per verifier variant).
-	buchi := ltl.TranslateCached(ltl.Not(prop.Formula))
+	em := newEmitter(opts)
+	res := &Result{}
+	// finish seals the result: verdict, elapsed time, terminal event.
+	finish := func(v Verdict) (*Result, error) {
+		res.Verdict = v
+		res.Stats.TimedOut = v == VerdictTimedOut
+		res.Stats.Elapsed = time.Since(start)
+		em.verdict(res)
+		return res, nil
+	}
 
-	// Compile the task's symbolic semantics with the property bound.
+	// ---- Compile: Büchi automaton of the NEGATED property (memoized:
+	// benchmark suites re-translate the same formula once per verifier
+	// variant) plus the task's symbolic semantics with the property bound.
+	compileStart := time.Now()
+	em.phaseStart(PhaseCompile)
+	buchi := ltl.TranslateCached(ltl.Not(prop.Formula))
 	ts, err := symbolic.CompileTask(sys, task, symbolic.PropertyBinding{
 		Globals: prop.Globals,
 		Conds:   prop.Conds,
 	}, symbolic.Options{IgnoreSets: opts.IgnoreSets})
+	em.phaseEnd(PhaseCompile, PhaseStats{Elapsed: time.Since(compileStart)})
 	if err != nil {
 		return nil, err
 	}
+
+	// ---- Static analysis: the constraint-graph edge filter.
 	if !opts.NoStaticAnalysis {
+		saStart := time.Now()
+		em.phaseStart(PhaseStatic)
 		ts.SetFilter(static.Analyze(ts))
+		em.phaseEnd(PhaseStatic, PhaseStats{Elapsed: time.Since(saStart)})
 	}
 
-	res := &Result{}
 	res.Stats.BuchiStates = buchi.NumStates()
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
@@ -183,12 +248,16 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 	var pumpState *PState
 	anyAccepting := false
 
+	reachStart := time.Now()
+	em.phaseStart(PhaseReach)
 	tree, exploreErr := vass.Explore(prod, vass.Options{
-		Prune:      true,
-		Accelerate: true,
-		UseIndex:   !opts.NoIndexes,
-		MaxStates:  maxStates,
-		Ctx:        ctx,
+		Prune:          true,
+		Accelerate:     true,
+		UseIndex:       !opts.NoIndexes,
+		MaxStates:      maxStates,
+		Ctx:            ctx,
+		OnProgress:     em.searchProgress(PhaseReach),
+		ProgressStride: em.stride,
 		OnNode: func(n *vass.Node) bool {
 			ps := n.S.(*PState)
 			if prod.FinViolation(ps) {
@@ -217,55 +286,56 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 			return false
 		},
 	})
-	res.Stats.StatesExplored = tree.Created
-	res.Stats.Pruned = tree.Pruned
-	res.Stats.Skipped = tree.Skipped
-	res.Stats.Accelerations = tree.Accelerations
+	res.Stats.Reachability = treeStats(tree, reachStart)
+	em.phaseEnd(PhaseReach, res.Stats.Reachability)
 	if exploreErr != nil {
 		if errors.Is(exploreErr, context.Canceled) {
 			return nil, exploreErr
 		}
 		// State budget or deadline exhausted.
-		res.Stats.TimedOut = true
-		res.Stats.Elapsed = time.Since(start)
-		return res, nil
+		return finish(VerdictTimedOut)
 	}
 
 	if finViolation != nil {
 		res.Violation = &Violation{Kind: "finite", Prefix: tracePath(ts, finViolation)}
-		res.Stats.Elapsed = time.Since(start)
-		return res, nil
+		return finish(VerdictViolated)
 	}
 	if pumpAncestor != nil {
 		_ = pumpState
 		prefix := tracePath(ts, pumpAncestor)
 		res.Violation = &Violation{Kind: "pumping", Prefix: prefix}
-		res.Stats.Elapsed = time.Since(start)
-		return res, nil
+		return finish(VerdictViolated)
 	}
 
 	// ---- Phase 2: repeated reachability for infinite-run violations.
 	if !opts.SkipRepeatedReachability && anyAccepting {
-		v, rrStates, timedOut, err := repeatedReachability(ctx, ts, buchi, tree, opts, maxStates)
-		res.Stats.RRStates = rrStates
+		v, rrStats, confirmStats, timedOut, err := repeatedReachability(ctx, ts, buchi, tree, opts, maxStates, em)
+		res.Stats.RR = rrStats
+		res.Stats.Confirm = confirmStats
 		if err != nil {
 			return nil, err
 		}
 		if timedOut {
-			res.Stats.TimedOut = true
-			res.Stats.Elapsed = time.Since(start)
-			return res, nil
+			return finish(VerdictTimedOut)
 		}
 		if v != nil {
 			res.Violation = v
-			res.Stats.Elapsed = time.Since(start)
-			return res, nil
+			return finish(VerdictViolated)
 		}
 	}
 
-	res.Holds = true
-	res.Stats.Elapsed = time.Since(start)
-	return res, nil
+	return finish(VerdictHolds)
+}
+
+// treeStats converts an exploration's counters into PhaseStats.
+func treeStats(t *vass.Tree, start time.Time) PhaseStats {
+	return PhaseStats{
+		States:        t.Created,
+		Pruned:        t.Pruned,
+		Skipped:       t.Skipped,
+		Accelerations: t.Accelerations,
+		Elapsed:       time.Since(start),
+	}
 }
 
 // validationResult wraps a (possibly nil) validation error for the cache.
@@ -315,24 +385,25 @@ func validatePropertyCached(sys *has.System, task *has.Task, prop *Property) err
 }
 
 // validateProperty type-checks the property against the system and task.
+// Every failure wraps ErrInvalidProperty.
 func validateProperty(sys *has.System, task *has.Task, prop *Property) error {
 	scope := has.TaskScope(task)
 	seen := map[string]bool{}
 	for _, g := range prop.Globals {
 		if _, clash := scope[g.Name]; clash || seen[g.Name] {
-			return fmt.Errorf("core: global variable %q clashes", g.Name)
+			return invalidPropf("global variable %q clashes", g.Name)
 		}
 		seen[g.Name] = true
 		if g.Type.IsID() {
 			if _, ok := sys.Schema.Relation(g.Type.Rel); !ok {
-				return fmt.Errorf("core: global %q has unknown ID sort %q", g.Name, g.Type.Rel)
+				return invalidPropf("global %q has unknown ID sort %q", g.Name, g.Type.Rel)
 			}
 		}
 		scope = scope.With(g)
 	}
 	for name, f := range prop.Conds {
 		if err := sys.CheckCondition(f, scope, "property condition "+name); err != nil {
-			return err
+			return fmt.Errorf("core: %w: %w", ErrInvalidProperty, err)
 		}
 	}
 	// Every LTL atom is either a service proposition of the task or a
@@ -343,7 +414,7 @@ func validateProperty(sys *has.System, task *has.Task, prop *Property) error {
 			continue
 		}
 		if _, ok := prop.Conds[a]; !ok {
-			return fmt.Errorf("core: atom %q is neither a service proposition of task %s nor a defined condition", a, task.Name)
+			return invalidPropf("atom %q is neither a service proposition of task %s nor a defined condition", a, task.Name)
 		}
 	}
 	return nil

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+
+	// Register the profiling and metrics handlers on the default mux:
+	// /debug/pprof/* here, /debug/vars via the expvar import in
+	// registry.go.
+	_ "net/http/pprof"
+)
+
+// ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060"
+// or ":6060"), serving net/http/pprof under /debug/pprof/ and expvar —
+// including any Registry published with Publish — under /debug/vars. It
+// returns the bound address (useful with a ":0" addr) once the listener
+// is up; the server then runs until the process exits.
+func ServeDebug(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		// http.Serve only returns on listener failure; at process
+		// teardown there is nobody left to report to.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr(), nil
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"verifas/internal/core"
+)
+
+// playRun drives one synthetic verification's event stream into obs.
+func playRun(o core.Observer, states int, v core.Verdict) {
+	o.PhaseStart(core.PhaseCompile)
+	o.PhaseEnd(core.PhaseCompile, core.PhaseStats{Elapsed: time.Millisecond})
+	o.PhaseStart(core.PhaseReach)
+	for s := 1; s <= states; s++ {
+		o.Progress(core.ProgressEvent{Phase: core.PhaseReach, States: s, Frontier: 1})
+	}
+	o.PhaseEnd(core.PhaseReach, core.PhaseStats{States: states, Pruned: 2, Elapsed: 3 * time.Millisecond})
+	o.Verdict(core.VerdictEvent{
+		Verdict: v,
+		Stats:   core.Stats{Reachability: core.PhaseStats{States: states}},
+	})
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	playRun(tw.Run("run-a"), 3, core.VerdictHolds)
+	playRun(tw.Run("run-b"), 5, core.VerdictViolated)
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per run: 2 phase-starts, 2 phase-ends, N progress, 1 verdict.
+	want := (2+2+1)*2 + 3 + 5
+	if len(events) != want {
+		t.Fatalf("round-tripped %d events, want %d", len(events), want)
+	}
+	byRun := map[string][]Event{}
+	for _, e := range events {
+		byRun[e.Run] = append(byRun[e.Run], e)
+	}
+	if len(byRun) != 2 {
+		t.Fatalf("trace names %d runs, want 2", len(byRun))
+	}
+	for id, n := range map[string]int{"run-a": 3, "run-b": 5} {
+		evs := byRun[id]
+		last := evs[len(evs)-1]
+		if last.Type != EventVerdict || last.Verdict == nil {
+			t.Fatalf("%s: final event is %q, want verdict", id, last.Type)
+		}
+		if got := last.Verdict.Stats.Reachability.States; got != n {
+			t.Errorf("%s: verdict states = %d, want %d", id, got, n)
+		}
+		progress := 0
+		for _, e := range evs {
+			switch e.Type {
+			case EventProgress:
+				if e.Progress == nil || e.Progress.Phase != core.PhaseReach {
+					t.Fatalf("%s: malformed progress event %+v", id, e)
+				}
+				progress++
+			case EventPhaseEnd:
+				if e.PhaseStats == nil {
+					t.Fatalf("%s: phase-end without stats", id)
+				}
+			}
+		}
+		if progress != n {
+			t.Errorf("%s: %d progress events, want %d", id, progress, n)
+		}
+	}
+}
+
+func TestTraceInterleavedWriters(t *testing.T) {
+	// Concurrent runs share one writer; every line must still parse.
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			playRun(tw.Run(fmt.Sprintf("run-%d", i)), 20, core.VerdictHolds)
+		}(i)
+	}
+	wg.Wait()
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 * (2 + 2 + 20 + 1); len(events) != want {
+		t.Fatalf("parsed %d events, want %d", len(events), want)
+	}
+}
+
+func TestTraceReadError(t *testing.T) {
+	_, err := ReadTrace(strings.NewReader("{\"type\":\"progress\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("ReadTrace error = %v, want line-2 parse failure", err)
+	}
+}
+
+func TestRegistryAggregation(t *testing.T) {
+	r := NewRegistry()
+	playRun(r.Run(), 10, core.VerdictHolds)
+	playRun(r.Run(), 4, core.VerdictViolated)
+	h := r.Run() // never reaches a verdict
+	h.PhaseStart(core.PhaseReach)
+	h.Progress(core.ProgressEvent{Phase: core.PhaseReach, States: 6})
+
+	s := r.Snapshot()
+	if s.RunsDone != 2 || s.Holds != 1 || s.Violated != 1 || s.TimedOut != 0 {
+		t.Errorf("run counters = %+v", s)
+	}
+	if s.RunsActive != 1 {
+		t.Errorf("runs_active = %d, want 1", s.RunsActive)
+	}
+	// Cumulative progress must be folded to deltas: 10 + 4 + 6, not the
+	// sum of every snapshot.
+	if s.States != 20 {
+		t.Errorf("states = %d, want 20", s.States)
+	}
+	if s.Pruned != 4 { // 2 per completed run, from PhaseEnd reconciliation
+		t.Errorf("pruned = %d, want 4", s.Pruned)
+	}
+	if s.PhaseMillis[string(core.PhaseReach)] < 6 { // 2 runs × 3ms
+		t.Errorf("reach phase millis = %d, want >= 6", s.PhaseMillis[string(core.PhaseReach)])
+	}
+
+	// String() must render valid JSON (the expvar contract).
+	var parsed Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &parsed); err != nil {
+		t.Fatalf("String() is not JSON: %v", err)
+	}
+	if parsed.States != s.States {
+		t.Errorf("String() snapshot states = %d, want %d", parsed.States, s.States)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Publish("verifas_test_registry")
+	playRun(reg.Run(), 5, core.VerdictHolds)
+
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(b)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "verifas_test_registry") {
+		t.Error("/debug/vars does not include the published registry")
+	}
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &all); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(all["verifas_test_registry"], &snap); err != nil {
+		t.Fatalf("registry var is not a snapshot: %v", err)
+	}
+	if snap.States != 5 || snap.Holds != 1 {
+		t.Errorf("registry snapshot over HTTP = %+v", snap)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}

@@ -140,7 +140,7 @@ func TestParsedSystemVerifies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Holds {
+	if !res.Holds() {
 		t.Error("closing guard should hold for the parsed system")
 	}
 }
@@ -246,8 +246,8 @@ func TestShippedSpecFiles(t *testing.T) {
 			if res.Stats.TimedOut {
 				t.Fatalf("%s/%s: timed out", c.path, prop.Name)
 			}
-			if res.Holds != want {
-				t.Errorf("%s/%s: Holds = %v, want %v", c.path, prop.Name, res.Holds, want)
+			if res.Holds() != want {
+				t.Errorf("%s/%s: Holds = %v, want %v", c.path, prop.Name, res.Holds(), want)
 			}
 		}
 	}

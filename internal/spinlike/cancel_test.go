@@ -29,7 +29,7 @@ func TestVerifyCtxDeadlineReportsTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatalf("an expired deadline is a timeout, not an error: %v", err)
 	}
-	if !res.TimedOut {
+	if !res.TimedOut() {
 		t.Error("expired context deadline must report TimedOut")
 	}
 }

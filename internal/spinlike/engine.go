@@ -1,0 +1,32 @@
+package spinlike
+
+import (
+	"context"
+
+	"verifas/internal/core"
+	"verifas/internal/has"
+)
+
+// Variant is the canonical benchmark label of the bounded baseline,
+// matching the naming scheme of core.Options.Variant.
+const Variant = "Spin-like"
+
+// Engine adapts the bounded baseline to the shared core.Verifier
+// signature, so the benchmark suite and the cross-check tests dispatch
+// both engines uniformly. The core.Property is narrowed to the fields the
+// baseline interprets, and the flat result is widened to core.Result
+// (the whole NDFS reported as the reachability phase).
+func Engine(opts Options) core.Verifier {
+	return func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
+		res, err := Verify(ctx, sys, &Property{
+			Task:    prop.Task,
+			Globals: prop.Globals,
+			Conds:   prop.Conds,
+			Formula: prop.Formula,
+		}, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Result{Verdict: res.Verdict, Stats: res.coreStats()}, nil
+	}
+}

@@ -639,6 +639,7 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 		}
 		idOf[k] = id
 		recs = append(recs, nodeRec{s: s})
+		c.interned++
 		return id, true
 	}
 	expand := func(id int) []int {
@@ -676,6 +677,7 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 			if c.overflow || checkTime() {
 				return false
 			}
+			c.emitProgress(len(stack), false)
 			id := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if id == start {
@@ -716,6 +718,7 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 			if c.overflow || checkTime() {
 				return false, true
 			}
+			c.emitProgress(len(stack), false)
 			f := &stack[len(stack)-1]
 			s := recs[f.id].s
 			// Finite-run acceptance.
@@ -747,6 +750,5 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 			stack = stack[:len(stack)-1]
 		}
 	}
-	c.totalStates += len(recs)
 	return false, false
 }

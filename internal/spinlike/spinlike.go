@@ -28,9 +28,11 @@ import (
 	"sort"
 	"time"
 
+	"verifas/internal/core"
 	"verifas/internal/fol"
 	"verifas/internal/has"
 	"verifas/internal/ltl"
+	"verifas/internal/vass"
 )
 
 // Options configure the bounded search.
@@ -39,17 +41,26 @@ type Options struct {
 	// sort beyond the named constants (default 2).
 	FreshPerSort int
 	// MaxStates bounds the number of distinct product states (default
-	// 200000). Exceeding it aborts with TimedOut.
+	// 200000). Exceeding it aborts with a timed-out verdict.
 	MaxStates int
 	// Timeout bounds wall-clock time (0 = none).
 	Timeout time.Duration
 	// MaxBranch caps the nondeterministic branching of one transition
 	// (assignment × row-materialization choices); exceeding it aborts.
 	MaxBranch int
+	// Observer, if non-nil, receives the run's event stream (the same
+	// core event model as core.Verify: PhaseCompile + PhaseReach with
+	// Progress snapshots, terminated by a Verdict event).
+	Observer core.Observer
+	// ProgressStride is the interned-state stride between Progress
+	// events (<= 0 = core.DefaultProgressStride).
+	ProgressStride int
 }
 
-// Property mirrors core.Property for the baseline (kept separate to avoid
-// an import cycle with the core package's tests).
+// Property mirrors core.Property for the baseline. It stays a separate
+// type (rather than reusing core.Property) so the bounded engine's
+// public surface documents exactly which fields it interprets; Engine
+// converts between the two.
 type Property struct {
 	Task    string
 	Globals []has.Variable
@@ -59,11 +70,20 @@ type Property struct {
 
 // Result is the verification outcome.
 type Result struct {
-	// Holds is true when no violation exists within the bounded domain.
-	Holds    bool
-	Stats    Stats
-	TimedOut bool
+	// Verdict classifies the outcome: VerdictHolds means no violation
+	// exists within the bounded domain (violations requiring more data
+	// values may still exist); VerdictViolated is witnessed by a run
+	// over the bounded domain; VerdictTimedOut means the state or time
+	// budget ran out first.
+	Verdict core.Verdict
+	Stats   Stats
 }
+
+// Holds reports whether the property held within the bounded domain.
+func (r *Result) Holds() bool { return r.Verdict == core.VerdictHolds }
+
+// TimedOut reports whether the search exhausted its budget.
+func (r *Result) TimedOut() bool { return r.Verdict == core.VerdictTimedOut }
 
 // Stats reports search effort.
 type Stats struct {
@@ -128,10 +148,31 @@ type checker struct {
 	idDom    map[string][]fol.Value // bounded Dom(R.ID) per relation
 	svcAtoms map[string]bool
 
-	totalStates int
-	budget      int
-	ctx         context.Context
-	overflow    bool
+	budget   int
+	ctx      context.Context
+	overflow bool
+
+	// interned counts distinct product states across all global
+	// valuations (monotone); drives the stride-based Progress events.
+	interned    int
+	obs         core.Observer
+	stride      int
+	nextEmit    int
+	searchStart time.Time
+}
+
+// emitProgress publishes a Progress snapshot when the stride has been
+// reached (or unconditionally with force, for the final snapshot every
+// search emits). Disabled observation costs one nil check.
+func (c *checker) emitProgress(frontier int, force bool) {
+	if c.obs == nil || (!force && c.interned < c.nextEmit) {
+		return
+	}
+	c.nextEmit = c.interned + c.stride
+	c.obs.Progress(core.NewProgressEvent(core.PhaseReach, c.searchStart, vass.Progress{
+		Created:  c.interned,
+		Frontier: frontier,
+	}))
 }
 
 // Verify runs the bounded explicit-state check of the property.
@@ -160,12 +201,21 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 	}
 	task, ok := sys.Task(prop.Task)
 	if !ok {
-		return nil, fmt.Errorf("spinlike: unknown task %q", prop.Task)
+		return nil, fmt.Errorf("spinlike: %w %q", core.ErrUnknownTask, prop.Task)
 	}
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
+	}
+	obs := opts.Observer
+	stride := opts.ProgressStride
+	if stride <= 0 {
+		stride = core.DefaultProgressStride
+	}
+	compileStart := time.Now()
+	if obs != nil {
+		obs.PhaseStart(core.PhaseCompile)
 	}
 	c := &checker{
 		sys:    sys,
@@ -176,6 +226,8 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 		idDom:  map[string][]fol.Value{},
 		budget: opts.MaxStates,
 		ctx:    ctx,
+		obs:    obs,
+		stride: stride,
 	}
 	c.tasks = sys.Tasks()
 	c.taskIdx = map[string]int{}
@@ -222,31 +274,60 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 		c.svcAtoms["open:"+ch.Name] = true
 		c.svcAtoms["close:"+ch.Name] = true
 	}
+	if obs != nil {
+		obs.PhaseEnd(core.PhaseCompile, core.PhaseStats{Elapsed: time.Since(compileStart)})
+	}
 
 	// ∀ globals: enumerate global valuations; the property holds iff it
-	// holds for every one.
-	res := &Result{Holds: true}
-	gvals := c.globalValuations()
-	for _, gv := range gvals {
-		violated, timedOut := c.checkForGlobals(gv)
-		res.Stats.States = c.totalStates
-		if timedOut {
-			if err := ctx.Err(); err == context.Canceled {
-				return nil, err
-			}
-			res.TimedOut = true
-			res.Holds = false
-			res.Stats.Elapsed = time.Since(start)
-			return res, nil
-		}
-		if violated {
-			res.Holds = false
+	// holds for every one. The whole nested DFS is one reachability
+	// phase in the event stream.
+	c.searchStart = time.Now()
+	c.nextEmit = stride
+	if obs != nil {
+		obs.PhaseStart(core.PhaseReach)
+	}
+	violated, timedOut := false, false
+	for _, gv := range c.globalValuations() {
+		violated, timedOut = c.checkForGlobals(gv)
+		if violated || timedOut {
 			break
 		}
 	}
-	res.Stats.States = c.totalStates
+	c.emitProgress(0, true)
+	if obs != nil {
+		obs.PhaseEnd(core.PhaseReach, core.PhaseStats{
+			States:  c.interned,
+			Elapsed: time.Since(c.searchStart),
+		})
+	}
+	if timedOut {
+		if err := ctx.Err(); err == context.Canceled {
+			return nil, err
+		}
+	}
+	res := &Result{Verdict: core.VerdictHolds}
+	switch {
+	case timedOut:
+		res.Verdict = core.VerdictTimedOut
+	case violated:
+		res.Verdict = core.VerdictViolated
+	}
+	res.Stats.States = c.interned
 	res.Stats.Elapsed = time.Since(start)
+	if obs != nil {
+		obs.Verdict(core.VerdictEvent{Verdict: res.Verdict, Stats: res.coreStats()})
+	}
 	return res, nil
+}
+
+// coreStats maps the bounded engine's flat stats onto the shared Stats
+// shape (the whole NDFS counts as the reachability phase).
+func (r *Result) coreStats() core.Stats {
+	return core.Stats{
+		Reachability: core.PhaseStats{States: r.Stats.States, Elapsed: r.Stats.Elapsed},
+		Elapsed:      r.Stats.Elapsed,
+		TimedOut:     r.Verdict == core.VerdictTimedOut,
+	}
 }
 
 func (c *checker) globalValuations() []fol.MapValuation {

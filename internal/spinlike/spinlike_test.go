@@ -34,10 +34,10 @@ func TestSafetyHoldsCorrect(t *testing.T) {
 		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	})
-	if res.TimedOut {
+	if res.TimedOut() {
 		t.Skipf("bounded search exceeded budget after %d states", res.Stats.States)
 	}
-	if !res.Holds {
+	if !res.Holds() {
 		t.Error("guard property should hold within the bounded domain")
 	}
 }
@@ -48,10 +48,10 @@ func TestSafetyViolatedBuggy(t *testing.T) {
 		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	})
-	if res.TimedOut {
+	if res.TimedOut() {
 		t.Skipf("bounded search exceeded budget after %d states", res.Stats.States)
 	}
-	if res.Holds {
+	if res.Holds() {
 		t.Error("buggy variant should be caught even with bounded data")
 	}
 }
@@ -61,10 +61,10 @@ func TestLivenessViolated(t *testing.T) {
 		Task:    "ProcessOrders",
 		Formula: ltl.MustParse(`F open(ShipItem)`),
 	})
-	if res.TimedOut {
+	if res.TimedOut() {
 		t.Skipf("bounded search exceeded budget after %d states", res.Stats.States)
 	}
-	if res.Holds {
+	if res.Holds() {
 		t.Error("shipping is not inevitable; nested DFS should find an accepting cycle")
 	}
 }
@@ -75,10 +75,10 @@ func TestChildTaskFiniteViolation(t *testing.T) {
 		Conds:   map[string]fol.Formula{"undecided": fol.MustParse(`c_status == null`)},
 		Formula: ltl.MustParse(`G undecided`),
 	})
-	if res.TimedOut {
+	if res.TimedOut() {
 		t.Skipf("bounded search exceeded budget after %d states", res.Stats.States)
 	}
-	if res.Holds {
+	if res.Holds() {
 		t.Error("CheckCredit decides; bounded search must find the finite violation")
 	}
 }
@@ -89,10 +89,10 @@ func TestChildTaskClosingGuardHolds(t *testing.T) {
 		Conds:   map[string]fol.Formula{"decided": fol.MustParse(`c_status != null`)},
 		Formula: ltl.MustParse(`G (close(CheckCredit) -> decided)`),
 	})
-	if res.TimedOut {
+	if res.TimedOut() {
 		t.Skipf("bounded search exceeded budget after %d states", res.Stats.States)
 	}
-	if !res.Holds {
+	if !res.Holds() {
 		t.Error("closing guard holds in every domain size")
 	}
 }
@@ -109,7 +109,7 @@ func TestTinyBudgetTimesOut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.TimedOut {
+	if !res.TimedOut() {
 		t.Error("a 5-state budget must overflow")
 	}
 }

@@ -105,7 +105,7 @@ func GenerateValid(p Params, seed int64, minStates, tries int) *has.System {
 		if err != nil {
 			continue
 		}
-		if res.Stats.StatesExplored >= minStates || res.Stats.TimedOut {
+		if res.Stats.StatesExplored() >= minStates || res.Stats.TimedOut {
 			return sys
 		}
 	}

@@ -87,8 +87,8 @@ func TestGenerateValidHasNonEmptyStateSpace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.StatesExplored < 2 && !res.Stats.TimedOut {
-		t.Errorf("state space too small: %d states", res.Stats.StatesExplored)
+	if res.Stats.StatesExplored() < 2 && !res.Stats.TimedOut {
+		t.Errorf("state space too small: %d states", res.Stats.StatesExplored())
 	}
 }
 

@@ -105,11 +105,35 @@ type Options struct {
 	// Returning true stops the search immediately (used for on-the-fly
 	// violation detection).
 	OnNode func(n *Node) bool
+	// OnProgress, if set, receives a snapshot of the exploration counters
+	// every ProgressStride created nodes, plus one final snapshot when
+	// the exploration ends (so even short searches emit at least one).
+	// When nil the main loop pays only a nil check per iteration.
+	OnProgress func(Progress)
+	// ProgressStride is the node-creation stride between OnProgress
+	// calls (<= 0 = DefaultProgressStride). Ignored without OnProgress.
+	ProgressStride int
 	// ExtraDominators are states treated as permanently active for the
 	// dominance check (the Appendix C second phase prunes against the
 	// first phase's ω states this way).
 	ExtraDominators []State
 }
+
+// Progress is a periodic snapshot of a running exploration's counters.
+type Progress struct {
+	// Created counts all nodes created so far (monotone).
+	Created int
+	// Frontier is the number of unprocessed entries in the work list.
+	Frontier int
+	Pruned   int
+	Skipped  int
+	// Accelerations counts applications of the accel operator.
+	Accelerations int
+}
+
+// DefaultProgressStride is the node-creation stride between OnProgress
+// snapshots when Options.ProgressStride is unset.
+const DefaultProgressStride = 8192
 
 // ErrBudget is returned when MaxStates is exceeded. Context expiry is
 // reported as the context's own error (context.DeadlineExceeded or
@@ -147,25 +171,52 @@ func Explore(sys System, opts Options) (*Tree, error) {
 	if opts.UseIndex {
 		e.idx = newActIndex()
 	}
+	stride := opts.ProgressStride
+	if stride <= 0 {
+		stride = DefaultProgressStride
+	}
+	nextEmit := stride
+	// emitProgress snapshots the counters for OnProgress; the final
+	// snapshot (emitted on every exit path below) guarantees at least one
+	// even for searches smaller than the stride.
+	emitProgress := func(frontier int) {
+		opts.OnProgress(Progress{
+			Created:       e.tree.Created,
+			Frontier:      frontier,
+			Pruned:        e.tree.Pruned,
+			Skipped:       e.tree.Skipped,
+			Accelerations: e.tree.Accelerations,
+		})
+	}
 	var work []*Node
+	finish := func(t *Tree, err error) (*Tree, error) {
+		if opts.OnProgress != nil {
+			emitProgress(len(work))
+		}
+		return t, err
+	}
 	for _, s := range sys.Initial() {
 		n := e.newNode(s, nil, nil)
 		if n == nil {
 			continue
 		}
 		if e.stop {
-			return e.tree, nil
+			return finish(e.tree, nil)
 		}
 		work = append(work, n)
 	}
 	for len(work) > 0 {
 		if opts.MaxStates > 0 && e.tree.Created > opts.MaxStates {
-			return e.tree, ErrBudget
+			return finish(e.tree, ErrBudget)
 		}
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
-				return e.tree, err
+				return finish(e.tree, err)
 			}
+		}
+		if opts.OnProgress != nil && e.tree.Created >= nextEmit {
+			emitProgress(len(work))
+			nextEmit = e.tree.Created + stride
 		}
 		n := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -185,7 +236,7 @@ func Explore(sys System, opts Options) (*Tree, error) {
 			if opts.Accelerate {
 				s = e.accelerate(n, s)
 				if e.stop {
-					return e.tree, nil
+					return finish(e.tree, nil)
 				}
 			}
 			child := e.newNode(s, sc.Label, n)
@@ -193,12 +244,12 @@ func Explore(sys System, opts Options) (*Tree, error) {
 				continue
 			}
 			if e.stop {
-				return e.tree, nil
+				return finish(e.tree, nil)
 			}
 			work = append(work, child)
 		}
 	}
-	return e.tree, nil
+	return finish(e.tree, nil)
 }
 
 type explorer struct {

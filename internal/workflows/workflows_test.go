@@ -34,9 +34,9 @@ func TestAllWorkflowsValidateAndRun(t *testing.T) {
 				t.Fatalf("verify False: %v", err)
 			}
 			if resF.Stats.TimedOut {
-				t.Fatalf("False timed out after %d states", resF.Stats.StatesExplored)
+				t.Fatalf("False timed out after %d states", resF.Stats.StatesExplored())
 			}
-			if resF.Holds {
+			if resF.Holds() {
 				t.Error("False must be violated (some infinite or closing run exists)")
 			}
 			// Concrete sanity: random runs make progress.
@@ -151,8 +151,8 @@ func TestDomainProperties(t *testing.T) {
 		if res.Stats.TimedOut {
 			t.Fatalf("%s: timed out", c.flow)
 		}
-		if res.Holds != c.want {
-			t.Errorf("%s / %s: Holds = %v, want %v", c.flow, ltl.String(c.prop.Formula), res.Holds, c.want)
+		if res.Holds() != c.want {
+			t.Errorf("%s / %s: Holds = %v, want %v", c.flow, ltl.String(c.prop.Formula), res.Holds(), c.want)
 		}
 	}
 }
