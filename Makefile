@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench profile
+.PHONY: build test check race bench profile serve
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,14 @@ check:
 
 # Race-detector pass over the packages with concurrent schedulers.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/benchmark/... ./internal/vass/... ./internal/spinlike/...
+	$(GO) test -race -short ./internal/core/... ./internal/benchmark/... ./internal/vass/... ./internal/spinlike/... ./internal/service/...
+
+# Run the verification daemon locally with the debug endpoint attached.
+SERVE_ADDR ?= localhost:8080
+SERVE_DEBUG_ADDR ?= localhost:6060
+
+serve:
+	$(GO) run ./cmd/verifasd -addr $(SERVE_ADDR) -debug-addr $(SERVE_DEBUG_ADDR)
 
 bench:
 	$(GO) test -bench=. -benchmem

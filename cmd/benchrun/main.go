@@ -36,6 +36,7 @@ import (
 	"verifas/internal/benchmark"
 	"verifas/internal/core"
 	"verifas/internal/obs"
+	"verifas/internal/version"
 )
 
 func main() {
@@ -54,8 +55,13 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress the live progress line")
 		traceFile = flag.String("trace", "", "write the verification event stream to FILE as JSON lines")
 		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
+		showVer   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Printf("benchrun %s %s\n", version.String(), runtime.Version())
+		return
+	}
 	if *table == "" && *figure == "" && !*all {
 		*all = true
 	}
@@ -92,19 +98,28 @@ func main() {
 	// Observability: the debug server and the JSONL event trace share the
 	// run observers; without either flag the runs stay unobserved (the
 	// meter aside) and the searches keep their nil fast path.
+	// finish runs the shutdown actions (close the trace file, stop the
+	// debug server) before the explicit os.Exit calls below — defers
+	// would be skipped.
 	exitCode := 0
-	finish := func() {}
+	var finishers []func()
+	finish := func() {
+		for _, f := range finishers {
+			f()
+		}
+	}
 	if *debugAddr != "" || *traceFile != "" {
 		reg := obs.NewRegistry()
 		reg.Publish("verifas")
 		var tw *obs.TraceWriter
 		if *debugAddr != "" {
-			addr, err := obs.ServeDebug(*debugAddr)
+			dbg, err := obs.ServeDebug(*debugAddr)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "debug server:", err)
 				os.Exit(2)
 			}
-			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics on /debug/vars)\n", addr)
+			fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics on /debug/vars)\n", dbg.Addr)
+			finishers = append(finishers, func() { _ = dbg.Close() })
 		}
 		if *traceFile != "" {
 			f, err := os.Create(*traceFile)
@@ -113,7 +128,7 @@ func main() {
 				os.Exit(2)
 			}
 			tw = obs.NewTraceWriter(f)
-			finish = func() {
+			finishers = append(finishers, func() {
 				if err := tw.Err(); err != nil {
 					fmt.Fprintln(os.Stderr, "trace:", err)
 					exitCode = 2
@@ -122,7 +137,7 @@ func main() {
 					fmt.Fprintln(os.Stderr, "trace:", err)
 					exitCode = 2
 				}
-			}
+			})
 		}
 		cfg.ObserverFor = func(spec *benchmark.Spec, template, verifier string) core.Observer {
 			var t core.Observer

@@ -17,12 +17,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -32,8 +34,11 @@ import (
 	"verifas/internal/cyclo"
 	"verifas/internal/has"
 	"verifas/internal/obs"
+	"verifas/internal/service"
+	"verifas/internal/service/client"
 	"verifas/internal/spec"
 	"verifas/internal/spinlike"
+	"verifas/internal/version"
 )
 
 func main() {
@@ -57,8 +62,14 @@ func run() int {
 		workers   = flag.Int("j", 1, "verify up to N properties concurrently (output order is preserved)")
 		events    = flag.String("events", "", "write the verification event stream to FILE as JSON lines")
 		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
+		server    = flag.String("server", "", "verify remotely on a verifasd daemon at this base URL or host:port")
+		showVer   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Printf("verifas %s %s\n", version.String(), runtime.Version())
+		return 0
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: verifas [flags] SPEC.has")
 		flag.PrintDefaults()
@@ -101,14 +112,16 @@ func run() int {
 	defer stop()
 
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		dbg, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "debug server:", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics on /debug/vars)\n", addr)
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics on /debug/vars)\n", dbg.Addr)
 	}
 	var tw *obs.TraceWriter
+	var eventsF *os.File
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
@@ -116,7 +129,10 @@ func run() int {
 			return 2
 		}
 		defer f.Close()
-		tw = obs.NewTraceWriter(f)
+		eventsF = f
+		if *server == "" {
+			tw = obs.NewTraceWriter(f)
+		}
 	}
 	// observerFor attaches the event sinks to one property's run.
 	observerFor := func(prop *core.Property) core.Observer {
@@ -179,7 +195,7 @@ func run() int {
 					printTrace(&sb, res.Violation)
 				}
 				if *witness && prop.Task == file.System.Root.Name {
-					replayWitness(&sb, file.System, res.Violation)
+					replayWitness(&sb, file.System, prefixAtoms(res.Violation))
 				}
 				code = 1
 			}
@@ -202,12 +218,32 @@ func run() int {
 		}
 	}
 
+	// With -server, the same report loop runs against a remote verifasd
+	// daemon through the service client instead of the in-process engines.
+	verify := verifyProp
+	if *server != "" {
+		verify = remoteVerifier(ctx, *server, string(src), file, remoteFlags{
+			engine:    *engine,
+			noSet:     *noSet,
+			noSP:      *noSP,
+			noSA:      *noSA,
+			noDSS:     *noDSS,
+			noRR:      *noRR,
+			timeout:   *timeout,
+			maxStates: *maxStates,
+			showTrace: *showTrace,
+			showStats: *showStats,
+			witness:   *witness,
+			eventsF:   eventsF,
+		})
+	}
+
 	reports := make([]string, len(props))
 	codes := make([]int, len(props))
 	n := *workers
 	if n <= 1 || len(props) == 1 {
 		for i, prop := range props {
-			reports[i], codes[i] = verifyProp(prop)
+			reports[i], codes[i] = verify(prop)
 		}
 	} else {
 		if n > len(props) {
@@ -220,7 +256,7 @@ func run() int {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					reports[i], codes[i] = verifyProp(props[i])
+					reports[i], codes[i] = verify(props[i])
 				}
 			}()
 		}
@@ -244,18 +280,125 @@ func run() int {
 	return exit
 }
 
-// replayWitness tries to realize the counterexample prefix as a concrete
-// run over random databases, printing the realized trace when found. The
-// sampler is incomplete: failure to realize does not refute the symbolic
-// counterexample.
-func replayWitness(w io.Writer, sys *has.System, v *core.Violation) {
-	var atoms []string
-	for i, step := range v.Prefix {
-		if i == 0 {
-			continue // the root opening is implicit in the concrete runner
-		}
-		atoms = append(atoms, step.Service.AtomName())
+// remoteFlags carries the CLI flags the remote mode maps onto request
+// options and report formatting.
+type remoteFlags struct {
+	engine                         string
+	noSet, noSP, noSA, noDSS, noRR bool
+	timeout                        time.Duration
+	maxStates                      int
+	showTrace, showStats, witness  bool
+	eventsF                        *os.File
+}
+
+// remoteVerifier builds the per-property report function of -server mode:
+// submit to the daemon, optionally stream the run's events into the
+// -events file, then fetch the verdict. Cache hits are marked "cached" in
+// the report.
+func remoteVerifier(ctx context.Context, addr, src string, file *spec.File, rf remoteFlags) func(*core.Property) (string, int) {
+	cl := client.New(addr)
+	ropts := &service.RequestOptions{
+		Engine:                   rf.engine,
+		IgnoreSets:               rf.noSet,
+		NoStatePruning:           rf.noSP,
+		NoStaticAnalysis:         rf.noSA,
+		NoIndexes:                rf.noDSS,
+		SkipRepeatedReachability: rf.noRR,
+		TimeoutMS:                rf.timeout.Milliseconds(),
+		MaxStates:                rf.maxStates,
 	}
+	var encMu sync.Mutex
+	var enc *json.Encoder
+	if rf.eventsF != nil {
+		enc = json.NewEncoder(rf.eventsF)
+	}
+	return func(prop *core.Property) (string, int) {
+		var sb strings.Builder
+		st, err := cl.Submit(ctx, &service.SubmitRequest{Spec: src, Property: prop.Name, Options: ropts})
+		if err != nil {
+			fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
+			return sb.String(), 2
+		}
+		if enc != nil {
+			if err := cl.Stream(ctx, st.ID, func(ev service.StreamEvent) error {
+				encMu.Lock()
+				defer encMu.Unlock()
+				return enc.Encode(ev)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "events:", err)
+			}
+		}
+		res, err := cl.Result(ctx, st.ID, true)
+		if err != nil {
+			fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
+			return sb.String(), 2
+		}
+		cached := ""
+		if res.Cached {
+			cached = ", cached"
+		}
+		elapsed := "-"
+		states := 0
+		if res.Stats != nil {
+			elapsed = res.Stats.Elapsed.Round(time.Millisecond).String()
+			states = res.Stats.StatesExplored()
+		}
+		code := 0
+		switch {
+		case res.State == service.StateFailed || res.State == service.StateCanceled:
+			fmt.Fprintf(&sb, "%s: error: %s\n", prop.Name, res.Error)
+			return sb.String(), 2
+		case res.Verdict == core.VerdictTimedOut.String():
+			fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states%s)\n", prop.Name, elapsed, states, cached)
+			code = 2
+		case res.Verdict == core.VerdictHolds.String():
+			fmt.Fprintf(&sb, "%-30s HOLDS    (%s, %d states%s)\n", prop.Name, elapsed, states, cached)
+		default:
+			kind := ""
+			if res.Violation != nil {
+				kind = res.Violation.Kind + " "
+			}
+			fmt.Fprintf(&sb, "%-30s VIOLATED (%s, %d states, %scounterexample%s)\n",
+				prop.Name, elapsed, states, kind, cached)
+			if res.Violation != nil {
+				if rf.showTrace {
+					for i, step := range res.Violation.Prefix {
+						fmt.Fprintf(&sb, "    %2d. %-28s %s\n", i, step.Service, step.State)
+					}
+					if len(res.Violation.Cycle) > 0 {
+						fmt.Fprintln(&sb, "    -- repeat forever:")
+						for _, step := range res.Violation.Cycle {
+							fmt.Fprintf(&sb, "        %s\n", step.Service)
+						}
+					}
+				}
+				if rf.witness && prop.Task == file.System.Root.Name {
+					var atoms []string
+					for i, step := range res.Violation.Prefix {
+						if i > 0 {
+							atoms = append(atoms, step.Service)
+						}
+					}
+					replayWitness(&sb, file.System, atoms)
+				}
+			}
+			code = 1
+		}
+		if rf.showStats && res.Stats != nil {
+			fmt.Fprintf(&sb, "  büchi=%d explored=%d pruned=%d skipped=%d accel=%d\n",
+				res.Stats.BuchiStates, res.Stats.StatesExplored(), res.Stats.Pruned(),
+				res.Stats.Skipped(), res.Stats.Accelerations())
+		}
+		return sb.String(), code
+	}
+}
+
+// replayWitness tries to realize a counterexample prefix — given as the
+// service-atom names of its steps, excluding the implicit root opening —
+// as a concrete run over random databases, printing the realized trace
+// when found. The sampler is incomplete: failure to realize does not
+// refute the symbolic counterexample.
+func replayWitness(w io.Writer, sys *has.System, atoms []string) {
 	for seed := int64(0); seed < 50; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		db := concrete.RandomDB(sys.Schema, rng, 2+int(seed%3), sys.Constants())
@@ -289,6 +432,19 @@ func replayWitness(w io.Writer, sys *has.System, v *core.Violation) {
 		return
 	}
 	fmt.Fprintln(w, "    (no concrete realization sampled within the budget)")
+}
+
+// prefixAtoms lists the service atoms of a local counterexample prefix,
+// skipping the root opening (implicit in the concrete runner).
+func prefixAtoms(v *core.Violation) []string {
+	var atoms []string
+	for i, step := range v.Prefix {
+		if i == 0 {
+			continue
+		}
+		atoms = append(atoms, step.Service.AtomName())
+	}
+	return atoms
 }
 
 func printTrace(w io.Writer, v *core.Violation) {

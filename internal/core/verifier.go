@@ -182,11 +182,8 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 	if err := ctx.Err(); err == context.Canceled {
 		return nil, err
 	}
-	task, ok := sys.Task(prop.Task)
-	if !ok {
-		return nil, fmt.Errorf("core: %w %q", ErrUnknownTask, prop.Task)
-	}
-	if err := validatePropertyCached(sys, task, prop); err != nil {
+	task, err := ValidateProperty(sys, prop)
+	if err != nil {
 		return nil, err
 	}
 
@@ -338,6 +335,24 @@ func treeStats(t *vass.Tree, start time.Time) PhaseStats {
 	}
 }
 
+// ValidateProperty resolves the property's task and type-checks the
+// property against the system without running any search, returning the
+// resolved task. It is the exact pre-flight check Verify performs, so
+// front ends (the verification service, CLIs) can reject bad requests
+// cheaply before queueing work. Failures wrap ErrUnknownTask or
+// ErrInvalidProperty for errors.Is dispatch; the check is memoized per
+// (system, property signature).
+func ValidateProperty(sys *has.System, prop *Property) (*has.Task, error) {
+	task, ok := sys.Task(prop.Task)
+	if !ok {
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownTask, prop.Task)
+	}
+	if err := validatePropertyCached(sys, task, prop); err != nil {
+		return nil, err
+	}
+	return task, nil
+}
+
 // validationResult wraps a (possibly nil) validation error for the cache.
 type validationResult struct{ err error }
 
@@ -352,10 +367,12 @@ type validationKey struct {
 	sig string
 }
 
-// propertySignature renders the property's content deterministically so
-// that structurally equal properties (rebuilt per suite run) share one
-// cache entry.
-func propertySignature(prop *Property) string {
+// PropertySignature renders the property's content deterministically, so
+// that structurally equal properties (rebuilt per suite run, or re-parsed
+// from identical request bodies) compare equal as strings. It is used as
+// the validation-cache key here and as the property component of the
+// verification service's content-addressed result-cache key.
+func PropertySignature(prop *Property) string {
 	var sb strings.Builder
 	sb.WriteString(prop.Task)
 	sb.WriteString("|")
@@ -375,7 +392,7 @@ func propertySignature(prop *Property) string {
 }
 
 func validatePropertyCached(sys *has.System, task *has.Task, prop *Property) error {
-	k := validationKey{sys: sys, sig: propertySignature(prop)}
+	k := validationKey{sys: sys, sig: PropertySignature(prop)}
 	if v, ok := validationCache.Load(k); ok {
 		return v.(validationResult).err
 	}

@@ -12,18 +12,29 @@ import (
 
 // ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060"
 // or ":6060"), serving net/http/pprof under /debug/pprof/ and expvar —
-// including any Registry published with Publish — under /debug/vars. It
-// returns the bound address (useful with a ":0" addr) once the listener
-// is up; the server then runs until the process exits.
-func ServeDebug(addr string) (net.Addr, error) {
+// including any Registry published with Publish — under /debug/vars.
+//
+// The returned server is already serving when ServeDebug returns; its
+// Addr field holds the bound address (useful with a ":0" addr). The
+// caller owns its lifetime: Close tears the listener down immediately,
+// Shutdown drains in-flight requests first. Long-lived processes
+// (verifasd, benchrun) close it on shutdown so the listener and serve
+// goroutine do not outlive the work they observe.
+func ServeDebug(addr string) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	srv := &http.Server{
+		// Record the bound (not requested) address for display and tests.
+		Addr: ln.Addr().String(),
+		// nil Handler = http.DefaultServeMux, where pprof and expvar
+		// registered themselves.
+	}
 	go func() {
-		// http.Serve only returns on listener failure; at process
-		// teardown there is nobody left to report to.
-		_ = http.Serve(ln, nil)
+		// Serve returns http.ErrServerClosed on Close/Shutdown; real
+		// listener failures have nobody left to report to.
+		_ = srv.Serve(ln)
 	}()
-	return ln.Addr(), nil
+	return srv, nil
 }

@@ -157,12 +157,13 @@ func TestServeDebug(t *testing.T) {
 	reg.Publish("verifas_test_registry")
 	playRun(reg.Run(), 5, core.VerdictHolds)
 
-	addr, err := ServeDebug("127.0.0.1:0")
+	srv, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	get := func(path string) string {
-		resp, err := http.Get("http://" + addr.String() + path)
+		resp, err := http.Get("http://" + srv.Addr + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"verifas/internal/core"
+	"verifas/internal/spec"
+)
+
+const cacheSpec = `
+system Mini
+schema {
+  relation R(x)
+}
+task Main {
+  vars a: R, s: val
+  service Touch {
+    pre a != null
+    post s == "done"
+  }
+}
+global-pre a == null && s == null
+property p of Main {
+  define done := s == "done"
+  formula G (call(Touch) -> done)
+}
+`
+
+func mustResolve(t *testing.T, src string) (*spec.File, *core.Property) {
+	t.Helper()
+	f, err := spec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, f.Properties[0]
+}
+
+func TestCacheKeyCanonical(t *testing.T) {
+	f, prop := mustResolve(t, cacheSpec)
+	opts := EngineOptions{Engine: EngineVerifas, TimeoutMS: 1000, MaxStates: 100}
+	base := cacheKey(f.System, prop, opts)
+
+	// Comments and whitespace in the source are erased by the re-print.
+	noisy := "# a comment\n\n" + cacheSpec + "\n# trailing\n"
+	f2, prop2 := mustResolve(t, noisy)
+	if got := cacheKey(f2.System, prop2, opts); got != base {
+		t.Error("comments/whitespace changed the key")
+	}
+
+	// An unrelated extra property in the file does not contribute.
+	extra := cacheSpec + "\nproperty q of Main {\n  formula F call(Touch)\n}\n"
+	f3, _ := mustResolve(t, extra)
+	if got := cacheKey(f3.System, f3.Properties[0], opts); got != base {
+		t.Error("an unselected property changed the key")
+	}
+
+	// Every semantic input separates keys: the system...
+	other := `
+system Mini
+schema {
+  relation R(x)
+}
+task Main {
+  vars a: R, s: val
+  service Touch {
+    pre a == null
+    post s == "done"
+  }
+}
+global-pre a == null && s == null
+property p of Main {
+  define done := s == "done"
+  formula G (call(Touch) -> done)
+}
+`
+	f4, prop4 := mustResolve(t, other)
+	if got := cacheKey(f4.System, prop4, opts); got == base {
+		t.Error("a different service precondition did not change the key")
+	}
+	// ...the property...
+	if got := cacheKey(f3.System, f3.Properties[1], opts); got == base {
+		t.Error("a different property did not change the key")
+	}
+	// ...and each option.
+	for name, o := range map[string]EngineOptions{
+		"engine":     {Engine: EngineSpinlike, TimeoutMS: 1000, MaxStates: 100},
+		"timeout":    {Engine: EngineVerifas, TimeoutMS: 2000, MaxStates: 100},
+		"max_states": {Engine: EngineVerifas, TimeoutMS: 1000, MaxStates: 200},
+		"no_sp":      {Engine: EngineVerifas, TimeoutMS: 1000, MaxStates: 100, NoStatePruning: true},
+	} {
+		if got := cacheKey(f.System, prop, o); got == base {
+			t.Errorf("option %s did not change the key", name)
+		}
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	res := func(i int) *core.Result { return &core.Result{Verdict: core.Verdict(i % 3)} }
+	key := func(i int) string { return fmt.Sprintf("k%d", i) }
+
+	c.put(key(1), res(1))
+	c.put(key(2), res(2))
+	if _, ok := c.get(key(1)); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	// k1 was just refreshed, so inserting k3 evicts k2.
+	c.put(key(3), res(3))
+	if _, ok := c.get(key(2)); ok {
+		t.Error("k2 survived past the bound")
+	}
+	if _, ok := c.get(key(1)); !ok {
+		t.Error("recently used k1 was evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+
+	// Re-putting an existing key replaces in place without eviction.
+	c.put(key(1), res(2))
+	if got, _ := c.get(key(1)); got.Verdict != res(2).Verdict {
+		t.Error("re-put did not replace the entry")
+	}
+	if c.len() != 2 {
+		t.Errorf("len after re-put = %d, want 2", c.len())
+	}
+
+	// A disabled cache stores nothing.
+	off := newResultCache(0)
+	off.put(key(1), res(1))
+	if off.len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+	if _, ok := off.get(key(1)); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}

@@ -1,0 +1,217 @@
+// Package client is the Go client of the verifasd verification service:
+// a thin, context-aware wrapper over the HTTP/JSON surface of
+// internal/service, used by `verifas -server` and by the end-to-end
+// tests. It speaks the same wire types as the server package, so the
+// request/response shapes cannot drift apart.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"verifas/internal/service"
+)
+
+// Client talks to one verifasd server.
+type Client struct {
+	// Base is the server's base URL ("http://host:port"). New normalizes
+	// a bare host:port.
+	Base string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// New builds a client for a base URL; a bare "host:port" gets the http
+// scheme prefixed.
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimSuffix(base, "/")}
+}
+
+// APIError is a non-2xx response decoded into the server's structured
+// error body.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+	// RetryAfter is the parsed Retry-After hint (0 when absent).
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (unless
+// nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+func decodeAPIError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	var body service.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil {
+		ae.Code = body.Error.Code
+		ae.Message = body.Error.Message
+	} else {
+		ae.Code = "unknown"
+		ae.Message = resp.Status
+	}
+	return ae
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
+	var out service.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*service.StatsResponse, error) {
+	var out service.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit posts one job. On a cache hit the returned status is already
+// terminal with Cached set.
+func (c *Client) Submit(ctx context.Context, req *service.SubmitRequest) (*service.JobStatus, error) {
+	var out service.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (*service.JobStatus, error) {
+	var out service.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Result fetches a job's result; with wait it blocks (server-side) until
+// the job is terminal or ctx expires.
+func (c *Client) Result(ctx context.Context, id string, wait bool) (*service.JobResult, error) {
+	path := "/v1/jobs/" + id + "/result"
+	if wait {
+		path += "?wait=1"
+	}
+	var out service.JobResult
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) (*service.JobStatus, error) {
+	var out service.JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stream follows a job's event stream (JSONL), invoking fn for each
+// record until the stream ends, fn returns an error, or ctx expires. The
+// last record is the terminal one ("verdict", "error" or "canceled").
+func (c *Client) Stream(ctx context.Context, id string, fn func(service.StreamEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev service.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("client: decoding event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: reading stream: %w", err)
+	}
+	return nil
+}
+
+// Verify is the one-call convenience: submit, then block for the result.
+func (c *Client) Verify(ctx context.Context, req *service.SubmitRequest) (*service.JobResult, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Result(ctx, st.ID, true)
+}

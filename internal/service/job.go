@@ -1,0 +1,413 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/has"
+	"verifas/internal/spec"
+	"verifas/internal/workflows"
+)
+
+// ---------------------------------------------------------------------------
+// Wire types.
+
+// SubmitRequest is the body of POST /v1/jobs: the specification to verify
+// (inline source or a named built-in workflow), which property to check,
+// and the engine options. Exactly one of Spec and Workflow must be set.
+type SubmitRequest struct {
+	// Spec is inline specification source in the internal/spec format
+	// (may contain property blocks).
+	Spec string `json:"spec,omitempty"`
+	// Workflow names a built-in benchmark workflow (internal/workflows)
+	// instead of inline source.
+	Workflow string `json:"workflow,omitempty"`
+	// Property selects a property declared in Spec by name. Required
+	// when Spec declares more than one property and PropertySrc is
+	// empty.
+	Property string `json:"property,omitempty"`
+	// PropertySrc is a standalone property block in the spec syntax,
+	// verified against the system instead of (or in addition to) the
+	// properties declared inline. Required with Workflow.
+	PropertySrc string `json:"property_src,omitempty"`
+	// Options tune the engine; nil means the server defaults.
+	Options *RequestOptions `json:"options,omitempty"`
+}
+
+// RequestOptions are the caller-settable engine knobs of one job. The
+// zero value of each field means "server default"; unknown fields are
+// rejected.
+type RequestOptions struct {
+	// Engine is "verifas" (default) or "spinlike" (the bounded baseline).
+	Engine string `json:"engine,omitempty"`
+	// The VERIFAS optimization switches (see core.Options).
+	NoStatePruning           bool `json:"no_sp,omitempty"`
+	NoStaticAnalysis         bool `json:"no_sa,omitempty"`
+	NoIndexes                bool `json:"no_dss,omitempty"`
+	IgnoreSets               bool `json:"no_set,omitempty"`
+	SkipRepeatedReachability bool `json:"no_rr,omitempty"`
+	AggressiveRR             bool `json:"agg_rr,omitempty"`
+	// TimeoutMS bounds the verification wall clock in milliseconds
+	// (0 = server default). Must be non-negative.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxStates bounds each search phase (0 = server default).
+	MaxStates int `json:"max_states,omitempty"`
+	// ProgressStride is the state-count stride between streamed progress
+	// events (0 = core.DefaultProgressStride).
+	ProgressStride int `json:"progress_stride,omitempty"`
+	// SpinFresh is the spinlike engine's fresh-values-per-sort bound k
+	// (0 = 2, the benchmark default). Ignored by the verifas engine.
+	SpinFresh int `json:"spin_fresh,omitempty"`
+}
+
+// EngineOptions is the normalized form of RequestOptions with every
+// server default applied. All fields marshal unconditionally: its
+// canonical JSON is the options component of the content-addressed
+// result-cache key, so two requests that resolve to the same effective
+// configuration share one cache entry regardless of which fields they
+// spelled out.
+type EngineOptions struct {
+	Engine                   string `json:"engine"`
+	NoStatePruning           bool   `json:"no_sp"`
+	NoStaticAnalysis         bool   `json:"no_sa"`
+	NoIndexes                bool   `json:"no_dss"`
+	IgnoreSets               bool   `json:"no_set"`
+	SkipRepeatedReachability bool   `json:"no_rr"`
+	AggressiveRR             bool   `json:"agg_rr"`
+	TimeoutMS                int64  `json:"timeout_ms"`
+	MaxStates                int    `json:"max_states"`
+	ProgressStride           int    `json:"progress_stride"`
+	SpinFresh                int    `json:"spin_fresh"`
+}
+
+// Timeout returns the wall-clock bound as a duration.
+func (o EngineOptions) Timeout() time.Duration {
+	return time.Duration(o.TimeoutMS) * time.Millisecond
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is executing the verification.
+	StateRunning JobState = "running"
+	// StateDone: finished with a verdict (holds, violated or timed-out —
+	// a timed-out verdict is still a completed job).
+	StateDone JobState = "done"
+	// StateFailed: the engine returned a hard error.
+	StateFailed JobState = "failed"
+	// StateCanceled: canceled by the client or by server shutdown.
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the wire rendering of one job's current state.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Cached: the verdict was served from the result cache without
+	// running the engine.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced: the job attached to an identical in-flight job's run
+	// (singleflight) instead of starting its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Run identifies the execution whose events the job streams; for
+	// coalesced jobs this is the leader job's id.
+	Run      string `json:"run,omitempty"`
+	System   string `json:"system"`
+	Property string `json:"property"`
+	Engine   string `json:"engine"`
+	// Key is the content-addressed cache key of the (spec, property,
+	// options) triple.
+	Key       string `json:"key"`
+	CreatedMS int64  `json:"created_unix_ms"`
+}
+
+// JobResult extends the status with the outcome of a terminal job.
+type JobResult struct {
+	JobStatus
+	// Verdict is "holds", "violated" or "timed-out" for done jobs.
+	Verdict string `json:"verdict,omitempty"`
+	// Violation is the counterexample for violated verdicts.
+	Violation *WireViolation `json:"violation,omitempty"`
+	Stats     *core.Stats    `json:"stats,omitempty"`
+	// Error is the engine failure for failed jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// WireViolation is the JSON rendering of a counterexample trace.
+type WireViolation struct {
+	// Kind is "finite", "pumping" or "cycle" (core.Violation.Kind).
+	Kind   string     `json:"kind"`
+	Prefix []WireStep `json:"prefix,omitempty"`
+	Cycle  []WireStep `json:"cycle,omitempty"`
+}
+
+// WireStep is one transition of a counterexample trace.
+type WireStep struct {
+	// Service is the LTL service proposition ("call:Svc", "open:Task",
+	// "close:Task").
+	Service string `json:"service"`
+	// State describes the reached symbolic state.
+	State string `json:"state"`
+}
+
+func wireViolation(v *core.Violation) *WireViolation {
+	if v == nil {
+		return nil
+	}
+	steps := func(in []core.Step) []WireStep {
+		out := make([]WireStep, len(in))
+		for i, s := range in {
+			out[i] = WireStep{Service: s.Service.AtomName(), State: s.State}
+		}
+		return out
+	}
+	return &WireViolation{Kind: v.Kind, Prefix: steps(v.Prefix), Cycle: steps(v.Cycle)}
+}
+
+// ---------------------------------------------------------------------------
+// Request resolution.
+
+// resolved is a submit request compiled into a runnable unit: the system,
+// the property (validated against it), the normalized options and the
+// cache key.
+type resolved struct {
+	sys   *has.System
+	prop  *core.Property
+	eopts EngineOptions
+	key   string
+}
+
+// resolve parses and validates a submit request. Every failure is an
+// *apiError carrying the HTTP status and structured code the handlers
+// return verbatim, so bad requests are rejected before touching the
+// queue.
+func (s *Server) resolve(req *SubmitRequest) (*resolved, *apiError) {
+	eopts, aerr := s.normalizeOptions(req.Options)
+	if aerr != nil {
+		return nil, aerr
+	}
+
+	var sys *has.System
+	var props []*core.Property
+	switch {
+	case req.Spec != "" && req.Workflow != "":
+		return nil, badRequestf(codeBadRequest, "spec and workflow are mutually exclusive")
+	case req.Spec != "":
+		file, err := spec.Parse(req.Spec)
+		if err != nil {
+			return nil, badRequestf(codeParseError, "parsing spec: %v", err)
+		}
+		sys = file.System
+		props = file.Properties
+	case req.Workflow != "":
+		sys = workflows.ByName(req.Workflow)
+		if sys == nil {
+			return nil, badRequestf(codeUnknownWorkflow, "unknown workflow %q", req.Workflow)
+		}
+	default:
+		return nil, badRequestf(codeBadRequest, "one of spec or workflow is required")
+	}
+
+	var prop *core.Property
+	switch {
+	case req.PropertySrc != "":
+		if req.Property != "" {
+			return nil, badRequestf(codeBadRequest, "property and property_src are mutually exclusive")
+		}
+		p, err := spec.ParseProperty(req.PropertySrc)
+		if err != nil {
+			return nil, badRequestf(codeParseError, "parsing property_src: %v", err)
+		}
+		prop = p
+	case req.Property != "":
+		for _, p := range props {
+			if p.Name == req.Property {
+				prop = p
+				break
+			}
+		}
+		if prop == nil {
+			return nil, badRequestf(codeUnknownProperty, "spec declares no property named %q", req.Property)
+		}
+	case len(props) == 1:
+		prop = props[0]
+	case len(props) == 0:
+		return nil, badRequestf(codeBadRequest, "no property: the spec declares none and property_src is empty")
+	default:
+		return nil, badRequestf(codeBadRequest, "spec declares %d properties; select one with property", len(props))
+	}
+
+	// Semantic validation, up front: a job that would fail in Verify's
+	// pre-flight must never occupy a queue slot. The typed sentinels map
+	// to structured 4xx codes.
+	if _, err := core.ValidateProperty(sys, prop); err != nil {
+		switch {
+		case errors.Is(err, core.ErrUnknownTask):
+			return nil, &apiError{status: 422, code: codeUnknownTask, msg: err.Error()}
+		case errors.Is(err, core.ErrInvalidProperty):
+			return nil, &apiError{status: 422, code: codeInvalidProperty, msg: err.Error()}
+		default:
+			return nil, &apiError{status: 422, code: codeInvalidProperty, msg: err.Error()}
+		}
+	}
+
+	// Resolve the engine now so unknown labels 400 at submit time.
+	if _, err := s.engineFor(eopts, nil); err != nil {
+		return nil, badRequestf(codeUnknownEngine, "%v", err)
+	}
+
+	return &resolved{
+		sys:   sys,
+		prop:  prop,
+		eopts: eopts,
+		key:   cacheKey(sys, prop, eopts),
+	}, nil
+}
+
+// normalizeOptions applies the server defaults and range-checks the
+// request options.
+func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) {
+	if o == nil {
+		o = &RequestOptions{}
+	}
+	if o.TimeoutMS < 0 || o.MaxStates < 0 || o.ProgressStride < 0 || o.SpinFresh < 0 {
+		return EngineOptions{}, badRequestf(codeBadOptions,
+			"options must be non-negative (timeout_ms=%d max_states=%d progress_stride=%d spin_fresh=%d)",
+			o.TimeoutMS, o.MaxStates, o.ProgressStride, o.SpinFresh)
+	}
+	e := EngineOptions{
+		Engine:                   o.Engine,
+		NoStatePruning:           o.NoStatePruning,
+		NoStaticAnalysis:         o.NoStaticAnalysis,
+		NoIndexes:                o.NoIndexes,
+		IgnoreSets:               o.IgnoreSets,
+		SkipRepeatedReachability: o.SkipRepeatedReachability,
+		AggressiveRR:             o.AggressiveRR,
+		TimeoutMS:                o.TimeoutMS,
+		MaxStates:                o.MaxStates,
+		ProgressStride:           o.ProgressStride,
+		SpinFresh:                o.SpinFresh,
+	}
+	if e.Engine == "" {
+		e.Engine = EngineVerifas
+	}
+	if e.TimeoutMS == 0 {
+		e.TimeoutMS = s.cfg.DefaultTimeout.Milliseconds()
+	}
+	if e.MaxStates == 0 {
+		e.MaxStates = s.cfg.DefaultMaxStates
+	}
+	if e.ProgressStride == 0 {
+		e.ProgressStride = core.DefaultProgressStride
+	}
+	if e.SpinFresh == 0 {
+		e.SpinFresh = 2
+	}
+	if s.cfg.MaxTimeout > 0 && e.Timeout() > s.cfg.MaxTimeout {
+		return EngineOptions{}, badRequestf(codeBadOptions,
+			"timeout_ms=%d exceeds the server cap %s", e.TimeoutMS, s.cfg.MaxTimeout)
+	}
+	return e, nil
+}
+
+// ---------------------------------------------------------------------------
+// In-memory job and execution records.
+
+// job is one client submission. Several jobs may share one execution
+// (singleflight); a job canceled while sharing detaches without stopping
+// the others.
+type job struct {
+	id        string
+	created   time.Time
+	status    JobStatus // immutable descriptive fields (State recomputed)
+	exec      *execution
+	cached    *core.Result // set iff the job was answered from the cache
+	canceled  bool         // guarded by Server.mu
+	coalesced bool
+}
+
+// execution is one engine run, shared by every job coalesced onto it.
+type execution struct {
+	key    string
+	leader string // job id that started the run; tags the event stream
+	res    *resolved
+	run    core.Verifier
+	hub    *hub
+	cancel func()
+	ctx    context.Context
+
+	// refs counts attached, un-canceled jobs; at zero the run is
+	// canceled. Guarded by Server.mu.
+	refs int
+
+	// state/result/err are written once by the worker (or the submitter
+	// for queued-canceled executions) under Server.mu, then published by
+	// closing done.
+	state  JobState
+	result *core.Result
+	err    error
+	done   chan struct{}
+}
+
+// snapshotStatus renders the job's current state. Caller must hold
+// Server.mu.
+func (j *job) snapshotStatus() JobStatus {
+	st := j.status
+	switch {
+	case j.cached != nil:
+		st.State = StateDone
+		st.Cached = true
+	case j.canceled:
+		st.State = StateCanceled
+	default:
+		st.State = j.exec.state
+	}
+	st.Coalesced = j.coalesced
+	return st
+}
+
+// snapshotResult renders the job's result view. Caller must hold
+// Server.mu.
+func (j *job) snapshotResult() JobResult {
+	if j.cached != nil {
+		stats := j.cached.Stats
+		return JobResult{
+			JobStatus: j.snapshotStatus(),
+			Verdict:   j.cached.Verdict.String(),
+			Violation: wireViolation(j.cached.Violation),
+			Stats:     &stats,
+		}
+	}
+	out := JobResult{JobStatus: j.snapshotStatus()}
+	e := j.exec
+	if !out.State.Terminal() {
+		return out
+	}
+	switch {
+	case j.canceled || e.state == StateCanceled:
+		out.Error = "canceled"
+	case e.state == StateFailed:
+		if e.err != nil {
+			out.Error = e.err.Error()
+		}
+	case e.result != nil:
+		out.Verdict = e.result.Verdict.String()
+		out.Violation = wireViolation(e.result.Violation)
+		stats := e.result.Stats
+		out.Stats = &stats
+	}
+	return out
+}
+
+func fmtJobID(n int) string { return fmt.Sprintf("j-%06d", n) }

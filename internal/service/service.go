@@ -1,0 +1,439 @@
+// Package service turns the VERIFAS engines into a long-lived
+// verification server: jobs (spec + LTL-FO property + options) are
+// submitted over HTTP/JSON, executed on a bounded worker pool through the
+// shared core.Verifier dispatch, observed live through a streaming events
+// endpoint carrying the core.Observer event model, and answered from a
+// content-addressed result cache when an identical job was verified
+// before. Identical in-flight jobs coalesce onto one engine run
+// (singleflight); a bounded queue applies admission control (429 +
+// Retry-After on overflow); Shutdown drains by canceling every run's
+// context and rejecting new submissions with 503.
+//
+// The HTTP surface (all JSON):
+//
+//	POST   /v1/jobs             submit; 202 queued, 200 on a cache hit
+//	GET    /v1/jobs/{id}        current status
+//	GET    /v1/jobs/{id}/result verdict + stats (+ ?wait=1 to block)
+//	GET    /v1/jobs/{id}/events stream: JSONL, or SSE with Accept: text/event-stream
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/stats            service metrics + verifier registry snapshot
+//	GET    /healthz             liveness + build version
+//
+// Package client wraps the surface for Go callers (verifas -server uses
+// it); cmd/verifasd is the daemon binary.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/obs"
+	"verifas/internal/spinlike"
+)
+
+// Engine labels accepted in RequestOptions.Engine.
+const (
+	EngineVerifas  = "verifas"
+	EngineSpinlike = "spinlike"
+)
+
+// EngineFunc resolves a normalized option set and a per-run observer into
+// a runnable engine. The default (nil) dispatch covers the "verifas" and
+// "spinlike" labels; tests inject synthetic engines through it.
+type EngineFunc func(opts EngineOptions, observer core.Observer) (core.Verifier, error)
+
+// Config sizes the server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers is the verification worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unclaimed runs beyond
+	// the workers; overflow is rejected with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+	// MaxJobs bounds the retained job records; the oldest terminal
+	// records are evicted beyond it (default 4096).
+	MaxJobs int
+	// DefaultTimeout applies when a request sets no timeout_ms
+	// (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the requested timeout (0 = uncapped).
+	MaxTimeout time.Duration
+	// DefaultMaxStates applies when a request sets no max_states
+	// (default core.DefaultMaxStates).
+	DefaultMaxStates int
+	// Registry receives every run's events for aggregate metrics; nil
+	// creates a private one.
+	Registry *obs.Registry
+	// Engine overrides the engine dispatch (nil = built-in verifas +
+	// spinlike).
+	Engine EngineFunc
+	// Version is reported by /healthz (default "unknown").
+	Version string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout > 0 && c.DefaultTimeout > c.MaxTimeout {
+		c.DefaultTimeout = c.MaxTimeout
+	}
+	if c.DefaultMaxStates <= 0 {
+		c.DefaultMaxStates = core.DefaultMaxStates
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Version == "" {
+		c.Version = "unknown"
+	}
+	return c
+}
+
+// Server is the verification service: an http.Handler plus the worker
+// pool behind it. Create with NewServer, serve via Handler, stop with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	met   *Metrics
+	cache *resultCache
+	start time.Time
+
+	// baseCtx parents every run context; baseCancel is the drain switch.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue chan *execution
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	nextID   int
+	jobs     map[string]*job
+	order    []string              // job ids in admission order, for eviction
+	inflight map[string]*execution // singleflight: cache key -> live run
+}
+
+// NewServer builds the service and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		met:      &Metrics{},
+		cache:    newResultCache(cfg.CacheEntries),
+		start:    time.Now(),
+		queue:    make(chan *execution, cfg.QueueDepth),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*execution),
+	}
+	s.met.depth = func() (int, int) { return len(s.queue), cap(s.queue) }
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the service counters (an expvar.Var).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Registry returns the verifier-event registry runs feed into (an
+// expvar.Var).
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// engineFor dispatches the configured or built-in engines. A nil
+// observer is allowed (resolve uses it to pre-check the label).
+func (s *Server) engineFor(o EngineOptions, observer core.Observer) (core.Verifier, error) {
+	if s.cfg.Engine != nil {
+		return s.cfg.Engine(o, observer)
+	}
+	return BuiltinEngine(o, observer)
+}
+
+// BuiltinEngine is the default engine dispatch: "verifas" and "spinlike"
+// labels onto the two engine packages. Injected Config.Engine overrides
+// can delegate to it to wrap the real engines.
+func BuiltinEngine(o EngineOptions, observer core.Observer) (core.Verifier, error) {
+	switch o.Engine {
+	case EngineVerifas:
+		return core.Engine(core.Options{
+			NoStatePruning:           o.NoStatePruning,
+			NoStaticAnalysis:         o.NoStaticAnalysis,
+			NoIndexes:                o.NoIndexes,
+			IgnoreSets:               o.IgnoreSets,
+			SkipRepeatedReachability: o.SkipRepeatedReachability,
+			AggressiveRR:             o.AggressiveRR,
+			MaxStates:                o.MaxStates,
+			Timeout:                  o.Timeout(),
+			Observer:                 observer,
+			ProgressStride:           o.ProgressStride,
+		}), nil
+	case EngineSpinlike:
+		return spinlike.Engine(spinlike.Options{
+			FreshPerSort:   o.SpinFresh,
+			MaxStates:      o.MaxStates,
+			Timeout:        o.Timeout(),
+			Observer:       observer,
+			ProgressStride: o.ProgressStride,
+		}), nil
+	default:
+		return nil, fmt.Errorf("service: %w %q", core.ErrUnknownVariant, o.Engine)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Submission: cache, singleflight, admission.
+
+// submit admits one resolved request, returning the job's status and the
+// HTTP status code the handler should use.
+func (s *Server) submit(r *resolved) (JobStatus, int, *apiError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.rejectedDraining.Add(1)
+		return JobStatus{}, 0, &apiError{
+			status: http.StatusServiceUnavailable,
+			code:   codeDraining,
+			msg:    "server is shutting down",
+		}
+	}
+
+	s.nextID++
+	j := &job{
+		id:      fmtJobID(s.nextID),
+		created: time.Now(),
+	}
+	j.status = JobStatus{
+		ID:        j.id,
+		System:    r.sys.Name,
+		Property:  r.prop.Name,
+		Engine:    r.eopts.Engine,
+		Key:       r.key,
+		CreatedMS: j.created.UnixMilli(),
+	}
+
+	// 1. Result cache: answer without touching the queue.
+	if res, ok := s.cache.get(r.key); ok {
+		s.met.submitted.Add(1)
+		s.met.cacheHits.Add(1)
+		j.cached = res
+		j.status.Run = j.id
+		s.admitLocked(j)
+		return j.snapshotStatus(), http.StatusOK, nil
+	}
+
+	// 2. Singleflight: attach to an identical in-flight run.
+	if e, ok := s.inflight[r.key]; ok && !e.state.Terminal() {
+		s.met.submitted.Add(1)
+		s.met.cacheMisses.Add(1)
+		s.met.coalesced.Add(1)
+		j.exec = e
+		j.coalesced = true
+		j.status.Run = e.leader
+		e.refs++
+		s.admitLocked(j)
+		return j.snapshotStatus(), http.StatusAccepted, nil
+	}
+
+	// 3. New run: admission-controlled enqueue.
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	e := &execution{
+		key:    r.key,
+		leader: j.id,
+		res:    r,
+		hub:    newHub(j.id),
+		cancel: cancel,
+		ctx:    ctx,
+		refs:   1,
+		state:  StateQueued,
+		done:   make(chan struct{}),
+	}
+	observer := core.MultiObserver(e.hub, s.cfg.Registry.Run())
+	run, err := s.engineFor(r.eopts, observer)
+	if err != nil {
+		// resolve pre-checked the label; only an injected Engine can
+		// fail here.
+		cancel()
+		return JobStatus{}, 0, badRequestf(codeUnknownEngine, "%v", err)
+	}
+	e.run = run
+	select {
+	case s.queue <- e:
+	default:
+		cancel()
+		s.met.rejectedFull.Add(1)
+		return JobStatus{}, 0, &apiError{
+			status:     http.StatusTooManyRequests,
+			code:       codeQueueFull,
+			msg:        fmt.Sprintf("queue full (%d queued runs)", cap(s.queue)),
+			retryAfter: 1 * time.Second,
+		}
+	}
+	s.met.submitted.Add(1)
+	s.met.cacheMisses.Add(1)
+	j.exec = e
+	j.status.Run = j.id
+	s.inflight[r.key] = e
+	s.admitLocked(j)
+	return j.snapshotStatus(), http.StatusAccepted, nil
+}
+
+// admitLocked records the job and evicts the oldest terminal records
+// beyond the retention bound. Caller holds s.mu.
+func (s *Server) admitLocked(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.jobs) > s.cfg.MaxJobs && len(s.order) > 0 {
+		// Evict the oldest terminal record; stop at the first live one
+		// (live jobs are never evicted).
+		id := s.order[0]
+		old, ok := s.jobs[id]
+		if ok && !old.snapshotStatus().State.Terminal() {
+			break
+		}
+		s.order = s.order[1:]
+		delete(s.jobs, id)
+	}
+}
+
+// lookup returns a job by id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// cancelJob detaches one job from its run; the run itself is canceled
+// when its last interested job detaches.
+func (s *Server) cancelJob(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.cached != nil || j.canceled || j.exec.state.Terminal() {
+		return j.snapshotStatus()
+	}
+	j.canceled = true
+	s.met.canceled.Add(1)
+	j.exec.refs--
+	if j.exec.refs <= 0 {
+		j.exec.cancel()
+	}
+	return j.snapshotStatus()
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for e := range s.queue {
+		s.runExecution(e)
+	}
+}
+
+// runExecution drives one engine run to a terminal state.
+func (s *Server) runExecution(e *execution) {
+	// Fast path for runs canceled while queued (client cancel or drain):
+	// skip the engine entirely.
+	if e.ctx.Err() != nil {
+		s.finishExecution(e, StateCanceled, nil, nil)
+		e.hub.terminalCanceled()
+		return
+	}
+	s.mu.Lock()
+	e.state = StateRunning
+	s.mu.Unlock()
+
+	res, err := e.run(e.ctx, e.res.sys, e.res.prop)
+	switch {
+	case err == nil && res != nil:
+		s.cache.put(e.key, res)
+		s.finishExecution(e, StateDone, res, nil)
+		// The verdict event already reached the hub through the
+		// observer; it is the stream's terminal record.
+		e.hub.close()
+		s.met.completed.Add(1)
+	case e.ctx.Err() != nil:
+		s.finishExecution(e, StateCanceled, nil, err)
+		e.hub.terminalCanceled()
+	default:
+		s.finishExecution(e, StateFailed, nil, err)
+		e.hub.terminalError(err.Error())
+		s.met.failed.Add(1)
+	}
+}
+
+// finishExecution publishes the run's terminal state.
+func (s *Server) finishExecution(e *execution, st JobState, res *core.Result, err error) {
+	s.mu.Lock()
+	e.state = st
+	e.result = res
+	e.err = err
+	if s.inflight[e.key] == e {
+		delete(s.inflight, e.key)
+	}
+	s.mu.Unlock()
+	e.cancel() // release the context's resources
+	close(e.done)
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown.
+
+// Shutdown drains the server: new submissions are rejected with 503,
+// every queued and running execution is canceled via its context, and
+// the worker pool is waited for (bounded by ctx). The HTTP listener is
+// owned by the caller and must be shut down separately — typically
+// service.Shutdown first (so streaming handlers terminate), then
+// http.Server.Shutdown.
+//
+// Shutdown is idempotent; concurrent calls all wait for the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if first {
+		// Cancel every derived run context, then let the workers drain
+		// the closed queue: runs already canceled fall through the
+		// fast path in runExecution.
+		s.baseCancel()
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

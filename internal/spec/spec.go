@@ -152,6 +152,50 @@ func Parse(src string) (*File, error) {
 	return f, nil
 }
 
+// ParseProperty parses a single standalone property block:
+//
+//	property NAME of TASK {
+//	  global g: SORT
+//	  define ok := condition
+//	  formula G (close(TASK) -> ok)
+//	}
+//
+// It is the entry point for callers that pair a property with a system
+// built elsewhere (e.g. a named benchmark workflow submitted to the
+// verification service). Comments and blank lines are allowed; any
+// content after the closing brace is an error. The property is not
+// validated against a system — use core.ValidateProperty for that.
+func ParseProperty(src string) (*core.Property, error) {
+	p := &parser{}
+	for _, line := range strings.Split(src, "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		p.lines = append(p.lines, strings.TrimSpace(line))
+	}
+	var prop *core.Property
+	for p.i < len(p.lines) {
+		line := p.next()
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "property "):
+			if prop != nil {
+				return nil, p.errf("expected a single property block")
+			}
+			var err error
+			if prop, err = p.parseProperty(line); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected %q (expected a property block)", line)
+		}
+	}
+	if prop == nil {
+		return nil, &ParseError{Line: 1, Msg: "missing property block"}
+	}
+	return prop, nil
+}
+
 func (p *parser) next() string {
 	line := p.lines[p.i]
 	p.i++

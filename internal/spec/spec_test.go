@@ -177,6 +177,56 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseProperty(t *testing.T) {
+	prop, err := ParseProperty(`
+# a standalone property block, as submitted to the verification service
+property decided of Check {
+  global g: CUSTOMERS
+  define ok := verdict != null
+  formula G (close(Check) -> ok)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Name != "decided" || prop.Task != "Check" {
+		t.Errorf("parsed %s of %s", prop.Name, prop.Task)
+	}
+	if len(prop.Globals) != 1 || prop.Globals[0].Name != "g" {
+		t.Errorf("globals = %+v", prop.Globals)
+	}
+	if _, ok := prop.Conds["ok"]; !ok {
+		t.Errorf("conds = %+v", prop.Conds)
+	}
+	got := ltl.String(prop.Formula)
+	if want := ltl.String(ltl.MustParse(`G (close(Check) -> ok)`)); got != want {
+		t.Errorf("formula = %s, want %s", got, want)
+	}
+}
+
+func TestParsePropertyErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", "missing property block"},
+		{"# only a comment\n", "missing property block"},
+		{"system A", "unexpected"},
+		{"property p of T {\n formula true\n}\nproperty q of T {\n formula true\n}", "single property block"},
+		{"property p of T {\n formula true\n}\ntrailing", "unexpected"},
+		{"property p of T {\n}", "no formula"},
+		{"property p of T {\n formula G (", "ltl:"},
+		{"property p of T {\n formula true", "unterminated property block"},
+		{"property p of T {\n define broken\n formula true\n}", "expected 'define NAME := condition'"},
+		{"property p {\n formula true\n}", "expected 'property NAME of TASK"},
+	}
+	for _, c := range cases {
+		_, err := ParseProperty(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseProperty(%q): got %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
+
 func TestValidationErrorsSurface(t *testing.T) {
 	src := `
 system Bad

@@ -1,0 +1,49 @@
+// Package version derives a human-readable build version for the
+// binaries from the information the Go toolchain embeds at link time, so
+// `verifas -version`, `benchrun -version`, `verifasd -version` and the
+// daemon's /healthz endpoint all report the same string without any
+// ldflags plumbing.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the module version when the binary was built from a
+// tagged module ("v1.2.3"), otherwise "devel" augmented with the VCS
+// revision and dirty marker when available ("devel+ab12cd34ef56",
+// "devel+ab12cd34ef56-dirty"), and "unknown" when the build carries no
+// build info at all (e.g. some test binaries).
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("devel")
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		sb.WriteString("+")
+		sb.WriteString(rev)
+	}
+	if dirty {
+		sb.WriteString("-dirty")
+	}
+	return sb.String()
+}
