@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench profile serve
+.PHONY: build test check race bench bench-quick profile serve
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ serve:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Fast subset of the hot-path micro-benchmarks: the parallel
+# Karp-Miller exploration at workers 1/2/4 and the symbolic successor
+# function, plus the machine-readable scaling record BENCH_explore.json
+# (includes GOMAXPROCS — parallel speedup only shows on multicore).
+bench-quick:
+	$(GO) test -run xxx -bench 'Explore' -benchmem -benchtime 2x ./internal/vass/
+	$(GO) test -run xxx -bench 'TaskSystemSuccessors|PSIEdgeSet' -benchmem -benchtime 0.5s ./internal/symbolic/
+	BENCH_EXPLORE_JSON=$(CURDIR)/BENCH_explore.json $(GO) test -run TestWriteExploreBenchJSON -v ./internal/vass/
+	@echo "wrote BENCH_explore.json"
 
 # CPU-profile a live suite through the -debug-addr pprof endpoint:
 # start benchrun in the background, sample its CPU for PROFILE_SECONDS,

@@ -51,6 +51,7 @@ func main() {
 		spinMax   = flag.Int("spin-max-states", 150000, "state budget of the spin-like baseline")
 		maxState  = flag.Int("max-states", 400000, "state budget per VERIFAS search phase")
 		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel verification workers per suite")
+		searchJ   = flag.Int("workers", 1, "parallel successor workers inside each verification (<= 1 = sequential)")
 		jsonOut   = flag.Bool("json", false, "emit one JSON record per run on stdout (tables move to stderr)")
 		quiet     = flag.Bool("quiet", false, "suppress the live progress line")
 		traceFile = flag.String("trace", "", "write the verification event stream to FILE as JSON lines")
@@ -83,6 +84,7 @@ func main() {
 		SpinFresh:     2,
 		Seed:          *seed,
 		Workers:       *workers,
+		SearchWorkers: *searchJ,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

@@ -60,6 +60,7 @@ func run() int {
 		showStats = flag.Bool("stats", false, "print search statistics")
 		witness   = flag.Bool("witness", false, "try to realize root-task counterexample prefixes concretely on random databases")
 		workers   = flag.Int("j", 1, "verify up to N properties concurrently (output order is preserved)")
+		searchJ   = flag.Int("workers", 1, "parallel successor workers inside each search (<= 1 = sequential; verdicts are identical either way)")
 		events    = flag.String("events", "", "write the verification event stream to FILE as JSON lines")
 		debugAddr = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
 		server    = flag.String("server", "", "verify remotely on a verifasd daemon at this base URL or host:port")
@@ -150,7 +151,7 @@ func run() int {
 		case "spinlike":
 			res, err := spinlike.Verify(ctx, file.System, &spinlike.Property{
 				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
-			}, spinlike.Options{Timeout: *timeout, Observer: observerFor(prop)})
+			}, spinlike.Options{Timeout: *timeout, Workers: *searchJ, Observer: observerFor(prop)})
 			if err != nil {
 				fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
 				return sb.String(), 2
@@ -175,6 +176,7 @@ func run() int {
 				SkipRepeatedReachability: *noRR,
 				Timeout:                  *timeout,
 				MaxStates:                *maxStates,
+				Workers:                  *searchJ,
 				Observer:                 observerFor(prop),
 			})
 			if err != nil {
@@ -231,6 +233,7 @@ func run() int {
 			noRR:      *noRR,
 			timeout:   *timeout,
 			maxStates: *maxStates,
+			searchJ:   *searchJ,
 			showTrace: *showTrace,
 			showStats: *showStats,
 			witness:   *witness,
@@ -287,6 +290,7 @@ type remoteFlags struct {
 	noSet, noSP, noSA, noDSS, noRR bool
 	timeout                        time.Duration
 	maxStates                      int
+	searchJ                        int
 	showTrace, showStats, witness  bool
 	eventsF                        *os.File
 }
@@ -306,6 +310,7 @@ func remoteVerifier(ctx context.Context, addr, src string, file *spec.File, rf r
 		SkipRepeatedReachability: rf.noRR,
 		TimeoutMS:                rf.timeout.Milliseconds(),
 		MaxStates:                rf.maxStates,
+		Workers:                  rf.searchJ,
 	}
 	var encMu sync.Mutex
 	var enc *json.Encoder

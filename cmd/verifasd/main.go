@@ -7,9 +7,9 @@
 //
 // Usage:
 //
-//	verifasd [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	         [-default-timeout D] [-max-timeout D] [-debug-addr ADDR]
-//	         [-version]
+//	verifasd [-addr :8080] [-workers N] [-job-workers N] [-queue N]
+//	         [-cache N] [-default-timeout D] [-max-timeout D]
+//	         [-debug-addr ADDR] [-version]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new submissions are
 // rejected with 503, running verifications are canceled via their
@@ -43,6 +43,7 @@ func run() int {
 	var (
 		addr         = flag.String("addr", "localhost:8080", "serve the verification API on this address")
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "verification worker-pool size")
+		jobWorkers   = flag.Int("job-workers", 1, "default intra-run search parallelism when a job sets no workers option (clamped to GOMAXPROCS)")
 		queueDepth   = flag.Int("queue", 64, "bound on queued runs beyond the workers (overflow gets 429)")
 		cacheSize    = flag.Int("cache", 256, "result-cache entries (negative disables caching)")
 		defTimeout   = flag.Duration("default-timeout", 60*time.Second, "per-job timeout when the request sets none")
@@ -66,6 +67,7 @@ func run() int {
 		DefaultTimeout:   *defTimeout,
 		MaxTimeout:       *maxTimeout,
 		DefaultMaxStates: *maxStates,
+		JobWorkers:       *jobWorkers,
 		Registry:         reg,
 		Version:          version.String(),
 	})
@@ -91,8 +93,8 @@ func run() int {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "verifasd %s serving on http://%s (workers=%d queue=%d cache=%d)\n",
-		version.String(), *addr, *workers, *queueDepth, *cacheSize)
+	fmt.Fprintf(os.Stderr, "verifasd %s serving on http://%s (workers=%d job-workers=%d queue=%d cache=%d)\n",
+		version.String(), *addr, *workers, *jobWorkers, *queueDepth, *cacheSize)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

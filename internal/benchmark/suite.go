@@ -92,6 +92,12 @@ type Config struct {
 	// order, content and seeding are identical either way — only the
 	// wall-clock timings vary with scheduling.
 	Workers int
+	// SearchWorkers sets the intra-run successor-computation
+	// parallelism of each verification (core.Options.Workers /
+	// spinlike.Options.Workers); <= 1 keeps every search sequential.
+	// Orthogonal to Workers: that fans out across runs, this
+	// parallelizes inside one run's hot loop.
+	SearchWorkers int
 	// Progress, when non-nil, receives a live single-line progress report
 	// (completed/total, failures, live state count and throughput, ETA)
 	// rewritten in place with '\r'; point it at a terminal's stderr, not
@@ -170,6 +176,7 @@ func (cfg Config) Engine(verifier string, obs core.Observer) (core.Verifier, err
 			FreshPerSort:   cfg.SpinFresh,
 			MaxStates:      cfg.SpinMaxStates,
 			Timeout:        cfg.Timeout,
+			Workers:        cfg.SearchWorkers,
 			Observer:       obs,
 			ProgressStride: cfg.ProgressStride,
 		}), nil
@@ -177,6 +184,7 @@ func (cfg Config) Engine(verifier string, obs core.Observer) (core.Verifier, err
 	opts := core.Options{
 		MaxStates:      cfg.MaxStates,
 		Timeout:        cfg.Timeout,
+		Workers:        cfg.SearchWorkers,
 		Observer:       obs,
 		ProgressStride: cfg.ProgressStride,
 	}

@@ -57,6 +57,15 @@ type ProgressEvent struct {
 	Pruned        int `json:"pruned"`
 	Skipped       int `json:"skipped"`
 	Accelerations int `json:"accelerations"`
+	// Workers is the configured successor-worker count of the search
+	// (omitted when the phase runs sequentially).
+	Workers int `json:"workers,omitempty"`
+	// Inflight is the number of successor computations claimed by
+	// workers at snapshot time.
+	Inflight int `json:"inflight,omitempty"`
+	// Prefetched counts processed states whose successors a worker had
+	// precomputed; Prefetched/States approximates worker utilization.
+	Prefetched int `json:"prefetched,omitempty"`
 	// HeapInUse is runtime.MemStats.HeapInuse at snapshot time (bytes).
 	HeapInUse uint64 `json:"heap_in_use"`
 	// Elapsed since the phase started.
@@ -206,6 +215,9 @@ func NewProgressEvent(phase Phase, phaseStart time.Time, p vass.Progress) Progre
 		Pruned:        p.Pruned,
 		Skipped:       p.Skipped,
 		Accelerations: p.Accelerations,
+		Workers:       p.Workers,
+		Inflight:      p.Inflight,
+		Prefetched:    p.Prefetched,
 		Elapsed:       time.Since(phaseStart),
 	}
 	if secs := ev.Elapsed.Seconds(); secs > 0 {

@@ -1,0 +1,182 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+	"verifas/internal/spinlike"
+	"verifas/internal/synth"
+	"verifas/internal/workflows"
+)
+
+// parallelCase is one (system, property) workload of the determinism
+// suite below.
+type parallelCase struct {
+	name string
+	sys  *has.System
+	prop *core.Property
+}
+
+// parallelCases mixes real workflows (paper Table 1 systems) with a
+// synthetic specification, covering holds, finite violations and
+// repeated-reachability (pumping/cycle) violations.
+func parallelCases(t *testing.T) []parallelCase {
+	t.Helper()
+	order := workflows.OrderFulfillment(false)
+	cases := []parallelCase{
+		{
+			name: "order-safety-holds",
+			sys:  order,
+			prop: &core.Property{
+				Task:    "ProcessOrders",
+				Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+				Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+			},
+		},
+		{
+			name: "order-liveness-violated",
+			sys:  order,
+			prop: &core.Property{
+				Task:    "ProcessOrders",
+				Formula: ltl.MustParse(`F open(ShipItem)`),
+			},
+		},
+	}
+	p := synth.Params{
+		Relations:       2,
+		Tasks:           2,
+		VarsPerTask:     4,
+		ServicesPerTask: 3,
+		AtomsPerCond:    2,
+		NonKeyAttrs:     1,
+		Constants:       3,
+	}
+	sys := synth.GenerateValid(p, 36, 2, 10)
+	if err := sys.Validate(); err == nil {
+		cases = append(cases, parallelCase{
+			name: "synthetic-neverclose",
+			sys:  sys,
+			prop: &core.Property{
+				Task:    sys.Root.Name,
+				Formula: ltl.MustParse(`G !close(` + sys.Root.Children[0].Name + `)`),
+			},
+		})
+	}
+	return cases
+}
+
+// statsEqual compares the deterministic parts of two Stats (everything
+// except wall-clock durations).
+func statsEqual(a, b core.Stats) bool {
+	phase := func(x, y core.PhaseStats) bool {
+		return x.States == y.States && x.Pruned == y.Pruned &&
+			x.Skipped == y.Skipped && x.Accelerations == y.Accelerations
+	}
+	return a.BuchiStates == b.BuchiStates && a.TimedOut == b.TimedOut &&
+		phase(a.Reachability, b.Reachability) && phase(a.RR, b.RR) && phase(a.Confirm, b.Confirm)
+}
+
+func violationEqual(a, b *core.Violation) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Kind != b.Kind || len(a.Prefix) != len(b.Prefix) || len(a.Cycle) != len(b.Cycle) {
+		return false
+	}
+	for i := range a.Prefix {
+		if a.Prefix[i].Service != b.Prefix[i].Service || a.Prefix[i].State != b.Prefix[i].State {
+			return false
+		}
+	}
+	for i := range a.Cycle {
+		if a.Cycle[i].Service != b.Cycle[i].Service || a.Cycle[i].State != b.Cycle[i].State {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelVerifyDeterministic runs the full verifier on real and
+// synthetic workloads with Workers 1, 4 and 8 and requires identical
+// verdicts, counterexample traces and per-phase search stats: the
+// parallel exploration must commit exactly the sequential tree.
+func TestParallelVerifyDeterministic(t *testing.T) {
+	for _, tc := range parallelCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base := core.Options{MaxStates: 300_000, Timeout: 60 * time.Second, Workers: 1}
+			ref, err := core.Verify(context.Background(), tc.sys, tc.prop, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.TimedOut() {
+				t.Skip("reference run hit the budget")
+			}
+			for _, w := range []int{4, 8} {
+				opts := base
+				opts.Workers = w
+				got, err := core.Verify(context.Background(), tc.sys, tc.prop, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got.Verdict != ref.Verdict {
+					t.Errorf("workers=%d verdict %v, want %v", w, got.Verdict, ref.Verdict)
+				}
+				if !statsEqual(got.Stats, ref.Stats) {
+					t.Errorf("workers=%d stats differ:\n got %+v\nwant %+v", w, got.Stats, ref.Stats)
+				}
+				if !violationEqual(got.Violation, ref.Violation) {
+					t.Errorf("workers=%d counterexample differs:\n got %+v\nwant %+v",
+						w, got.Violation, ref.Violation)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSpinlikeDeterministic checks the baseline engine's
+// valuation-parallel mode: the verdict must match the sequential run for
+// a property with global variables (multiple valuations) and for one
+// without (single valuation, which must take the sequential path).
+func TestParallelSpinlikeDeterministic(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	props := []*spinlike.Property{
+		{
+			Task:    "ProcessOrders",
+			Globals: []has.Variable{{Name: "gitem", Type: has.IDType("ITEMS")}},
+			Conds:   map[string]fol.Formula{"mine": fol.MustParse(`item_id == gitem`)},
+			Formula: ltl.MustParse(`G (mine -> F open(ShipItem))`),
+		},
+		{
+			Task:    "ProcessOrders",
+			Formula: ltl.MustParse(`F open(ShipItem)`),
+		},
+	}
+	for _, prop := range props {
+		base := spinlike.Options{MaxStates: 60_000, Timeout: 60 * time.Second}
+		ref, err := spinlike.Verify(context.Background(), sys, prop, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, 8} {
+			opts := base
+			opts.Workers = w
+			got, err := spinlike.Verify(context.Background(), sys, prop, opts)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			if got.Verdict != ref.Verdict {
+				t.Errorf("workers=%d verdict %v, want %v (globals=%d)",
+					w, got.Verdict, ref.Verdict, len(prop.Globals))
+			}
+		}
+	}
+}

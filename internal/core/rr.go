@@ -73,6 +73,7 @@ func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi,
 		Accelerate:     true,
 		UseIndex:       !opts.NoIndexes,
 		MaxStates:      maxStates,
+		Workers:        opts.Workers,
 		Ctx:            ctx,
 		OnProgress:     em.searchProgress(phase),
 		ProgressStride: em.stride,
@@ -106,6 +107,7 @@ func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi
 		Accelerate:      false,
 		UseIndex:        !opts.NoIndexes,
 		MaxStates:       maxStates,
+		Workers:         opts.Workers,
 		Ctx:             ctx,
 		OnProgress:      em.searchProgress(PhaseRR),
 		ProgressStride:  em.stride,
@@ -126,8 +128,11 @@ func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi
 // coverability graph, if any, and builds the counterexample lasso.
 func cycleViolation(ts *symbolic.TaskSystem, prod *product, active []*vass.Node) *Violation {
 	cyc := vass.CycleNodes(prod, active)
-	for n := range cyc {
-		if !prod.Accepting(n.S.(*PState)) {
+	// Scan in tree order, not map order: the extracted lasso must be
+	// the same on every run (and for every Options.Workers value), and
+	// ranging over the pointer-keyed set rotates it randomly.
+	for _, n := range active {
+		if !cyc[n] || !prod.Accepting(n.S.(*PState)) {
 			continue
 		}
 		v := &Violation{Kind: "cycle", Prefix: tracePath(ts, n)}

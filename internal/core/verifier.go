@@ -65,6 +65,12 @@ type Options struct {
 	NoRRConfirmation bool
 	// MaxStates bounds each search phase (0 = DefaultMaxStates).
 	MaxStates int
+	// Workers sets the intra-search successor-computation parallelism
+	// (vass.Options.Workers): <= 1 keeps every search phase sequential.
+	// The verdict, trace and per-phase stats are identical for any
+	// value; only wall-clock time changes, so Workers does not
+	// contribute to Variant().
+	Workers int
 	// Timeout bounds the whole verification (0 = none). It is layered on
 	// top of the Context passed to Verify: whichever expires first stops
 	// the search.
@@ -252,6 +258,7 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 		Accelerate:     true,
 		UseIndex:       !opts.NoIndexes,
 		MaxStates:      maxStates,
+		Workers:        opts.Workers,
 		Ctx:            ctx,
 		OnProgress:     em.searchProgress(PhaseReach),
 		ProgressStride: em.stride,

@@ -31,6 +31,12 @@ type Registry struct {
 	pruned        atomic.Int64
 	skipped       atomic.Int64
 	accelerations atomic.Int64
+	// prefetched counts states whose successor sets a search worker
+	// precomputed (parallel exploration only).
+	prefetched atomic.Int64
+	// inflight is a gauge: successor computations currently claimed by
+	// search workers, summed over active runs.
+	inflight atomic.Int64
 
 	// phaseNanos accumulates wall time per phase, indexed by phaseIdx.
 	phaseNanos [numPhases]atomic.Int64
@@ -87,6 +93,12 @@ type Snapshot struct {
 	Pruned        int64 `json:"pruned"`
 	Skipped       int64 `json:"skipped"`
 	Accelerations int64 `json:"accelerations"`
+	// Prefetched counts states served by search-worker prefetch;
+	// Prefetched/States approximates parallel-search utilization.
+	Prefetched int64 `json:"prefetched"`
+	// SearchInflight is the current number of successor computations
+	// claimed by search workers across all active runs.
+	SearchInflight int64 `json:"search_inflight"`
 
 	// PhaseMillis is wall time spent per phase, in milliseconds.
 	PhaseMillis map[string]int64 `json:"phase_millis"`
@@ -95,16 +107,18 @@ type Snapshot struct {
 // Snapshot returns the current totals.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		RunsActive:    r.runsActive.Load(),
-		RunsDone:      r.runsDone.Load(),
-		Holds:         r.holds.Load(),
-		Violated:      r.violated.Load(),
-		TimedOut:      r.timedOut.Load(),
-		States:        r.states.Load(),
-		Pruned:        r.pruned.Load(),
-		Skipped:       r.skipped.Load(),
-		Accelerations: r.accelerations.Load(),
-		PhaseMillis:   map[string]int64{},
+		RunsActive:     r.runsActive.Load(),
+		RunsDone:       r.runsDone.Load(),
+		Holds:          r.holds.Load(),
+		Violated:       r.violated.Load(),
+		TimedOut:       r.timedOut.Load(),
+		States:         r.states.Load(),
+		Pruned:         r.pruned.Load(),
+		Skipped:        r.skipped.Load(),
+		Accelerations:  r.accelerations.Load(),
+		Prefetched:     r.prefetched.Load(),
+		SearchInflight: r.inflight.Load(),
+		PhaseMillis:    map[string]int64{},
 	}
 	for i, p := range phaseOrder {
 		s.PhaseMillis[string(p)] = r.phaseNanos[i].Load() / int64(time.Millisecond)
@@ -126,9 +140,28 @@ func (r *Registry) String() string {
 type regRun struct {
 	reg  *Registry
 	last core.PhaseStats
+	// lastPrefetched/lastInflight mirror the worker counters of the
+	// current phase's last Progress event (they are not part of
+	// PhaseStats, so they get their own delta state).
+	lastPrefetched int
+	lastInflight   int
 }
 
-func (h *regRun) PhaseStart(core.Phase) { h.last = core.PhaseStats{} }
+func (h *regRun) PhaseStart(core.Phase) {
+	h.last = core.PhaseStats{}
+	h.lastPrefetched = 0
+	h.drainInflight()
+}
+
+// drainInflight retires this run's contribution to the inflight gauge
+// (the previous phase's workers are gone once a new phase starts or the
+// run ends).
+func (h *regRun) drainInflight() {
+	if h.lastInflight != 0 {
+		h.reg.inflight.Add(int64(-h.lastInflight))
+		h.lastInflight = 0
+	}
+}
 
 func (h *regRun) addDelta(cur core.PhaseStats) {
 	h.reg.states.Add(int64(cur.States - h.last.States))
@@ -145,16 +178,22 @@ func (h *regRun) Progress(e core.ProgressEvent) {
 		Skipped:       e.Skipped,
 		Accelerations: e.Accelerations,
 	})
+	h.reg.prefetched.Add(int64(e.Prefetched - h.lastPrefetched))
+	h.lastPrefetched = e.Prefetched
+	h.reg.inflight.Add(int64(e.Inflight - h.lastInflight))
+	h.lastInflight = e.Inflight
 }
 
 func (h *regRun) PhaseEnd(p core.Phase, ps core.PhaseStats) {
 	h.addDelta(ps)
+	h.drainInflight()
 	if i := phaseIdx(p); i >= 0 {
 		h.reg.phaseNanos[i].Add(int64(ps.Elapsed))
 	}
 }
 
 func (h *regRun) Verdict(e core.VerdictEvent) {
+	h.drainInflight()
 	h.reg.runsActive.Add(-1)
 	h.reg.runsDone.Add(1)
 	switch e.Verdict {

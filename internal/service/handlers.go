@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -63,10 +64,21 @@ type HealthResponse struct {
 type StatsResponse struct {
 	Service MetricsSnapshot `json:"service"`
 	// Verifier is the aggregated engine-event registry (states explored,
-	// verdict counts, per-phase wall time).
+	// verdict counts, per-phase wall time, parallel-search utilization).
 	Verifier json.RawMessage `json:"verifier"`
 	// CacheEntries is the current result-cache population.
 	CacheEntries int `json:"cache_entries"`
+	// JobWorkers reports the intra-run search parallelism in force.
+	JobWorkers JobWorkersInfo `json:"job_workers"`
+}
+
+// JobWorkersInfo describes the per-job `workers` option's effective
+// range on this server.
+type JobWorkersInfo struct {
+	// Default applies when a job sets no workers option.
+	Default int `json:"default"`
+	// Cap is the clamp applied to requested values (GOMAXPROCS).
+	Cap int `json:"cap"`
 }
 
 func (s *Server) routes() {
@@ -253,6 +265,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Service:      s.met.Snapshot(),
 		Verifier:     json.RawMessage(s.cfg.Registry.String()),
 		CacheEntries: s.cache.len(),
+		JobWorkers: JobWorkersInfo{
+			Default: s.cfg.JobWorkers,
+			Cap:     runtime.GOMAXPROCS(0),
+		},
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"verifas/internal/core"
@@ -61,6 +62,14 @@ type RequestOptions struct {
 	// SpinFresh is the spinlike engine's fresh-values-per-sort bound k
 	// (0 = 2, the benchmark default). Ignored by the verifas engine.
 	SpinFresh int `json:"spin_fresh,omitempty"`
+	// Workers sets the intra-run search parallelism (successor workers
+	// inside the Karp–Miller loop, or concurrent global valuations for
+	// the spinlike engine). 0 means the server default, 1 forces a
+	// sequential search; values above the server's GOMAXPROCS are
+	// clamped. Must be non-negative. The verdict is identical for any
+	// value, but the normalized worker count is still part of the
+	// result-cache key so stats stay reproducible per configuration.
+	Workers int `json:"workers,omitempty"`
 }
 
 // EngineOptions is the normalized form of RequestOptions with every
@@ -81,6 +90,7 @@ type EngineOptions struct {
 	MaxStates                int    `json:"max_states"`
 	ProgressStride           int    `json:"progress_stride"`
 	SpinFresh                int    `json:"spin_fresh"`
+	Workers                  int    `json:"workers"`
 }
 
 // Timeout returns the wall-clock bound as a duration.
@@ -281,10 +291,10 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 	if o == nil {
 		o = &RequestOptions{}
 	}
-	if o.TimeoutMS < 0 || o.MaxStates < 0 || o.ProgressStride < 0 || o.SpinFresh < 0 {
+	if o.TimeoutMS < 0 || o.MaxStates < 0 || o.ProgressStride < 0 || o.SpinFresh < 0 || o.Workers < 0 {
 		return EngineOptions{}, badRequestf(codeBadOptions,
-			"options must be non-negative (timeout_ms=%d max_states=%d progress_stride=%d spin_fresh=%d)",
-			o.TimeoutMS, o.MaxStates, o.ProgressStride, o.SpinFresh)
+			"options must be non-negative (timeout_ms=%d max_states=%d progress_stride=%d spin_fresh=%d workers=%d)",
+			o.TimeoutMS, o.MaxStates, o.ProgressStride, o.SpinFresh, o.Workers)
 	}
 	e := EngineOptions{
 		Engine:                   o.Engine,
@@ -298,6 +308,7 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 		MaxStates:                o.MaxStates,
 		ProgressStride:           o.ProgressStride,
 		SpinFresh:                o.SpinFresh,
+		Workers:                  o.Workers,
 	}
 	if e.Engine == "" {
 		e.Engine = EngineVerifas
@@ -313,6 +324,16 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 	}
 	if e.SpinFresh == 0 {
 		e.SpinFresh = 2
+	}
+	if e.Workers == 0 {
+		e.Workers = s.cfg.JobWorkers
+	}
+	// Clamp rather than reject: the cap depends on the server's
+	// hardware, which clients cannot know. Clamping happens before the
+	// cache key is derived, so every request asking for "as many as you
+	// have" or more shares one entry.
+	if cap := runtime.GOMAXPROCS(0); e.Workers > cap {
+		e.Workers = cap
 	}
 	if s.cfg.MaxTimeout > 0 && e.Timeout() > s.cfg.MaxTimeout {
 		return EngineOptions{}, badRequestf(codeBadOptions,

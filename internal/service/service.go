@@ -68,6 +68,10 @@ type Config struct {
 	// DefaultMaxStates applies when a request sets no max_states
 	// (default core.DefaultMaxStates).
 	DefaultMaxStates int
+	// JobWorkers applies when a request sets no workers: the intra-run
+	// search parallelism of each verification (default 1 = sequential).
+	// Requested values are clamped to GOMAXPROCS at normalization.
+	JobWorkers int
 	// Registry receives every run's events for aggregate metrics; nil
 	// creates a private one.
 	Registry *obs.Registry
@@ -96,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout > 0 && c.DefaultTimeout > c.MaxTimeout {
 		c.DefaultTimeout = c.MaxTimeout
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+	if cap := runtime.GOMAXPROCS(0); c.JobWorkers > cap {
+		c.JobWorkers = cap
 	}
 	if c.DefaultMaxStates <= 0 {
 		c.DefaultMaxStates = core.DefaultMaxStates
@@ -190,6 +200,7 @@ func BuiltinEngine(o EngineOptions, observer core.Observer) (core.Verifier, erro
 			AggressiveRR:             o.AggressiveRR,
 			MaxStates:                o.MaxStates,
 			Timeout:                  o.Timeout(),
+			Workers:                  o.Workers,
 			Observer:                 observer,
 			ProgressStride:           o.ProgressStride,
 		}), nil
@@ -198,6 +209,7 @@ func BuiltinEngine(o EngineOptions, observer core.Observer) (core.Verifier, erro
 			FreshPerSort:   o.SpinFresh,
 			MaxStates:      o.MaxStates,
 			Timeout:        o.Timeout(),
+			Workers:        o.Workers,
 			Observer:       observer,
 			ProgressStride: o.ProgressStride,
 		}), nil

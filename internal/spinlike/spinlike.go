@@ -26,6 +26,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"verifas/internal/core"
@@ -48,6 +50,16 @@ type Options struct {
 	// MaxBranch caps the nondeterministic branching of one transition
 	// (assignment × row-materialization choices); exceeding it aborts.
 	MaxBranch int
+	// Workers bounds the number of goroutines checking independent
+	// global valuations concurrently (<= 1 = sequential, the default).
+	// The verdict is identical to the sequential one — results are
+	// reduced in valuation order, exactly like the sequential early
+	// exit — but Stats.States may include extra states from valuations
+	// explored speculatively after the deciding one, and intermediate
+	// Progress events are suppressed (only the final snapshot is
+	// emitted). Properties without global variables have a single
+	// valuation and always run sequentially.
+	Workers int
 	// Observer, if non-nil, receives the run's event stream (the same
 	// core event model as core.Verify: PhaseCompile + PhaseReach with
 	// Progress snapshots, terminated by a Verdict event).
@@ -286,13 +298,7 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 	if obs != nil {
 		obs.PhaseStart(core.PhaseReach)
 	}
-	violated, timedOut := false, false
-	for _, gv := range c.globalValuations() {
-		violated, timedOut = c.checkForGlobals(gv)
-		if violated || timedOut {
-			break
-		}
-	}
+	violated, timedOut := c.checkAllGlobals(c.globalValuations())
 	c.emitProgress(0, true)
 	if obs != nil {
 		obs.PhaseEnd(core.PhaseReach, core.PhaseStats{
@@ -328,6 +334,81 @@ func (r *Result) coreStats() core.Stats {
 		Elapsed:      r.Stats.Elapsed,
 		TimedOut:     r.Verdict == core.VerdictTimedOut,
 	}
+}
+
+// checkAllGlobals checks the property for every global valuation: the
+// property holds iff it holds for all of them. Sequentially it stops at
+// the first deciding (violated or timed-out) valuation. With
+// opts.Workers > 1 the independent valuations are checked concurrently
+// on isolated checker clones (the NDFS only ever mutates the clone's
+// overflow/interned counters) and the per-valuation results are reduced
+// in valuation order, so the verdict matches the sequential one; a
+// valuation is skipped only when an earlier one has already decided,
+// which the sequential loop would never have reached either.
+func (c *checker) checkAllGlobals(gvs []fol.MapValuation) (bool, bool) {
+	workers := c.opts.Workers
+	if workers > len(gvs) {
+		workers = len(gvs)
+	}
+	if workers <= 1 {
+		for _, gv := range gvs {
+			violated, timedOut := c.checkForGlobals(gv)
+			if violated || timedOut {
+				return violated, timedOut
+			}
+		}
+		return false, false
+	}
+
+	type gvResult struct {
+		violated, timedOut bool
+		states             int
+	}
+	results := make([]gvResult, len(gvs))
+	var next atomic.Int64
+	// decided holds the lowest valuation index known to be deciding;
+	// len(gvs) means "none yet". Workers skip indexes above it.
+	var decided atomic.Int64
+	decided.Store(int64(len(gvs)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(gvs) {
+					return
+				}
+				if int64(i) > decided.Load() {
+					continue
+				}
+				sub := *c
+				sub.overflow = false
+				sub.interned = 0
+				sub.obs = nil // per-run Observers are not concurrency-safe
+				violated, timedOut := sub.checkForGlobals(gvs[i])
+				results[i] = gvResult{violated: violated, timedOut: timedOut, states: sub.interned}
+				if violated || timedOut {
+					for {
+						cur := decided.Load()
+						if int64(i) >= cur || decided.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	violated, timedOut := false, false
+	for _, r := range results {
+		c.interned += r.states
+		if !violated && !timedOut {
+			violated, timedOut = r.violated, r.timedOut
+		}
+	}
+	return violated, timedOut
 }
 
 func (c *checker) globalValuations() []fol.MapValuation {

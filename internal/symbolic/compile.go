@@ -3,6 +3,7 @@ package symbolic
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"verifas/internal/fol"
 	"verifas/internal/has"
@@ -690,21 +691,39 @@ func (ts *TaskSystem) ServiceAtoms() map[string]bool {
 	return out
 }
 
+// succScratch is the reusable per-call working set of Successors: the
+// dedup map (hash -> indices into out) and the growing output buffer.
+// Pooling both removes the two dominant allocations of the hot loop;
+// sync.Pool keeps the reuse safe when Successors runs concurrently on
+// exploration workers.
+type succScratch struct {
+	seen map[uint64][]int32
+	out  []Succ
+}
+
+var succScratchPool = sync.Pool{
+	New: func() any { return &succScratch{seen: make(map[uint64][]int32, 32)} },
+}
+
 // Successors computes succ(I): every symbolic transition from the PSI by
 // an internal service (children all inactive), a child opening or closing,
 // or the task's own closing service (non-root, children inactive).
 func (ts *TaskSystem) Successors(p *PSI) []Succ {
-	var out []Succ
-	seen := map[uint64][]*Succ{}
+	scratch := succScratchPool.Get().(*succScratch)
+	out := scratch.out[:0]
+	seen := scratch.seen
 	emit := func(s Succ) {
 		h := s.Next.Key()*31 + uint64(s.Ref.Kind)*7 + uint64(s.Ref.Index)
-		for _, prev := range seen[h] {
-			if prev.Ref == s.Ref && prev.Next.Equal(s.Next) {
+		// Single map lookup: the bucket slice is read, scanned and
+		// written back once instead of being rehashed per access.
+		bucket := seen[h]
+		for _, i := range bucket {
+			if prev := &out[i]; prev.Ref == s.Ref && prev.Next.Equal(s.Next) {
 				return
 			}
 		}
 		out = append(out, s)
-		seen[h] = append(seen[h], &out[len(out)-1])
+		seen[h] = append(bucket, int32(len(out)-1))
 	}
 
 	if p.Mask == 0 {
@@ -742,7 +761,18 @@ func (ts *TaskSystem) Successors(p *PSI) []Succ {
 			})
 		}
 	}
-	return out
+	// Hand back an exact-size copy and return the scratch to the pool,
+	// dropping the PSI references it accumulated so pooled buffers do
+	// not pin dead states.
+	res := make([]Succ, len(out))
+	copy(res, out)
+	for i := range out {
+		out[i] = Succ{}
+	}
+	scratch.out = out[:0]
+	clear(seen)
+	succScratchPool.Put(scratch)
+	return res
 }
 
 func (ts *TaskSystem) internalSuccs(p *PSI, cs *compiledService, emit func(Succ)) {

@@ -109,6 +109,10 @@ type PSI struct {
 
 	key    uint64
 	hasKey bool
+	// edgeSet memoizes EdgeSet(). Like key it is computed at most once;
+	// caching is sound because PSIs (and their Pisotypes' canonical edge
+	// lists) are immutable after construction.
+	edgeSet []uint64
 }
 
 // NewPSI builds a PSI.
@@ -324,8 +328,12 @@ func bagFlow(src, dst Bag, wantSlack bool) (bool, []bool) {
 
 // EdgeSet returns E(I): the union of the canonical edges of the variable
 // type and of every stored type with positive count (paper Section 3.6),
-// sorted and deduplicated. Used by the index structures.
+// sorted and deduplicated. Used by the index structures. The result is
+// memoized on first call and must not be mutated by callers.
 func (p *PSI) EdgeSet() []uint64 {
+	if p.edgeSet != nil {
+		return p.edgeSet
+	}
 	out := append([]uint64(nil), p.Tau.Edges()...)
 	for _, b := range p.Bags {
 		for _, s := range b.Items {
@@ -341,7 +349,14 @@ func (p *PSI) EdgeSet() []uint64 {
 			w++
 		}
 	}
-	return out[:w]
+	if w == 0 {
+		// Keep a non-nil sentinel so the memoization above can tell
+		// "computed and empty" from "never computed".
+		p.edgeSet = make([]uint64, 0)
+	} else {
+		p.edgeSet = out[:w]
+	}
+	return p.edgeSet
 }
 
 // String renders the PSI for diagnostics.

@@ -1,0 +1,62 @@
+package symbolic
+
+import (
+	"testing"
+
+	"verifas/internal/workflows"
+)
+
+// benchStates compiles the paper's running example and collects a pool
+// of representative PSIs by breadth-first expansion from the initial
+// state, so the benchmark exercises Successors on states with populated
+// constraints and bags rather than only the trivial initial PSI.
+func benchStates(b *testing.B) (*TaskSystem, []*PSI) {
+	b.Helper()
+	sys := workflows.OrderFulfillment(false)
+	if err := sys.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	ts, err := CompileTask(sys, sys.Root, PropertyBinding{}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := ts.Initial()
+	frontier := states
+	for depth := 0; depth < 3 && len(states) < 64; depth++ {
+		var next []*PSI
+		for _, p := range frontier {
+			for _, s := range ts.Successors(p) {
+				next = append(next, s.Next)
+			}
+		}
+		states = append(states, next...)
+		frontier = next
+	}
+	if len(states) > 64 {
+		states = states[:64]
+	}
+	return ts, states
+}
+
+// BenchmarkTaskSystemSuccessors measures the succ(I) hot path (run with
+// -benchmem: the pooled dedup scratch should keep allocs/op flat at the
+// output-copy cost).
+func BenchmarkTaskSystemSuccessors(b *testing.B) {
+	ts, states := benchStates(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Successors(states[i%len(states)])
+	}
+}
+
+// BenchmarkPSIEdgeSet measures the index edge-set computation; with
+// memoization the repeated calls after the first are pointer returns.
+func BenchmarkPSIEdgeSet(b *testing.B) {
+	_, states := benchStates(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		states[i%len(states)].EdgeSet()
+	}
+}

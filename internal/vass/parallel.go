@@ -1,0 +1,115 @@
+package vass
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// succTask is one speculative successor computation: "some goroutine
+// will produce Successors(n.S)". Exactly one party claims it via the
+// claimed CAS — either a pool worker (which then publishes out and
+// closes done) or the coordinator itself (which claims it back and
+// computes inline when no worker picked it up in time). The loser of
+// the race, if a worker, waits on nothing; if the coordinator, it
+// blocks on done.
+type succTask struct {
+	n   *Node
+	out []Succ
+	// claimed is the single-computation guard (see above).
+	claimed atomic.Bool
+	// stale is set by the coordinator when the node is deactivated:
+	// its successors will never be consumed, so a worker claiming a
+	// stale task skips the computation. The coordinator only ever
+	// waits on tasks of active nodes, and deactivation is permanent,
+	// so a skipped computation is never missed.
+	stale atomic.Bool
+	done  chan struct{}
+}
+
+// prefetchPool runs Options.Workers goroutines that pull prefetch
+// tasks off a shared LIFO stack and compute System.Successors for
+// them. LIFO matters: the coordinator's work list is a stack too, so
+// the most recently created node is the one it needs next — serving
+// the stack top first keeps workers ahead of the coordinator instead
+// of warming states it will not reach for a long time.
+//
+// All tree bookkeeping stays on the coordinator; workers only ever
+// read the immutable n.S of committed nodes (the pool mutex on add()
+// orders the node's construction before any worker access) and write
+// the task-local out slice (ordered before the coordinator's read by
+// the done channel).
+type prefetchPool struct {
+	sys     System
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	stack  []*succTask
+	closed bool
+
+	// inflight counts successor computations currently claimed by
+	// workers; exposed via Progress.Inflight.
+	inflight atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+func newPrefetchPool(sys System, workers int) *prefetchPool {
+	p := &prefetchPool{sys: sys, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+// add enqueues a prefetch task for a freshly committed node and
+// returns it. Coordinator-only.
+func (p *prefetchPool) add(n *Node) *succTask {
+	t := &succTask{n: n, done: make(chan struct{})}
+	p.mu.Lock()
+	p.stack = append(p.stack, t)
+	p.mu.Unlock()
+	p.cond.Signal()
+	return t
+}
+
+// shutdown wakes every worker and waits for them to exit. Tasks still
+// queued or in flight are abandoned; callers must not wait on their
+// done channels afterwards (Explore never does — it only awaits tasks
+// of nodes it is actively processing, before shutdown).
+func (p *prefetchPool) shutdown() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *prefetchPool) run() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.stack) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		t := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		p.mu.Unlock()
+
+		if !t.claimed.CompareAndSwap(false, true) {
+			continue // the coordinator got there first
+		}
+		if !t.stale.Load() {
+			p.inflight.Add(1)
+			t.out = p.sys.Successors(t.n.S)
+			p.inflight.Add(-1)
+		}
+		close(t.done)
+	}
+}

@@ -1,0 +1,185 @@
+package vass
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// treesIdentical asserts that two exploration results are byte-for-byte
+// the same tree: node count, per-node ID/label/parent/active flag/state,
+// root order, stop flag and every stats counter.
+func treesIdentical(t *testing.T, sys System, a, b *Tree) bool {
+	t.Helper()
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Logf("node counts differ: %d vs %d", len(a.Nodes), len(b.Nodes))
+		return false
+	}
+	for i := range a.Nodes {
+		na, nb := a.Nodes[i], b.Nodes[i]
+		if na.ID != nb.ID || na.Label != nb.Label || na.Active != nb.Active {
+			t.Logf("node %d differs: id=%d/%d label=%v/%v active=%v/%v",
+				i, na.ID, nb.ID, na.Label, nb.Label, na.Active, nb.Active)
+			return false
+		}
+		if (na.Parent == nil) != (nb.Parent == nil) {
+			t.Logf("node %d parent presence differs", i)
+			return false
+		}
+		if na.Parent != nil && na.Parent.ID != nb.Parent.ID {
+			t.Logf("node %d parent differs: %d vs %d", i, na.Parent.ID, nb.Parent.ID)
+			return false
+		}
+		if !sys.Equal(na.S, nb.S) {
+			t.Logf("node %d state differs: %v vs %v", i, na.S, nb.S)
+			return false
+		}
+	}
+	if len(a.Roots) != len(b.Roots) {
+		t.Logf("root counts differ: %d vs %d", len(a.Roots), len(b.Roots))
+		return false
+	}
+	for i := range a.Roots {
+		if a.Roots[i].ID != b.Roots[i].ID {
+			t.Logf("root %d differs: %d vs %d", i, a.Roots[i].ID, b.Roots[i].ID)
+			return false
+		}
+	}
+	if a.Stopped != b.Stopped || a.Created != b.Created || a.Pruned != b.Pruned ||
+		a.Skipped != b.Skipped || a.Accelerations != b.Accelerations {
+		t.Logf("stats differ: %+v vs %+v",
+			[5]any{a.Stopped, a.Created, a.Pruned, a.Skipped, a.Accelerations},
+			[5]any{b.Stopped, b.Created, b.Pruned, b.Skipped, b.Accelerations})
+		return false
+	}
+	return true
+}
+
+// Property: for any random VASS and any option profile, the parallel
+// exploration produces a tree identical to the sequential one for every
+// worker count.
+func TestQuickParallelIdenticalTree(t *testing.T) {
+	profiles := []Options{
+		{Prune: true, Accelerate: true, MaxStates: 3000},
+		{Prune: true, Accelerate: true, UseIndex: true, MaxStates: 3000},
+		{Prune: false, Accelerate: true, MaxStates: 3000},
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomVASS(r)
+		for _, base := range profiles {
+			seq := base
+			seq.Workers = 1
+			ref, refErr := Explore(v, seq)
+			for _, w := range []int{4, 8} {
+				par := base
+				par.Workers = w
+				got, gotErr := Explore(v, par)
+				if !errors.Is(gotErr, refErr) && !errors.Is(refErr, gotErr) {
+					t.Logf("workers=%d error differs: %v vs %v", w, gotErr, refErr)
+					return false
+				}
+				if !treesIdentical(t, v, ref, got) {
+					t.Logf("workers=%d tree differs (profile %+v, VASS %+v)", w, base, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelBudget checks that the state budget trips at the identical
+// point regardless of worker count: speculative prefetching must not
+// leak into the committed tree.
+func TestParallelBudget(t *testing.T) {
+	ref, refErr := Explore(unboundedLoop(), Options{MaxStates: 500})
+	if !errors.Is(refErr, ErrBudget) {
+		t.Fatalf("sequential: got %v, want ErrBudget", refErr)
+	}
+	for _, w := range []int{4, 8} {
+		got, err := Explore(unboundedLoop(), Options{MaxStates: 500, Workers: w})
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("workers=%d: got %v, want ErrBudget", w, err)
+		}
+		if !treesIdentical(t, unboundedLoop(), ref, got) {
+			t.Fatalf("workers=%d budget tree differs from sequential", w)
+		}
+	}
+}
+
+// TestParallelCancellationNoLeak cancels a parallel exploration of an
+// infinite system mid-flight and checks both that Explore returns
+// promptly with the context error and that the worker goroutines exit
+// (no leaks).
+func TestParallelCancellationNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Explore(unboundedLoop(), Options{Ctx: ctx, Workers: 8})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parallel Explore did not return promptly after cancellation")
+	}
+	// The worker pool is shut down synchronously before Explore returns,
+	// but the runtime may take a beat to retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestParallelProgressCounters checks that the worker-pool counters
+// surface in Progress snapshots: the configured worker count always,
+// and (on this deliberately deep system) at least one prefetched node.
+func TestParallelProgressCounters(t *testing.T) {
+	var last Progress
+	_, err := Explore(unboundedLoop(), Options{
+		MaxStates:      4000,
+		Workers:        4,
+		OnProgress:     func(p Progress) { last = p },
+		ProgressStride: 256,
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+	if last.Workers != 4 {
+		t.Errorf("Progress.Workers = %d, want 4", last.Workers)
+	}
+	if last.Prefetched < 0 || last.Prefetched > last.Created {
+		t.Errorf("Progress.Prefetched = %d out of range [0, %d]", last.Prefetched, last.Created)
+	}
+	seq, err := Explore(unboundedLoop(), Options{MaxStates: 4000, OnProgress: func(p Progress) {
+		if p.Workers != 0 || p.Inflight != 0 || p.Prefetched != 0 {
+			t.Errorf("sequential Progress must not report worker counters: %+v", p)
+		}
+	}})
+	_ = seq
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("sequential: got %v, want ErrBudget", err)
+	}
+}

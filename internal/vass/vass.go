@@ -55,6 +55,9 @@ type Node struct {
 	// subtreeKilled caches that this node and every descendant are
 	// inactive, making repeated deactivation sweeps O(1).
 	subtreeKilled bool
+	// task is the node's pending successor prefetch when the exploration
+	// runs with Workers > 1; nil in sequential mode.
+	task *succTask
 }
 
 // Path returns the labels and states from the root to this node.
@@ -93,6 +96,16 @@ type Options struct {
 	// MaxStates aborts the search after creating this many nodes
 	// (0 = unlimited).
 	MaxStates int
+	// Workers sets the number of goroutines that precompute
+	// System.Successors for frontier nodes. Values <= 1 keep the
+	// exploration fully sequential. With N > 1 workers the expensive,
+	// pure successor computation runs concurrently while a single
+	// coordinator goroutine commits results through the pruning/index
+	// path in the exact sequential order, so the produced tree (node
+	// IDs, labels, active set, stats) is identical for any worker
+	// count. Successors must be a pure function of the state for this
+	// to be sound (all domain implementations in this repo are).
+	Workers int
 	// Ctx cooperatively cancels the search (nil = never). Timeouts are
 	// expressed as context deadlines; once the context is done, Explore
 	// stops promptly and returns ctx.Err().
@@ -129,6 +142,16 @@ type Progress struct {
 	Skipped  int
 	// Accelerations counts applications of the accel operator.
 	Accelerations int
+	// Workers is the configured successor-worker count (0 when the
+	// exploration runs sequentially).
+	Workers int
+	// Inflight is the number of successor computations currently
+	// claimed by workers (instantaneous, 0 when sequential).
+	Inflight int
+	// Prefetched counts processed nodes whose successor sets were
+	// served by a worker rather than computed inline; Prefetched /
+	// Created approximates worker utilization.
+	Prefetched int
 }
 
 // DefaultProgressStride is the node-creation stride between OnProgress
@@ -171,6 +194,10 @@ func Explore(sys System, opts Options) (*Tree, error) {
 	if opts.UseIndex {
 		e.idx = newActIndex()
 	}
+	if opts.Workers > 1 {
+		e.pool = newPrefetchPool(sys, opts.Workers)
+		defer e.pool.shutdown()
+	}
 	stride := opts.ProgressStride
 	if stride <= 0 {
 		stride = DefaultProgressStride
@@ -180,13 +207,19 @@ func Explore(sys System, opts Options) (*Tree, error) {
 	// snapshot (emitted on every exit path below) guarantees at least one
 	// even for searches smaller than the stride.
 	emitProgress := func(frontier int) {
-		opts.OnProgress(Progress{
+		p := Progress{
 			Created:       e.tree.Created,
 			Frontier:      frontier,
 			Pruned:        e.tree.Pruned,
 			Skipped:       e.tree.Skipped,
 			Accelerations: e.tree.Accelerations,
-		})
+		}
+		if e.pool != nil {
+			p.Workers = e.pool.workers
+			p.Inflight = int(e.pool.inflight.Load())
+			p.Prefetched = e.prefetched
+		}
+		opts.OnProgress(p)
 	}
 	var work []*Node
 	finish := func(t *Tree, err error) (*Tree, error) {
@@ -224,7 +257,7 @@ func Explore(sys System, opts Options) (*Tree, error) {
 			continue
 		}
 		n.processed = true
-		for _, sc := range sys.Successors(n.S) {
+		for _, sc := range e.fetchSuccessors(n) {
 			// Reynier-Servais processes (node, transition) pairs and
 			// drops pairs whose source has been deactivated — possibly
 			// by a sibling successor created moments ago. Without this
@@ -259,6 +292,30 @@ type explorer struct {
 	byKey map[uint64][]*Node
 	idx   *actIndex
 	stop  bool
+	// pool is the successor prefetch pool (nil when Workers <= 1).
+	pool *prefetchPool
+	// prefetched counts nodes whose successors a worker served.
+	prefetched int
+}
+
+// fetchSuccessors returns succ(n.S): computed inline in sequential mode,
+// and in parallel mode either collected from the worker that claimed the
+// node's prefetch task or — when no worker got to it yet — claimed back
+// and computed inline so the coordinator never stalls behind busy
+// workers. Every path yields the same slice contents because Successors
+// is pure.
+func (e *explorer) fetchSuccessors(n *Node) []Succ {
+	t := n.task
+	if t == nil {
+		return e.sys.Successors(n.S)
+	}
+	n.task = nil
+	if t.claimed.CompareAndSwap(false, true) {
+		return e.sys.Successors(n.S)
+	}
+	<-t.done
+	e.prefetched++
+	return t.out
 }
 
 // accelerate applies the accel operator against all active ancestors.
@@ -283,6 +340,8 @@ func (e *explorer) accelerate(parent *Node, s State) State {
 // (Reynier-Servais, paper Section 3.4). Returns nil when the state was
 // skipped (dominated or duplicate).
 func (e *explorer) newNode(s State, label any, parent *Node) *Node {
+	var key uint64
+	keyed := false
 	if e.opts.Prune {
 		// Skip if dominated by an active node.
 		if e.dominatedByActive(s) {
@@ -304,12 +363,20 @@ func (e *explorer) newNode(s State, label any, parent *Node) *Node {
 	} else {
 		// Classic algorithm: skip exact duplicates of existing nodes
 		// (the "I'' ∈ T" test of Algorithm 1).
-		for _, m := range e.byKey[e.sys.Key(s)] {
+		key, keyed = e.sys.Key(s), true
+		for _, m := range e.byKey[key] {
 			if e.sys.Equal(m.S, s) {
 				e.tree.Skipped++
 				return nil
 			}
 		}
+	}
+	if !keyed {
+		// Hash once for the byKey insert below; skipped states above
+		// never pay for it. With a prefetch pool this also seals lazily
+		// cached state internals (PSI.Key memoization) on the
+		// coordinator before the state is published to workers.
+		key = e.sys.Key(s)
 	}
 	n := &Node{S: s, Label: label, Parent: parent, Active: true, ID: len(e.tree.Nodes)}
 	e.tree.Nodes = append(e.tree.Nodes, n)
@@ -324,12 +391,15 @@ func (e *explorer) newNode(s State, label any, parent *Node) *Node {
 			a.subtreeKilled = false
 		}
 	}
-	e.byKey[e.sys.Key(s)] = append(e.byKey[e.sys.Key(s)], n)
+	e.byKey[key] = append(e.byKey[key], n)
 	if e.idx != nil {
 		e.idx.insert(n, e.sys.IndexSet(s))
 	}
 	if e.opts.OnNode != nil && e.opts.OnNode(n) {
 		e.stop = true
+	}
+	if e.pool != nil && !e.stop {
+		n.task = e.pool.add(n)
 	}
 	return n
 }
@@ -337,6 +407,12 @@ func (e *explorer) newNode(s State, label any, parent *Node) *Node {
 func (e *explorer) deactivateSubtree(m *Node) {
 	if m.subtreeKilled {
 		return
+	}
+	// Tell any worker holding this node's prefetch task that the result
+	// will never be consumed: a deactivated node is skipped by the main
+	// loop, so its speculative successor computation can be dropped.
+	if m.task != nil {
+		m.task.stale.Store(true)
 	}
 	if m.Active {
 		m.Active = false
