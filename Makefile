@@ -37,6 +37,8 @@ bench-quick:
 	$(GO) test -run xxx -bench 'TaskSystemSuccessors|PSIEdgeSet' -benchmem -benchtime 0.5s ./internal/symbolic/
 	BENCH_EXPLORE_JSON=$(CURDIR)/BENCH_explore.json $(GO) test -run TestWriteExploreBenchJSON -v ./internal/vass/
 	@echo "wrote BENCH_explore.json"
+	BENCH_MEMORY_JSON=$(CURDIR)/BENCH_memory.json $(GO) test -run TestWriteMemoryBenchJSON -v ./internal/core/
+	@echo "wrote BENCH_memory.json"
 
 # CPU-profile a live suite through the -debug-addr pprof endpoint:
 # start benchrun in the background, sample its CPU for PROFILE_SECONDS,

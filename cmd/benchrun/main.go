@@ -35,6 +35,7 @@ import (
 
 	"verifas/internal/benchmark"
 	"verifas/internal/core"
+	"verifas/internal/memsize"
 	"verifas/internal/obs"
 	"verifas/internal/version"
 )
@@ -50,6 +51,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "suite and property seed")
 		spinMax   = flag.Int("spin-max-states", 150000, "state budget of the spin-like baseline")
 		maxState  = flag.Int("max-states", 400000, "state budget per VERIFAS search phase")
+		memBudget = flag.String("mem-budget", "", "per-run memory budget (e.g. 64M, 2G; empty = unlimited); exhausted runs count as failures")
 		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel verification workers per suite")
 		searchJ   = flag.Int("workers", 1, "parallel successor workers inside each verification (<= 1 = sequential)")
 		jsonOut   = flag.Bool("json", false, "emit one JSON record per run on stdout (tables move to stderr)")
@@ -66,6 +68,11 @@ func main() {
 	if *table == "" && *figure == "" && !*all {
 		*all = true
 	}
+	memBytes, err := memsize.Parse(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "-mem-budget:", err)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -80,6 +87,7 @@ func main() {
 	cfg := benchmark.Config{
 		Timeout:       *timeout,
 		MaxStates:     *maxState,
+		MaxMemBytes:   memBytes,
 		SpinMaxStates: *spinMax,
 		SpinFresh:     2,
 		Seed:          *seed,

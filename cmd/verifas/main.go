@@ -33,6 +33,7 @@ import (
 	"verifas/internal/core"
 	"verifas/internal/cyclo"
 	"verifas/internal/has"
+	"verifas/internal/memsize"
 	"verifas/internal/obs"
 	"verifas/internal/service"
 	"verifas/internal/service/client"
@@ -56,6 +57,7 @@ func run() int {
 		noRR      = flag.Bool("norr", false, "disable the repeated-reachability module")
 		timeout   = flag.Duration("timeout", 60*time.Second, "per-property timeout")
 		maxStates = flag.Int("max-states", core.DefaultMaxStates, "state budget per search phase")
+		memBudget = flag.String("mem-budget", "", "per-property memory budget (e.g. 64M, 2G; empty = unlimited); exhausting it yields a BUDGET verdict with partial stats")
 		showTrace = flag.Bool("trace", true, "print counterexample traces")
 		showStats = flag.Bool("stats", false, "print search statistics")
 		witness   = flag.Bool("witness", false, "try to realize root-task counterexample prefixes concretely on random databases")
@@ -74,6 +76,11 @@ func run() int {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: verifas [flags] SPEC.has")
 		flag.PrintDefaults()
+		return 2
+	}
+	memBytes, err := memsize.Parse(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error: -mem-budget:", err)
 		return 2
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -151,12 +158,15 @@ func run() int {
 		case "spinlike":
 			res, err := spinlike.Verify(ctx, file.System, &spinlike.Property{
 				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
-			}, spinlike.Options{Timeout: *timeout, Workers: *searchJ, Observer: observerFor(prop)})
+			}, spinlike.Options{Timeout: *timeout, Workers: *searchJ, MaxMemBytes: memBytes, Observer: observerFor(prop)})
 			if err != nil {
 				fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
 				return sb.String(), 2
 			}
 			switch {
+			case res.BudgetExhausted():
+				fmt.Fprintf(&sb, "%-30s BUDGET   (%s, %d states, memory budget exhausted)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
+				return sb.String(), 2
 			case res.TimedOut():
 				fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.States)
 				return sb.String(), 2
@@ -176,6 +186,7 @@ func run() int {
 				SkipRepeatedReachability: *noRR,
 				Timeout:                  *timeout,
 				MaxStates:                *maxStates,
+				MaxMemBytes:              memBytes,
 				Workers:                  *searchJ,
 				Observer:                 observerFor(prop),
 			})
@@ -185,6 +196,9 @@ func run() int {
 			}
 			code := 0
 			switch {
+			case res.BudgetExhausted():
+				fmt.Fprintf(&sb, "%-30s BUDGET   (%s, %d states, memory budget exhausted)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored())
+				code = 2
 			case res.TimedOut():
 				fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states)\n", prop.Name, res.Stats.Elapsed.Round(time.Millisecond), res.Stats.StatesExplored())
 				code = 2
@@ -233,6 +247,7 @@ func run() int {
 			noRR:      *noRR,
 			timeout:   *timeout,
 			maxStates: *maxStates,
+			memBudget: memBytes,
 			searchJ:   *searchJ,
 			showTrace: *showTrace,
 			showStats: *showStats,
@@ -290,6 +305,7 @@ type remoteFlags struct {
 	noSet, noSP, noSA, noDSS, noRR bool
 	timeout                        time.Duration
 	maxStates                      int
+	memBudget                      int64
 	searchJ                        int
 	showTrace, showStats, witness  bool
 	eventsF                        *os.File
@@ -310,6 +326,7 @@ func remoteVerifier(ctx context.Context, addr, src string, file *spec.File, rf r
 		SkipRepeatedReachability: rf.noRR,
 		TimeoutMS:                rf.timeout.Milliseconds(),
 		MaxStates:                rf.maxStates,
+		MemBudget:                rf.memBudget,
 		Workers:                  rf.searchJ,
 	}
 	var encMu sync.Mutex
@@ -353,6 +370,9 @@ func remoteVerifier(ctx context.Context, addr, src string, file *spec.File, rf r
 		case res.State == service.StateFailed || res.State == service.StateCanceled:
 			fmt.Fprintf(&sb, "%s: error: %s\n", prop.Name, res.Error)
 			return sb.String(), 2
+		case res.Verdict == core.VerdictBudget.String():
+			fmt.Fprintf(&sb, "%-30s BUDGET   (%s, %d states, memory budget exhausted%s)\n", prop.Name, elapsed, states, cached)
+			code = 2
 		case res.Verdict == core.VerdictTimedOut.String():
 			fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states%s)\n", prop.Name, elapsed, states, cached)
 			code = 2

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"verifas/internal/core"
+	"verifas/internal/memsize"
 	"verifas/internal/obs"
 	"verifas/internal/service"
 	"verifas/internal/version"
@@ -49,6 +50,7 @@ func run() int {
 		defTimeout   = flag.Duration("default-timeout", 60*time.Second, "per-job timeout when the request sets none")
 		maxTimeout   = flag.Duration("max-timeout", 0, "cap on requested per-job timeouts (0 = uncapped)")
 		maxStates    = flag.Int("max-states", core.DefaultMaxStates, "default state budget per search phase")
+		jobMemBudget = flag.String("job-mem-budget", "", "default per-job memory budget when a job sets no mem_budget option (e.g. 64M, 2G; empty = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "bound on the graceful-shutdown drain")
 		debugAddr    = flag.String("debug-addr", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
 		showVer      = flag.Bool("version", false, "print the build version and exit")
@@ -57,6 +59,11 @@ func run() int {
 	if *showVer {
 		fmt.Printf("verifasd %s %s\n", version.String(), runtime.Version())
 		return 0
+	}
+	memBytes, err := memsize.Parse(*jobMemBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "-job-mem-budget:", err)
+		return 2
 	}
 
 	reg := obs.NewRegistry()
@@ -67,6 +74,7 @@ func run() int {
 		DefaultTimeout:   *defTimeout,
 		MaxTimeout:       *maxTimeout,
 		DefaultMaxStates: *maxStates,
+		DefaultMemBudget: memBytes,
 		JobWorkers:       *jobWorkers,
 		Registry:         reg,
 		Version:          version.String(),

@@ -82,6 +82,10 @@ type Config struct {
 	Timeout time.Duration
 	// MaxStates is the per-phase state budget of VERIFAS runs.
 	MaxStates int
+	// MaxMemBytes is the per-run memory budget threaded to both engines
+	// (0 = unlimited); budget-exhausted runs count as Fail like
+	// timeouts.
+	MaxMemBytes int64
 	// SpinMaxStates and SpinFresh configure the spin-like baseline.
 	SpinMaxStates int
 	SpinFresh     int
@@ -136,8 +140,8 @@ type Run struct {
 	Class    string
 	Verifier string
 	Time     time.Duration
-	// Fail marks budget exhaustion: the wall-clock timeout or the state
-	// budget expired before the search finished.
+	// Fail marks budget exhaustion: the wall-clock timeout, the state
+	// budget or the memory budget expired before the search finished.
 	Fail bool
 	// Err records a hard verifier error (invalid property, compilation
 	// failure, cancellation). Errored runs are NOT timeouts: they are
@@ -175,6 +179,7 @@ func (cfg Config) Engine(verifier string, obs core.Observer) (core.Verifier, err
 		return spinlike.Engine(spinlike.Options{
 			FreshPerSort:   cfg.SpinFresh,
 			MaxStates:      cfg.SpinMaxStates,
+			MaxMemBytes:    cfg.MaxMemBytes,
 			Timeout:        cfg.Timeout,
 			Workers:        cfg.SearchWorkers,
 			Observer:       obs,
@@ -183,6 +188,7 @@ func (cfg Config) Engine(verifier string, obs core.Observer) (core.Verifier, err
 	}
 	opts := core.Options{
 		MaxStates:      cfg.MaxStates,
+		MaxMemBytes:    cfg.MaxMemBytes,
 		Timeout:        cfg.Timeout,
 		Workers:        cfg.SearchWorkers,
 		Observer:       obs,
@@ -240,7 +246,7 @@ func RunOne(ctx context.Context, spec *Spec, prop *core.Property, verifier strin
 		return run
 	}
 	run.Time = res.Stats.Elapsed
-	run.Fail = res.TimedOut()
+	run.Fail = res.TimedOut() || res.BudgetExhausted()
 	run.Verdict = res.Verdict
 	run.Stats = res.Stats
 	return run

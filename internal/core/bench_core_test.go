@@ -136,18 +136,27 @@ func TestObserverOverheadGuard(t *testing.T) {
 	// first measurement is not penalized.
 	measure(Options{})
 	const attempts = 4
-	worst := 0.0
-	for i := 0; i < attempts; i++ {
-		base := measure(Options{})
-		observed := measure(Options{Observer: nopObserver{}})
-		ratio := observed / base
-		t.Logf("attempt %d: nil=%.0fns observed=%.0fns ratio=%.4f", i, base, observed, ratio)
-		if ratio <= 1.02 {
-			return
+	guard := func(name string, opts Options, bound float64) {
+		worst := 0.0
+		for i := 0; i < attempts; i++ {
+			base := measure(Options{})
+			observed := measure(opts)
+			ratio := observed / base
+			t.Logf("%s attempt %d: nil=%.0fns observed=%.0fns ratio=%.4f", name, i, base, observed, ratio)
+			if ratio <= bound {
+				return
+			}
+			if ratio > worst {
+				worst = ratio
+			}
 		}
-		if ratio > worst {
-			worst = ratio
-		}
+		t.Errorf("%s overhead above %.0f%% in all %d attempts (worst ratio %.4f)",
+			name, (bound-1)*100, attempts, worst)
 	}
-	t.Errorf("observer overhead above 2%% in all %d attempts (worst ratio %.4f)", attempts, worst)
+	guard("observer", Options{Observer: nopObserver{}}, 1.02)
+	// Progress observers at stride 1 build one snapshot per explored
+	// state; with the rate-limited runtime/metrics heap sampler this must
+	// stay cheap (the old per-snapshot ReadMemStats was a stop-the-world
+	// pause that blew far past this bound).
+	guard("progress-stride-1", Options{Observer: nopObserver{}, ProgressStride: 1}, 1.30)
 }

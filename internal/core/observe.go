@@ -1,7 +1,8 @@
 package core
 
 import (
-	"runtime"
+	"runtime/metrics"
+	"sync"
 	"time"
 
 	"verifas/internal/vass"
@@ -41,6 +42,10 @@ type PhaseStats struct {
 	// Accelerations counts applications of the ω-acceleration operator.
 	Accelerations int           `json:"accelerations"`
 	Elapsed       time.Duration `json:"elapsed_ns"`
+	// MemBytes is the search's estimated retained bytes at phase end
+	// (the memory-budget accounting estimate, not a heap measurement;
+	// zero for non-search phases).
+	MemBytes int64 `json:"mem_bytes,omitempty"`
 }
 
 // ProgressEvent is a periodic snapshot of a running search phase, emitted
@@ -66,8 +71,16 @@ type ProgressEvent struct {
 	// Prefetched counts processed states whose successors a worker had
 	// precomputed; Prefetched/States approximates worker utilization.
 	Prefetched int `json:"prefetched,omitempty"`
-	// HeapInUse is runtime.MemStats.HeapInuse at snapshot time (bytes).
+	// HeapInUse is the live heap-object footprint at snapshot time
+	// (bytes), sampled cheaply via runtime/metrics with a short TTL —
+	// consecutive snapshots within the TTL share one reading, so a
+	// fine-grained ProgressStride never turns into a heap-profiling
+	// workload.
 	HeapInUse uint64 `json:"heap_in_use"`
+	// MemBytes is the search's estimated retained bytes (the
+	// deterministic memory-budget accounting, distinct from the measured
+	// HeapInUse).
+	MemBytes int64 `json:"mem_bytes,omitempty"`
 	// Elapsed since the phase started.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -223,8 +236,47 @@ func NewProgressEvent(phase Phase, phaseStart time.Time, p vass.Progress) Progre
 	if secs := ev.Elapsed.Seconds(); secs > 0 {
 		ev.Rate = float64(p.Created) / secs
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	ev.HeapInUse = ms.HeapInuse
+	ev.HeapInUse = heapInUse()
+	ev.MemBytes = p.MemBytes
 	return ev
+}
+
+// heapSampler caches the live-heap reading so that progress snapshots —
+// which can fire every few milliseconds under a small ProgressStride —
+// do not each pay for a fresh sample. runtime/metrics reads are already
+// far cheaper than the stop-the-world runtime.ReadMemStats this
+// replaced, but the searches emitting snapshots run concurrently in the
+// service, so the cache also bounds total sampling frequency per
+// process.
+var heapSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	val     uint64
+	samples [1]metrics.Sample
+	init    bool
+}
+
+// heapSampleTTL is the maximum staleness of a HeapInUse reading.
+const heapSampleTTL = 20 * time.Millisecond
+
+// heapInUse returns the bytes occupied by live heap objects, at most
+// heapSampleTTL stale.
+func heapInUse() uint64 {
+	s := &heapSampler
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	if s.init && now.Sub(s.last) < heapSampleTTL {
+		return s.val
+	}
+	if !s.init {
+		s.samples[0].Name = "/memory/classes/heap/objects:bytes"
+		s.init = true
+	}
+	metrics.Read(s.samples[:])
+	if s.samples[0].Value.Kind() == metrics.KindUint64 {
+		s.val = s.samples[0].Value.Uint64()
+	}
+	s.last = now
+	return s.val
 }

@@ -230,6 +230,7 @@ func TestVerdictText(t *testing.T) {
 		{VerdictHolds, "holds"},
 		{VerdictViolated, "violated"},
 		{VerdictTimedOut, "timed-out"},
+		{VerdictBudget, "budget-exhausted"},
 	}
 	for _, c := range cases {
 		if c.v.String() != c.s {

@@ -132,7 +132,12 @@ func (p *product) condVariants(n int32, tau *symbolic.Pisotype) []*symbolic.Piso
 		}
 		var next []*symbolic.Pisotype
 		for _, t := range cur {
-			next = append(next, cc.Extend(t)...)
+			// Extend returns fresh clones; intern them — these types are
+			// retained in product states, and distinct Büchi nodes reading
+			// the same snapshot produce many structurally equal ones.
+			for _, e := range cc.Extend(t) {
+				next = append(next, p.ts.InternType(e))
+			}
 		}
 		if len(next) == 0 {
 			return nil
@@ -314,6 +319,23 @@ func (p *product) IndexSet(s vass.State) []uint64 {
 	out = append(out, 1<<62|uint64(ps.Node))
 	out = append(out, 1<<63|uint64(ps.PSI.Mask))
 	return out
+}
+
+// StateBytes implements vass.Sized: the estimated unique retained bytes
+// of one product state for the memory-budget accounting. With an
+// interner attached the variable type is shared structure charged once
+// via the intern table (vass.Options.MemExtra), so only the per-state
+// PSI/bag skeleton counts here; without one every state owns its type.
+func (p *product) StateBytes(s vass.State) int {
+	ps := s.(*PState)
+	sz := 96 // PState + PSI struct and slice headers
+	for _, b := range ps.PSI.Bags {
+		sz += 24 + 24*len(b.Items)
+	}
+	if p.ts.Interner() == nil {
+		sz += ps.PSI.Tau.SizeBytes()
+	}
+	return sz
 }
 
 // Accepting reports whether the state's Büchi node is in the acceptance

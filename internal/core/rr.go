@@ -32,30 +32,35 @@ import (
 // The two returned PhaseStats separate the RR search proper from the
 // optional confirmation pass; both searches stream Progress events to the
 // emitter's observer (PhaseRR and PhaseRRConfirm respectively).
-func repeatedReachability(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, em emitter) (*Violation, PhaseStats, PhaseStats, bool, error) {
+//
+// The stop Verdict is VerdictUnknown when the module ran to completion,
+// and VerdictTimedOut or VerdictBudget when a budget expired mid-search —
+// in that case the caller must finish with that verdict and the stats are
+// partial.
+func repeatedReachability(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, em emitter) (*Violation, PhaseStats, PhaseStats, Verdict, error) {
 	var confirm PhaseStats
 	if !opts.AggressiveRR {
-		v, st, timedOut, err := rrClassical(ctx, ts, buchi, opts, maxStates, em, PhaseRR)
-		return v, st, confirm, timedOut, err
+		v, st, stop, err := rrClassical(ctx, ts, buchi, opts, maxStates, em, PhaseRR)
+		return v, st, confirm, stop, err
 	}
-	v, st, timedOut, err := rrAggressive(ctx, ts, buchi, phase1, opts, maxStates, em)
-	if err != nil || timedOut || v == nil {
-		return v, st, confirm, timedOut, err
+	v, st, stop, err := rrAggressive(ctx, ts, buchi, phase1, opts, maxStates, em)
+	if err != nil || stop != VerdictUnknown || v == nil {
+		return v, st, confirm, stop, err
 	}
 	if opts.NoRRConfirmation {
-		return v, st, confirm, false, nil
+		return v, st, confirm, VerdictUnknown, nil
 	}
-	cv, cst, ctimed, err := rrClassical(ctx, ts, buchi, opts, maxStates, em, PhaseRRConfirm)
+	cv, cst, cstop, err := rrClassical(ctx, ts, buchi, opts, maxStates, em, PhaseRRConfirm)
 	confirm = cst
 	if err != nil {
-		return nil, st, confirm, false, err
+		return nil, st, confirm, VerdictUnknown, err
 	}
-	if ctimed {
+	if cstop != VerdictUnknown {
 		// The confirmation ran out of budget; report the aggressive
 		// finding but note the budget exhaustion.
-		return v, st, confirm, true, nil
+		return v, st, confirm, cstop, nil
 	}
-	return cv, st, confirm, false, nil
+	return cv, st, confirm, VerdictUnknown, nil
 }
 
 // rrClassical: ≤-pruned Karp-Miller with acceleration; the active nodes
@@ -63,7 +68,7 @@ func repeatedReachability(ctx context.Context, ts *symbolic.TaskSystem, buchi *l
 // iff it lies on a cycle of the coverability graph (paper Section 3.3).
 // The phase label distinguishes the primary RR search from the Appendix C
 // confirmation pass in the event stream.
-func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, opts Options, maxStates int, em emitter, phase Phase) (*Violation, PhaseStats, bool, error) {
+func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, opts Options, maxStates int, em emitter, phase Phase) (*Violation, PhaseStats, Verdict, error) {
 	prod := newProduct(ts, buchi, OrderLeq)
 	prod.ctx = ctx
 	start := time.Now()
@@ -73,6 +78,8 @@ func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi,
 		Accelerate:     true,
 		UseIndex:       !opts.NoIndexes,
 		MaxStates:      maxStates,
+		MaxMemBytes:    opts.MaxMemBytes,
+		MemExtra:       internerExtra(ts),
 		Workers:        opts.Workers,
 		Ctx:            ctx,
 		OnProgress:     em.searchProgress(phase),
@@ -82,16 +89,16 @@ func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi,
 	em.phaseEnd(phase, stats)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			return nil, stats, false, err
+			return nil, stats, VerdictUnknown, err
 		}
-		return nil, stats, true, nil
+		return nil, stats, stopVerdict(err), nil
 	}
-	return cycleViolation(ts, prod, tree.Active()), stats, false, nil
+	return cycleViolation(ts, prod, tree.Active()), stats, VerdictUnknown, nil
 }
 
 // rrAggressive: the Appendix C second phase with ⪯+ pruning, no
 // acceleration, pruning against the first phase's ω states.
-func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, em emitter) (*Violation, PhaseStats, bool, error) {
+func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi, phase1 *vass.Tree, opts Options, maxStates int, em emitter) (*Violation, PhaseStats, Verdict, error) {
 	prod := newProduct(ts, buchi, OrderPrecedesStrict)
 	prod.ctx = ctx
 	var omegaDoms []vass.State
@@ -107,6 +114,8 @@ func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi
 		Accelerate:      false,
 		UseIndex:        !opts.NoIndexes,
 		MaxStates:       maxStates,
+		MaxMemBytes:     opts.MaxMemBytes,
+		MemExtra:        internerExtra(ts),
 		Workers:         opts.Workers,
 		Ctx:             ctx,
 		OnProgress:      em.searchProgress(PhaseRR),
@@ -117,11 +126,21 @@ func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi
 	em.phaseEnd(PhaseRR, stats)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			return nil, stats, false, err
+			return nil, stats, VerdictUnknown, err
 		}
-		return nil, stats, true, nil
+		return nil, stats, stopVerdict(err), nil
 	}
-	return cycleViolation(ts, prod, tree.Active()), stats, false, nil
+	return cycleViolation(ts, prod, tree.Active()), stats, VerdictUnknown, nil
+}
+
+// stopVerdict maps a non-cancellation Explore error to the terminal
+// verdict it forces: memory budget → VerdictBudget, state budget or
+// deadline → VerdictTimedOut.
+func stopVerdict(err error) Verdict {
+	if errors.Is(err, vass.ErrMemBudget) {
+		return VerdictBudget
+	}
+	return VerdictTimedOut
 }
 
 // cycleViolation extracts an accepting state on a cycle of the

@@ -20,6 +20,11 @@ const (
 	// VerdictTimedOut: the wall-clock or state budget expired before the
 	// search finished; nothing is known about the property.
 	VerdictTimedOut
+	// VerdictBudget: the memory budget (Options.MaxMemBytes) was
+	// exhausted before the search finished; like VerdictTimedOut nothing
+	// is known about the property, but partial stats describe how far the
+	// search got.
+	VerdictBudget
 )
 
 var verdictNames = map[Verdict]string{
@@ -27,6 +32,7 @@ var verdictNames = map[Verdict]string{
 	VerdictHolds:    "holds",
 	VerdictViolated: "violated",
 	VerdictTimedOut: "timed-out",
+	VerdictBudget:   "budget-exhausted",
 }
 
 func (v Verdict) String() string {

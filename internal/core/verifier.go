@@ -65,6 +65,19 @@ type Options struct {
 	NoRRConfirmation bool
 	// MaxStates bounds each search phase (0 = DefaultMaxStates).
 	MaxStates int
+	// MaxMemBytes bounds each search phase's estimated retained bytes
+	// (0 = unlimited). A run exceeding it returns VerdictBudget with the
+	// partial stats gathered so far instead of growing until the process
+	// OOMs. The accounting is the deterministic estimate described at
+	// vass.Options.MaxMemBytes: per-node structure plus per-state unique
+	// bytes plus the shared intern table.
+	MaxMemBytes int64
+	// NoInterning disables the hash-consing of pisotypes into a shared
+	// intern table. Interning is semantically transparent (structural
+	// equality is unchanged; equal types just share one allocation), so
+	// this exists for memory benchmarking and defensive bisection, and —
+	// like Workers — does not contribute to Variant().
+	NoInterning bool
 	// Workers sets the intra-search successor-computation parallelism
 	// (vass.Options.Workers): <= 1 keeps every search phase sequential.
 	// The verdict, trace and per-phase stats are identical for any
@@ -126,6 +139,10 @@ type Stats struct {
 	Confirm  PhaseStats    `json:"confirm"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
 	TimedOut bool          `json:"timed_out"`
+	// BudgetExhausted mirrors TimedOut for the memory budget: the search
+	// stopped because Options.MaxMemBytes was exceeded, and the phase
+	// stats are partial.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 }
 
 // StatesExplored aggregates the states created across all search phases.
@@ -171,6 +188,11 @@ func (r *Result) Holds() bool { return r.Verdict == VerdictHolds }
 // TimedOut reports budget exhaustion (wall clock or state count).
 func (r *Result) TimedOut() bool { return r.Verdict == VerdictTimedOut }
 
+// BudgetExhausted reports that the memory budget (Options.MaxMemBytes)
+// stopped the search; the stats are partial and nothing is known about
+// the property.
+func (r *Result) BudgetExhausted() bool { return r.Verdict == VerdictBudget }
+
 // Verify checks that every local run of the property's task satisfies the
 // property (paper Section 3). The system must already be validated.
 //
@@ -199,6 +221,7 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 	finish := func(v Verdict) (*Result, error) {
 		res.Verdict = v
 		res.Stats.TimedOut = v == VerdictTimedOut
+		res.Stats.BudgetExhausted = v == VerdictBudget
 		res.Stats.Elapsed = time.Since(start)
 		em.verdict(res)
 		return res, nil
@@ -225,6 +248,14 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 		em.phaseStart(PhaseStatic)
 		ts.SetFilter(static.Analyze(ts))
 		em.phaseEnd(PhaseStatic, PhaseStats{Elapsed: time.Since(saStart)})
+	}
+
+	// ---- Interning: hash-cons the pisotypes retained in states. Must be
+	// attached before the first Initial()/Successors() call; shared by
+	// every search phase of this run so cross-phase duplicates collapse
+	// too.
+	if !opts.NoInterning {
+		ts.SetInterner(symbolic.NewInterner())
 	}
 
 	res.Stats.BuchiStates = buchi.NumStates()
@@ -258,6 +289,8 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 		Accelerate:     true,
 		UseIndex:       !opts.NoIndexes,
 		MaxStates:      maxStates,
+		MaxMemBytes:    opts.MaxMemBytes,
+		MemExtra:       internerExtra(ts),
 		Workers:        opts.Workers,
 		Ctx:            ctx,
 		OnProgress:     em.searchProgress(PhaseReach),
@@ -296,6 +329,9 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 		if errors.Is(exploreErr, context.Canceled) {
 			return nil, exploreErr
 		}
+		if errors.Is(exploreErr, vass.ErrMemBudget) {
+			return finish(VerdictBudget)
+		}
 		// State budget or deadline exhausted.
 		return finish(VerdictTimedOut)
 	}
@@ -313,14 +349,14 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 
 	// ---- Phase 2: repeated reachability for infinite-run violations.
 	if !opts.SkipRepeatedReachability && anyAccepting {
-		v, rrStats, confirmStats, timedOut, err := repeatedReachability(ctx, ts, buchi, tree, opts, maxStates, em)
+		v, rrStats, confirmStats, stop, err := repeatedReachability(ctx, ts, buchi, tree, opts, maxStates, em)
 		res.Stats.RR = rrStats
 		res.Stats.Confirm = confirmStats
 		if err != nil {
 			return nil, err
 		}
-		if timedOut {
-			return finish(VerdictTimedOut)
+		if stop != VerdictUnknown {
+			return finish(stop)
 		}
 		if v != nil {
 			res.Violation = v
@@ -339,7 +375,20 @@ func treeStats(t *vass.Tree, start time.Time) PhaseStats {
 		Skipped:       t.Skipped,
 		Accelerations: t.Accelerations,
 		Elapsed:       time.Since(start),
+		MemBytes:      t.MemBytes,
 	}
+}
+
+// internerExtra returns the shared intern-table byte accounting for the
+// memory budget (vass.Options.MemExtra), or nil when interning is off —
+// per-state estimates exclude interned types, so the table is charged
+// exactly once here.
+func internerExtra(ts *symbolic.TaskSystem) func() int64 {
+	in := ts.Interner()
+	if in == nil {
+		return nil
+	}
+	return in.Bytes
 }
 
 // ValidateProperty resolves the property's task and type-checks the

@@ -1,0 +1,91 @@
+// Package memsize parses and formats human-readable byte sizes for the
+// -mem-budget style CLI flags ("64M", "2G", "500000"). Units are binary
+// (K = 1024) to match how the budgets are compared against heap
+// estimates.
+package memsize
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// unit multipliers, binary.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+)
+
+// Parse converts a size string to bytes. Accepted forms: a bare integer
+// (bytes), or an integer/decimal with a K/M/G/T suffix (binary units,
+// optional trailing "B" or "iB", case-insensitive): "512M", "1.5G",
+// "64KiB". The empty string parses to 0 (= unlimited for budget flags).
+// Negative sizes are rejected.
+func Parse(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	upper = strings.TrimSuffix(upper, "IB")
+	upper = strings.TrimSuffix(upper, "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = KiB, strings.TrimSuffix(upper, "K")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = MiB, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = GiB, strings.TrimSuffix(upper, "G")
+	case strings.HasSuffix(upper, "T"):
+		mult, upper = TiB, strings.TrimSuffix(upper, "T")
+	}
+	upper = strings.TrimSpace(upper)
+	if upper == "" {
+		return 0, fmt.Errorf("memsize: missing number in %q", s)
+	}
+	if n, err := strconv.ParseInt(upper, 10, 64); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("memsize: negative size %q", s)
+		}
+		if n > (1<<63-1)/mult {
+			return 0, fmt.Errorf("memsize: size %q overflows", s)
+		}
+		return n * mult, nil
+	}
+	f, err := strconv.ParseFloat(upper, 64)
+	if err != nil {
+		return 0, fmt.Errorf("memsize: invalid size %q", s)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("memsize: negative size %q", s)
+	}
+	v := f * float64(mult)
+	if v > float64(1<<63-1) {
+		return 0, fmt.Errorf("memsize: size %q overflows", s)
+	}
+	return int64(v), nil
+}
+
+// Format renders bytes in the largest binary unit that divides cleanly
+// enough to stay readable ("512M", "1.5G", "123"). Zero formats as "0".
+func Format(n int64) string {
+	switch {
+	case n >= TiB:
+		return trim(float64(n)/TiB) + "T"
+	case n >= GiB:
+		return trim(float64(n)/GiB) + "G"
+	case n >= MiB:
+		return trim(float64(n)/MiB) + "M"
+	case n >= KiB:
+		return trim(float64(n)/KiB) + "K"
+	}
+	return strconv.FormatInt(n, 10)
+}
+
+func trim(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 1, 64)
+	return strings.TrimSuffix(s, ".0")
+}

@@ -1,0 +1,77 @@
+package memsize
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"12345", 12345, false},
+		{"1K", 1024, false},
+		{"64k", 64 * 1024, false},
+		{"512M", 512 << 20, false},
+		{"512MB", 512 << 20, false},
+		{"512MiB", 512 << 20, false},
+		{"2G", 2 << 30, false},
+		{"1.5G", 3 << 29, false},
+		{"1T", 1 << 40, false},
+		{" 8 M ", 8 << 20, false},
+		{"-1", 0, true},
+		{"-1G", 0, true},
+		{"G", 0, true},
+		{"abc", 0, true},
+		{"12Q", 0, true},
+		{"99999999999999999999G", 0, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("Parse(%q): want error, got %d", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0"},
+		{123, "123"},
+		{1024, "1K"},
+		{512 << 20, "512M"},
+		{3 << 29, "1.5G"},
+		{1 << 40, "1T"},
+	}
+	for _, c := range cases {
+		if got := Format(c.in); got != c.want {
+			t.Errorf("Format(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, 1024, 1 << 20, 512 << 20, 3 << 29, 7 << 30} {
+		got, err := Parse(Format(n))
+		if err != nil {
+			t.Fatalf("Parse(Format(%d)): %v", n, err)
+		}
+		if got != n {
+			t.Errorf("round trip %d -> %q -> %d", n, Format(n), got)
+		}
+	}
+}

@@ -26,6 +26,7 @@ type Registry struct {
 	holds      atomic.Int64
 	violated   atomic.Int64
 	timedOut   atomic.Int64
+	budget     atomic.Int64
 
 	states        atomic.Int64
 	pruned        atomic.Int64
@@ -88,6 +89,8 @@ type Snapshot struct {
 	Holds      int64 `json:"holds"`
 	Violated   int64 `json:"violated"`
 	TimedOut   int64 `json:"timed_out"`
+	// BudgetExhausted counts runs stopped by their memory budget.
+	BudgetExhausted int64 `json:"budget_exhausted"`
 
 	States        int64 `json:"states"`
 	Pruned        int64 `json:"pruned"`
@@ -107,18 +110,19 @@ type Snapshot struct {
 // Snapshot returns the current totals.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		RunsActive:     r.runsActive.Load(),
-		RunsDone:       r.runsDone.Load(),
-		Holds:          r.holds.Load(),
-		Violated:       r.violated.Load(),
-		TimedOut:       r.timedOut.Load(),
-		States:         r.states.Load(),
-		Pruned:         r.pruned.Load(),
-		Skipped:        r.skipped.Load(),
-		Accelerations:  r.accelerations.Load(),
-		Prefetched:     r.prefetched.Load(),
-		SearchInflight: r.inflight.Load(),
-		PhaseMillis:    map[string]int64{},
+		RunsActive:      r.runsActive.Load(),
+		RunsDone:        r.runsDone.Load(),
+		Holds:           r.holds.Load(),
+		Violated:        r.violated.Load(),
+		TimedOut:        r.timedOut.Load(),
+		BudgetExhausted: r.budget.Load(),
+		States:          r.states.Load(),
+		Pruned:          r.pruned.Load(),
+		Skipped:         r.skipped.Load(),
+		Accelerations:   r.accelerations.Load(),
+		Prefetched:      r.prefetched.Load(),
+		SearchInflight:  r.inflight.Load(),
+		PhaseMillis:     map[string]int64{},
 	}
 	for i, p := range phaseOrder {
 		s.PhaseMillis[string(p)] = r.phaseNanos[i].Load() / int64(time.Millisecond)
@@ -203,5 +207,7 @@ func (h *regRun) Verdict(e core.VerdictEvent) {
 		h.reg.violated.Add(1)
 	case core.VerdictTimedOut:
 		h.reg.timedOut.Add(1)
+	case core.VerdictBudget:
+		h.reg.budget.Add(1)
 	}
 }

@@ -70,6 +70,8 @@ type StatsResponse struct {
 	CacheEntries int `json:"cache_entries"`
 	// JobWorkers reports the intra-run search parallelism in force.
 	JobWorkers JobWorkersInfo `json:"job_workers"`
+	// MemBudget reports the per-job `mem_budget` option's server default.
+	MemBudget MemBudgetInfo `json:"mem_budget"`
 }
 
 // JobWorkersInfo describes the per-job `workers` option's effective
@@ -79,6 +81,14 @@ type JobWorkersInfo struct {
 	Default int `json:"default"`
 	// Cap is the clamp applied to requested values (GOMAXPROCS).
 	Cap int `json:"cap"`
+}
+
+// MemBudgetInfo describes the per-job `mem_budget` option's server
+// default. Jobs that exceed their budget end with a budget-exhausted
+// verdict and partial stats instead of crashing the server.
+type MemBudgetInfo struct {
+	// DefaultBytes applies when a job sets no mem_budget (0 = unlimited).
+	DefaultBytes int64 `json:"default_bytes"`
 }
 
 func (s *Server) routes() {
@@ -268,6 +278,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		JobWorkers: JobWorkersInfo{
 			Default: s.cfg.JobWorkers,
 			Cap:     runtime.GOMAXPROCS(0),
+		},
+		MemBudget: MemBudgetInfo{
+			DefaultBytes: s.cfg.DefaultMemBudget,
 		},
 	})
 }

@@ -56,6 +56,13 @@ type RequestOptions struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// MaxStates bounds each search phase (0 = server default).
 	MaxStates int `json:"max_states,omitempty"`
+	// MemBudget bounds the run's estimated retained memory in bytes
+	// (0 = server default, which may itself be unlimited). Must be
+	// non-negative. A run exceeding it completes with the
+	// "budget-exhausted" verdict and partial stats instead of taking the
+	// daemon down; like every other knob it participates in the
+	// result-cache key.
+	MemBudget int64 `json:"mem_budget,omitempty"`
 	// ProgressStride is the state-count stride between streamed progress
 	// events (0 = core.DefaultProgressStride).
 	ProgressStride int `json:"progress_stride,omitempty"`
@@ -88,6 +95,7 @@ type EngineOptions struct {
 	AggressiveRR             bool   `json:"agg_rr"`
 	TimeoutMS                int64  `json:"timeout_ms"`
 	MaxStates                int    `json:"max_states"`
+	MemBudget                int64  `json:"mem_budget"`
 	ProgressStride           int    `json:"progress_stride"`
 	SpinFresh                int    `json:"spin_fresh"`
 	Workers                  int    `json:"workers"`
@@ -106,8 +114,8 @@ const (
 	StateQueued JobState = "queued"
 	// StateRunning: a worker is executing the verification.
 	StateRunning JobState = "running"
-	// StateDone: finished with a verdict (holds, violated or timed-out —
-	// a timed-out verdict is still a completed job).
+	// StateDone: finished with a verdict (holds, violated, timed-out or
+	// budget-exhausted — exhausted budgets are still completed jobs).
 	StateDone JobState = "done"
 	// StateFailed: the engine returned a hard error.
 	StateFailed JobState = "failed"
@@ -145,7 +153,8 @@ type JobStatus struct {
 // JobResult extends the status with the outcome of a terminal job.
 type JobResult struct {
 	JobStatus
-	// Verdict is "holds", "violated" or "timed-out" for done jobs.
+	// Verdict is "holds", "violated", "timed-out" or "budget-exhausted"
+	// for done jobs.
 	Verdict string `json:"verdict,omitempty"`
 	// Violation is the counterexample for violated verdicts.
 	Violation *WireViolation `json:"violation,omitempty"`
@@ -291,10 +300,10 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 	if o == nil {
 		o = &RequestOptions{}
 	}
-	if o.TimeoutMS < 0 || o.MaxStates < 0 || o.ProgressStride < 0 || o.SpinFresh < 0 || o.Workers < 0 {
+	if o.TimeoutMS < 0 || o.MaxStates < 0 || o.MemBudget < 0 || o.ProgressStride < 0 || o.SpinFresh < 0 || o.Workers < 0 {
 		return EngineOptions{}, badRequestf(codeBadOptions,
-			"options must be non-negative (timeout_ms=%d max_states=%d progress_stride=%d spin_fresh=%d workers=%d)",
-			o.TimeoutMS, o.MaxStates, o.ProgressStride, o.SpinFresh, o.Workers)
+			"options must be non-negative (timeout_ms=%d max_states=%d mem_budget=%d progress_stride=%d spin_fresh=%d workers=%d)",
+			o.TimeoutMS, o.MaxStates, o.MemBudget, o.ProgressStride, o.SpinFresh, o.Workers)
 	}
 	e := EngineOptions{
 		Engine:                   o.Engine,
@@ -306,6 +315,7 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 		AggressiveRR:             o.AggressiveRR,
 		TimeoutMS:                o.TimeoutMS,
 		MaxStates:                o.MaxStates,
+		MemBudget:                o.MemBudget,
 		ProgressStride:           o.ProgressStride,
 		SpinFresh:                o.SpinFresh,
 		Workers:                  o.Workers,
@@ -318,6 +328,9 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 	}
 	if e.MaxStates == 0 {
 		e.MaxStates = s.cfg.DefaultMaxStates
+	}
+	if e.MemBudget == 0 {
+		e.MemBudget = s.cfg.DefaultMemBudget
 	}
 	if e.ProgressStride == 0 {
 		e.ProgressStride = core.DefaultProgressStride

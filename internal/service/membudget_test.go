@@ -1,0 +1,139 @@
+package service_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"verifas/internal/core"
+	"verifas/internal/service"
+)
+
+// TestMemBudgetEndToEnd drives a job with a tiny mem_budget over HTTP:
+// the run must degrade to a budget-exhausted verdict with partial stats —
+// a done job, never a 5xx or a crashed worker — and the option must
+// participate in the cache key.
+func TestMemBudgetEndToEnd(t *testing.T) {
+	spec := loadSpec(t)
+	_, cl := newTestServer(t, service.Config{Workers: 2})
+	ctx := context.Background()
+
+	// ---- A tiny budget degrades gracefully.
+	res, err := cl.Verify(ctx, &service.SubmitRequest{
+		Spec:     spec,
+		Property: "ship_only_in_stock",
+		Options:  &service.RequestOptions{MemBudget: 8 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != service.StateDone {
+		t.Fatalf("state = %v (error %q), want done", res.State, res.Error)
+	}
+	if res.Verdict != core.VerdictBudget.String() {
+		t.Fatalf("verdict = %q, want %q", res.Verdict, core.VerdictBudget)
+	}
+	if res.Stats == nil {
+		t.Fatal("no partial stats on the budget verdict")
+	}
+	if !res.Stats.BudgetExhausted {
+		t.Error("stats missing BudgetExhausted")
+	}
+	if res.Stats.Elapsed < 0 {
+		t.Error("negative elapsed in partial stats")
+	}
+
+	// ---- mem_budget participates in the cache key: the same job without
+	// a budget must rerun (and complete), not hit the budget verdict.
+	full, err := cl.Verify(ctx, &service.SubmitRequest{
+		Spec:     spec,
+		Property: "ship_only_in_stock",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cached {
+		t.Fatal("unbudgeted job hit the budgeted job's cache entry")
+	}
+	if full.Verdict != core.VerdictHolds.String() {
+		t.Fatalf("unbudgeted verdict = %q, want holds", full.Verdict)
+	}
+
+	// ---- The identical budgeted job is a cache hit.
+	again, err := cl.Verify(ctx, &service.SubmitRequest{
+		Spec:     spec,
+		Property: "ship_only_in_stock",
+		Options:  &service.RequestOptions{MemBudget: 8 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("identical budgeted resubmission missed the cache")
+	}
+	if again.Verdict != core.VerdictBudget.String() {
+		t.Errorf("cached verdict = %q, want budget-exhausted", again.Verdict)
+	}
+
+	// ---- A different budget is a different cache key.
+	other, err := cl.Verify(ctx, &service.SubmitRequest{
+		Spec:     spec,
+		Property: "ship_only_in_stock",
+		Options:  &service.RequestOptions{MemBudget: 1 << 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("different mem_budget hit the cache")
+	}
+	if other.Verdict != core.VerdictHolds.String() {
+		t.Errorf("generous-budget verdict = %q, want holds", other.Verdict)
+	}
+}
+
+func TestMemBudgetValidation(t *testing.T) {
+	spec := loadSpec(t)
+	_, cl := newTestServer(t, service.Config{Workers: 1})
+	_, err := cl.Submit(context.Background(), &service.SubmitRequest{
+		Spec:     spec,
+		Property: "ship_only_in_stock",
+		Options:  &service.RequestOptions{MemBudget: -1},
+	})
+	if err == nil {
+		t.Fatal("negative mem_budget accepted")
+	}
+	if !strings.Contains(err.Error(), "bad-options") {
+		t.Errorf("error = %v, want bad-options", err)
+	}
+}
+
+func TestMemBudgetServerDefault(t *testing.T) {
+	spec := loadSpec(t)
+	_, cl := newTestServer(t, service.Config{Workers: 1, DefaultMemBudget: 8 << 10})
+	ctx := context.Background()
+
+	// /v1/stats reports the default.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemBudget.DefaultBytes != 8<<10 {
+		t.Errorf("stats default_bytes = %d, want %d", st.MemBudget.DefaultBytes, 8<<10)
+	}
+
+	// A job with no mem_budget inherits it and degrades.
+	res, err := cl.Verify(ctx, &service.SubmitRequest{
+		Spec:     spec,
+		Property: "ship_only_in_stock",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != service.StateDone {
+		t.Fatalf("state = %v (error %q), want done", res.State, res.Error)
+	}
+	if res.Verdict != core.VerdictBudget.String() {
+		t.Errorf("verdict = %q, want budget-exhausted via the server default", res.Verdict)
+	}
+}

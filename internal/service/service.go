@@ -68,6 +68,10 @@ type Config struct {
 	// DefaultMaxStates applies when a request sets no max_states
 	// (default core.DefaultMaxStates).
 	DefaultMaxStates int
+	// DefaultMemBudget applies when a request sets no mem_budget: the
+	// per-run memory budget in bytes (default 0 = unlimited). Runs that
+	// exceed it end with a budget-exhausted verdict and partial stats.
+	DefaultMemBudget int64
 	// JobWorkers applies when a request sets no workers: the intra-run
 	// search parallelism of each verification (default 1 = sequential).
 	// Requested values are clamped to GOMAXPROCS at normalization.
@@ -199,6 +203,7 @@ func BuiltinEngine(o EngineOptions, observer core.Observer) (core.Verifier, erro
 			SkipRepeatedReachability: o.SkipRepeatedReachability,
 			AggressiveRR:             o.AggressiveRR,
 			MaxStates:                o.MaxStates,
+			MaxMemBytes:              o.MemBudget,
 			Timeout:                  o.Timeout(),
 			Workers:                  o.Workers,
 			Observer:                 observer,
@@ -208,6 +213,7 @@ func BuiltinEngine(o EngineOptions, observer core.Observer) (core.Verifier, erro
 		return spinlike.Engine(spinlike.Options{
 			FreshPerSort:   o.SpinFresh,
 			MaxStates:      o.MaxStates,
+			MaxMemBytes:    o.MemBudget,
 			Timeout:        o.Timeout(),
 			Workers:        o.Workers,
 			Observer:       observer,

@@ -1,0 +1,164 @@
+package spinlike
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"verifas/internal/fol"
+	"verifas/internal/has"
+	"verifas/internal/ltl"
+	"verifas/internal/workflows"
+)
+
+func verifyOpts(t *testing.T, sys *has.System, prop *Property, opts Options) *Result {
+	t.Helper()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opts.FreshPerSort == 0 {
+		opts.FreshPerSort = 2
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 400000
+	}
+	if opts.MaxBranch == 0 {
+		opts.MaxBranch = 1 << 17
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 120 * time.Second
+	}
+	res, err := Verify(context.Background(), sys, prop, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBitstateDifferential runs the bounded checker in exact and bitstate
+// mode over the standard properties: verdicts and state counts must
+// agree on these small systems (a hash collision is ~2^-128), and only
+// the bitstate run may flag itself lossy.
+func TestBitstateDifferential(t *testing.T) {
+	props := []*Property{
+		{
+			Task:    "ProcessOrders",
+			Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+			Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+		},
+		{
+			Task:    "ProcessOrders",
+			Formula: ltl.MustParse(`F open(ShipItem)`),
+		},
+		{
+			Task:    "CheckCredit",
+			Conds:   map[string]fol.Formula{"decided": fol.MustParse(`c_status != null`)},
+			Formula: ltl.MustParse(`G (close(CheckCredit) -> decided)`),
+		},
+	}
+	for _, buggy := range []bool{false, true} {
+		sys := workflows.OrderFulfillment(buggy)
+		for _, prop := range props {
+			exact := verifyOpts(t, sys, prop, Options{})
+			bit := verifyOpts(t, sys, prop, Options{Bitstate: true})
+			if exact.TimedOut() || bit.TimedOut() {
+				t.Skipf("bounded search exceeded budget (%d/%d states)", exact.Stats.States, bit.Stats.States)
+			}
+			if exact.Holds() != bit.Holds() {
+				t.Errorf("buggy=%v %s: bitstate verdict %v, exact %v",
+					buggy, prop.Formula, bit.Verdict, exact.Verdict)
+			}
+			if exact.Stats.States != bit.Stats.States {
+				t.Errorf("buggy=%v %s: bitstate states %d, exact %d",
+					buggy, prop.Formula, bit.Stats.States, exact.Stats.States)
+			}
+			if exact.Stats.Lossy {
+				t.Error("exact run flagged lossy")
+			}
+			if !bit.Stats.Lossy {
+				t.Error("bitstate run not flagged lossy")
+			}
+		}
+	}
+}
+
+// TestBitstateCoverageReporting: the lossy flag survives into the
+// core-format stats so downstream consumers can see the coverage caveat.
+func TestBitstateCoverageReporting(t *testing.T) {
+	res := verifyOpts(t, workflows.OrderFulfillment(false), &Property{
+		Task:    "ProcessOrders",
+		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
+		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
+	}, Options{Bitstate: true})
+	if !res.Stats.Lossy {
+		t.Fatal("bitstate stats not flagged lossy")
+	}
+	if res.Stats.MemBytes <= 0 {
+		t.Error("bitstate run reports no MemBytes")
+	}
+}
+
+// TestBitstateUsesLessMemory: the whole point of the lossy mode — the
+// per-state accounting must be smaller than exact mode's, which retains
+// full state keys.
+func TestBitstateUsesLessMemory(t *testing.T) {
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Formula: ltl.MustParse(`F open(ShipItem)`),
+	}
+	sys := workflows.OrderFulfillment(false)
+	exact := verifyOpts(t, sys, prop, Options{})
+	bit := verifyOpts(t, sys, prop, Options{Bitstate: true})
+	if exact.TimedOut() || bit.TimedOut() {
+		t.Skip("bounded search exceeded budget")
+	}
+	if bit.Stats.MemBytes >= exact.Stats.MemBytes {
+		t.Errorf("bitstate MemBytes %d not below exact %d", bit.Stats.MemBytes, exact.Stats.MemBytes)
+	}
+}
+
+func TestSpinlikeMemBudget(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Formula: ltl.MustParse(`F open(ShipItem)`),
+	}
+	res := verifyOpts(t, sys, prop, Options{MaxMemBytes: 4 << 10})
+	if !res.BudgetExhausted() {
+		t.Fatalf("verdict = %v, want budget-exhausted under a 4 KiB budget", res.Verdict)
+	}
+	if res.TimedOut() {
+		t.Error("budget verdict must not read as timed-out")
+	}
+	if res.Stats.States == 0 {
+		t.Error("no partial stats on the budget path")
+	}
+	if res.Stats.MemBytes <= 0 {
+		t.Error("no MemBytes in partial stats")
+	}
+
+	// The same run with a generous budget completes with the real verdict.
+	full := verifyOpts(t, sys, prop, Options{MaxMemBytes: 1 << 30})
+	if full.BudgetExhausted() {
+		t.Error("generous budget tripped")
+	}
+	if full.Holds() {
+		t.Error("shipping is not inevitable")
+	}
+}
+
+func TestSpinlikeMemBudgetCoreStats(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	prop := &Property{
+		Task:    "ProcessOrders",
+		Formula: ltl.MustParse(`F open(ShipItem)`),
+	}
+	res := verifyOpts(t, sys, prop, Options{MaxMemBytes: 4 << 10})
+	cs := res.coreStats()
+	if !cs.BudgetExhausted {
+		t.Error("core-format stats missing BudgetExhausted")
+	}
+	if cs.Reachability.MemBytes <= 0 {
+		t.Error("core-format stats missing MemBytes")
+	}
+}

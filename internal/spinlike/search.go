@@ -618,18 +618,38 @@ func varNames(vs []has.Variable) []string {
 // cycles), plus finite-run acceptance.
 
 // checkForGlobals explores the product for one global valuation.
-// It returns (violated, timedOut).
-func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
+// It returns (violated, timedOut, budget); budget marks memory-budget
+// exhaustion (core.VerdictBudget) as opposed to the state/branch/time
+// budgets that map to timedOut.
+func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool, bool) {
 	type nodeRec struct {
 		s     *st
 		succs []int // state ids
 	}
 	var recs []nodeRec
-	idOf := map[string]int{}
+	// Exact mode keys the table by the serialized state (retaining one
+	// key string per state — the dominant memory cost of the search);
+	// bitstate mode keys it by a double 64-bit hash of that string, so
+	// the string is transient. A collision of both hashes (~2⁻¹²⁸ per
+	// pair) silently merges two distinct states: lossy coverage, which is
+	// why Options.Bitstate is opt-in and flagged in Stats.Lossy.
+	var idOf map[string]int
+	var bitOf map[[2]uint64]int
+	if c.bitstate {
+		bitOf = map[[2]uint64]int{}
+	} else {
+		idOf = map[string]int{}
+	}
 
 	intern := func(s *st) (int, bool) {
 		k := c.stateKey(s)
-		if id, ok := idOf[k]; ok {
+		var hk [2]uint64
+		if c.bitstate {
+			hk = doubleHash(k)
+			if id, ok := bitOf[hk]; ok {
+				return id, false
+			}
+		} else if id, ok := idOf[k]; ok {
 			return id, false
 		}
 		id := len(recs)
@@ -637,7 +657,23 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 			c.overflow = true
 			return 0, false
 		}
-		idOf[k] = id
+		// Memory accounting: map entry + nodeRec + state skeleton; the
+		// exact table additionally retains the key string.
+		cost := int64(80)
+		if !c.bitstate {
+			cost += int64(len(k)) + 32
+		}
+		if c.memBudget > 0 && c.memBytes+cost > c.memBudget {
+			c.budgetHit = true
+			c.overflow = true
+			return 0, false
+		}
+		c.memBytes += cost
+		if c.bitstate {
+			bitOf[hk] = id
+		} else {
+			idOf[k] = id
+		}
 		recs = append(recs, nodeRec{s: s})
 		c.interned++
 		return id, true
@@ -692,14 +728,21 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 		return false
 	}
 
+	// stopped maps an overflow/timeout abort to the (timedOut, budget)
+	// pair: the memory budget wins over the state/time budgets because
+	// budgetHit is only ever set together with overflow.
+	stopped := func() (bool, bool, bool) {
+		return false, !c.budgetHit, c.budgetHit
+	}
+
 	var roots []int
 	for _, s := range c.initialStates(gv) {
 		if c.overflow {
-			return false, true
+			return stopped()
 		}
 		id, _ := intern(s)
 		if c.overflow {
-			return false, true
+			return stopped()
 		}
 		roots = append(roots, id)
 	}
@@ -716,18 +759,18 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 		visited[root] = true
 		for len(stack) > 0 {
 			if c.overflow || checkTime() {
-				return false, true
+				return stopped()
 			}
 			c.emitProgress(len(stack), false)
 			f := &stack[len(stack)-1]
 			s := recs[f.id].s
 			// Finite-run acceptance.
 			if s.closed && c.buchi.States[s.node].FinAccepting {
-				return true, false
+				return true, false, false
 			}
 			succs := expand(f.id)
 			if c.overflow {
-				return false, true
+				return stopped()
 			}
 			if f.ei < len(succs) {
 				nid := succs[f.ei]
@@ -741,14 +784,30 @@ func (c *checker) checkForGlobals(gv fol.MapValuation) (bool, bool) {
 			// Post-order: probe accepting states for self-cycles.
 			if !s.closed && c.buchi.States[s.node].Accepting {
 				if inner(f.id) {
-					return true, false
+					return true, false, false
 				}
 				if c.overflow || checkTime() {
-					return false, true
+					return stopped()
 				}
 			}
 			stack = stack[:len(stack)-1]
 		}
 	}
-	return false, false
+	return false, false, false
+}
+
+// doubleHash computes two independent 64-bit hashes of the serialized
+// state for the bitstate table: FNV-1a plus a SplitMix64-style
+// accumulator. Treating the pair as one 128-bit fingerprint puts the
+// per-pair collision probability around 2⁻¹²⁸.
+func doubleHash(s string) [2]uint64 {
+	h1 := uint64(14695981039346656037)
+	h2 := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < len(s); i++ {
+		b := uint64(s[i])
+		h1 = (h1 ^ b) * 1099511628211
+		h2 = (h2 + b) * 0xBF58476D1CE4E5B9
+		h2 ^= h2 >> 29
+	}
+	return [2]uint64{h1, h2}
 }

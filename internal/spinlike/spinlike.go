@@ -45,6 +45,20 @@ type Options struct {
 	// MaxStates bounds the number of distinct product states (default
 	// 200000). Exceeding it aborts with a timed-out verdict.
 	MaxStates int
+	// MaxMemBytes bounds the estimated retained bytes of the search
+	// (state table plus records; 0 = unlimited). Exceeding it aborts
+	// with core.VerdictBudget and partial stats — the explicit-state
+	// analogue of core.Options.MaxMemBytes.
+	MaxMemBytes int64
+	// Bitstate replaces the exact state table (which retains every
+	// state's full serialized key) with a double-64-bit-hash table:
+	// dramatically less memory per state, at the cost of LOSSY coverage —
+	// a hash collision (~2⁻¹²⁸ per pair) silently merges two distinct
+	// states, so a "holds" verdict no longer guarantees full bounded-
+	// domain coverage and a reported cycle could in principle be
+	// fabricated. Off by default; runs that enable it carry
+	// Stats.Lossy = true so downstream consumers can tell.
+	Bitstate bool
 	// Timeout bounds wall-clock time (0 = none).
 	Timeout time.Duration
 	// MaxBranch caps the nondeterministic branching of one transition
@@ -97,10 +111,20 @@ func (r *Result) Holds() bool { return r.Verdict == core.VerdictHolds }
 // TimedOut reports whether the search exhausted its budget.
 func (r *Result) TimedOut() bool { return r.Verdict == core.VerdictTimedOut }
 
+// BudgetExhausted reports whether the memory budget stopped the search.
+func (r *Result) BudgetExhausted() bool { return r.Verdict == core.VerdictBudget }
+
 // Stats reports search effort.
 type Stats struct {
 	States  int
 	Elapsed time.Duration
+	// MemBytes is the estimated retained bytes of the state table(s) —
+	// the memory-budget accounting, not a heap measurement.
+	MemBytes int64
+	// Lossy records that the run used bitstate hashing: state coverage
+	// is probabilistic (see Options.Bitstate) and a "holds" verdict is
+	// weaker than an exact run's.
+	Lossy bool
 }
 
 // rowKey identifies an abstract database row.
@@ -163,6 +187,16 @@ type checker struct {
 	budget   int
 	ctx      context.Context
 	overflow bool
+	// memBudget/memBytes implement MaxMemBytes: estimated retained bytes
+	// of the per-valuation state tables. budgetHit records that overflow
+	// was forced by the memory budget (not MaxStates/MaxBranch), turning
+	// the verdict into core.VerdictBudget.
+	memBudget int64
+	memBytes  int64
+	budgetHit bool
+	// bitstate keys the state table by double 64-bit hash instead of the
+	// serialized state (Options.Bitstate).
+	bitstate bool
 
 	// interned counts distinct product states across all global
 	// valuations (monotone); drives the stride-based Progress events.
@@ -230,16 +264,18 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 		obs.PhaseStart(core.PhaseCompile)
 	}
 	c := &checker{
-		sys:    sys,
-		task:   task,
-		prop:   prop,
-		buchi:  ltl.TranslateCached(ltl.Not(prop.Formula)),
-		opts:   opts,
-		idDom:  map[string][]fol.Value{},
-		budget: opts.MaxStates,
-		ctx:    ctx,
-		obs:    obs,
-		stride: stride,
+		sys:       sys,
+		task:      task,
+		prop:      prop,
+		buchi:     ltl.TranslateCached(ltl.Not(prop.Formula)),
+		opts:      opts,
+		idDom:     map[string][]fol.Value{},
+		budget:    opts.MaxStates,
+		memBudget: opts.MaxMemBytes,
+		bitstate:  opts.Bitstate,
+		ctx:       ctx,
+		obs:       obs,
+		stride:    stride,
 	}
 	c.tasks = sys.Tasks()
 	c.taskIdx = map[string]int{}
@@ -298,12 +334,13 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 	if obs != nil {
 		obs.PhaseStart(core.PhaseReach)
 	}
-	violated, timedOut := c.checkAllGlobals(c.globalValuations())
+	violated, timedOut, budgetHit := c.checkAllGlobals(c.globalValuations())
 	c.emitProgress(0, true)
 	if obs != nil {
 		obs.PhaseEnd(core.PhaseReach, core.PhaseStats{
-			States:  c.interned,
-			Elapsed: time.Since(c.searchStart),
+			States:   c.interned,
+			Elapsed:  time.Since(c.searchStart),
+			MemBytes: c.memBytes,
 		})
 	}
 	if timedOut {
@@ -313,12 +350,16 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 	}
 	res := &Result{Verdict: core.VerdictHolds}
 	switch {
+	case budgetHit:
+		res.Verdict = core.VerdictBudget
 	case timedOut:
 		res.Verdict = core.VerdictTimedOut
 	case violated:
 		res.Verdict = core.VerdictViolated
 	}
 	res.Stats.States = c.interned
+	res.Stats.MemBytes = c.memBytes
+	res.Stats.Lossy = opts.Bitstate
 	res.Stats.Elapsed = time.Since(start)
 	if obs != nil {
 		obs.Verdict(core.VerdictEvent{Verdict: res.Verdict, Stats: res.coreStats()})
@@ -330,9 +371,14 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 // shape (the whole NDFS counts as the reachability phase).
 func (r *Result) coreStats() core.Stats {
 	return core.Stats{
-		Reachability: core.PhaseStats{States: r.Stats.States, Elapsed: r.Stats.Elapsed},
-		Elapsed:      r.Stats.Elapsed,
-		TimedOut:     r.Verdict == core.VerdictTimedOut,
+		Reachability: core.PhaseStats{
+			States:   r.Stats.States,
+			Elapsed:  r.Stats.Elapsed,
+			MemBytes: r.Stats.MemBytes,
+		},
+		Elapsed:         r.Stats.Elapsed,
+		TimedOut:        r.Verdict == core.VerdictTimedOut,
+		BudgetExhausted: r.Verdict == core.VerdictBudget,
 	}
 }
 
@@ -345,24 +391,25 @@ func (r *Result) coreStats() core.Stats {
 // in valuation order, so the verdict matches the sequential one; a
 // valuation is skipped only when an earlier one has already decided,
 // which the sequential loop would never have reached either.
-func (c *checker) checkAllGlobals(gvs []fol.MapValuation) (bool, bool) {
+func (c *checker) checkAllGlobals(gvs []fol.MapValuation) (bool, bool, bool) {
 	workers := c.opts.Workers
 	if workers > len(gvs) {
 		workers = len(gvs)
 	}
 	if workers <= 1 {
 		for _, gv := range gvs {
-			violated, timedOut := c.checkForGlobals(gv)
-			if violated || timedOut {
-				return violated, timedOut
+			violated, timedOut, budget := c.checkForGlobals(gv)
+			if violated || timedOut || budget {
+				return violated, timedOut, budget
 			}
 		}
-		return false, false
+		return false, false, false
 	}
 
 	type gvResult struct {
-		violated, timedOut bool
-		states             int
+		violated, timedOut, budget bool
+		states                     int
+		memBytes                   int64
 	}
 	results := make([]gvResult, len(gvs))
 	var next atomic.Int64
@@ -386,10 +433,15 @@ func (c *checker) checkAllGlobals(gvs []fol.MapValuation) (bool, bool) {
 				sub := *c
 				sub.overflow = false
 				sub.interned = 0
+				sub.memBytes = 0
+				sub.budgetHit = false
 				sub.obs = nil // per-run Observers are not concurrency-safe
-				violated, timedOut := sub.checkForGlobals(gvs[i])
-				results[i] = gvResult{violated: violated, timedOut: timedOut, states: sub.interned}
-				if violated || timedOut {
+				violated, timedOut, budget := sub.checkForGlobals(gvs[i])
+				results[i] = gvResult{
+					violated: violated, timedOut: timedOut, budget: budget,
+					states: sub.interned, memBytes: sub.memBytes,
+				}
+				if violated || timedOut || budget {
 					for {
 						cur := decided.Load()
 						if int64(i) >= cur || decided.CompareAndSwap(cur, int64(i)) {
@@ -401,14 +453,17 @@ func (c *checker) checkAllGlobals(gvs []fol.MapValuation) (bool, bool) {
 		}()
 	}
 	wg.Wait()
-	violated, timedOut := false, false
+	violated, timedOut, budget := false, false, false
 	for _, r := range results {
 		c.interned += r.states
-		if !violated && !timedOut {
-			violated, timedOut = r.violated, r.timedOut
+		c.memBytes += r.memBytes
+		if !violated && !timedOut && !budget {
+			violated, timedOut, budget = r.violated, r.timedOut, r.budget
 		}
 	}
-	return violated, timedOut
+	// The parent's budgetHit drives the verdict mapping in Verify.
+	c.budgetHit = budget
+	return violated, timedOut, budget
 }
 
 func (c *checker) globalValuations() []fol.MapValuation {

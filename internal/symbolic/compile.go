@@ -161,6 +161,10 @@ type Options struct {
 	Filter EdgeFilter
 	// DNFLimit caps condition DNF expansion (0 = fol.DefaultDNFLimit).
 	DNFLimit int
+	// Interner hash-conses the pisotypes retained in states (nil disables
+	// interning). Structurally equal types collapse onto one shared
+	// allocation and compare by pointer; see Interner.
+	Interner *Interner
 }
 
 // TaskSystem is the compiled symbolic transition system of one task's
@@ -656,10 +660,10 @@ func (ts *TaskSystem) Initial() []*PSI {
 	var taus []*Pisotype
 	if ts.globalPre != nil {
 		for _, t := range ts.globalPre.Extend(tau) {
-			taus = append(taus, t.Project(ts.keepState))
+			taus = append(taus, ts.InternType(t.Project(ts.keepState)))
 		}
 	} else {
-		taus = []*Pisotype{tau}
+		taus = []*Pisotype{ts.InternType(tau)}
 	}
 	out := make([]*PSI, 0, len(taus))
 	for _, t := range taus {
@@ -732,7 +736,7 @@ func (ts *TaskSystem) Successors(p *PSI) []Succ {
 		}
 		if ts.closePre != nil {
 			for _, t0 := range ts.closePre.Extend(p.Tau) {
-				t1 := t0.Project(ts.keepState)
+				t1 := ts.InternType(t0.Project(ts.keepState))
 				emit(Succ{
 					Ref:     ServiceRef{Kind: SvcCloseSelf, Name: ts.Task.Name},
 					Next:    NewPSI(t1, p.Bags, p.Mask),
@@ -745,16 +749,16 @@ func (ts *TaskSystem) Successors(p *PSI) []Succ {
 		c := &ts.children[i]
 		if p.Mask&c.bit == 0 {
 			for _, t0 := range c.openPre.Extend(p.Tau) {
-				t1 := t0.Project(ts.keepState)
+				t1 := ts.InternType(t0.Project(ts.keepState))
 				emit(Succ{
 					Ref:  ServiceRef{Kind: SvcOpenChild, Name: c.name, Index: i},
 					Next: NewPSI(t1, p.Bags, p.Mask|c.bit),
 				})
 			}
 		} else {
-			t1 := p.Tau.Project(func(root ExprID) bool {
+			t1 := ts.InternType(p.Tau.Project(func(root ExprID) bool {
 				return ts.keepState(root) && !c.returnedRoots[root]
-			})
+			}))
 			emit(Succ{
 				Ref:  ServiceRef{Kind: SvcCloseChild, Name: c.name, Index: i},
 				Next: NewPSI(t1, p.Bags, p.Mask&^c.bit),
@@ -783,6 +787,7 @@ func (ts *TaskSystem) internalSuccs(p *PSI, cs *compiledService, emit func(Succ)
 			if inserted == nil {
 				continue
 			}
+			inserted = ts.InternType(inserted)
 		}
 		// Propagate ȳ (plus globals and constants); witnesses drop.
 		t1 := t0.Project(func(root ExprID) bool {
@@ -792,7 +797,7 @@ func (ts *TaskSystem) internalSuccs(p *PSI, cs *compiledService, emit func(Succ)
 			return cs.propRoots[root]
 		})
 		for _, t2 := range cs.post.Extend(t1) {
-			t3 := t2.Project(ts.keepState)
+			t3 := ts.InternType(t2.Project(ts.keepState))
 			switch cs.upd {
 			case updNone:
 				emit(Succ{Ref: cs.ref, Next: NewPSI(t3, p.Bags, p.Mask)})
@@ -809,6 +814,7 @@ func (ts *TaskSystem) internalSuccs(p *PSI, cs *compiledService, emit func(Succ)
 					if !t4.MergeTransported(st.Type, cs.retrievePairs) {
 						continue
 					}
+					t4 = ts.InternType(t4)
 					bags := append([]Bag(nil), p.Bags...)
 					bags[cs.relIdx] = bags[cs.relIdx].WithDelta(st.Type, -1)
 					emit(Succ{Ref: cs.ref, Next: NewPSI(t4, bags, p.Mask)})
@@ -889,3 +895,21 @@ func (ts *TaskSystem) InitialNullRoots() []ExprID {
 // SetFilter attaches the static-analysis edge filter. It must be called
 // before Initial() so every pisotype created by the system inherits it.
 func (ts *TaskSystem) SetFilter(f EdgeFilter) { ts.Opts.Filter = f }
+
+// SetInterner attaches a hash-consing table for the pisotypes retained in
+// states. Like SetFilter it must be called before Initial(). Interning is
+// semantically transparent — every mutating path clones before writing —
+// so it changes only memory retention, never verdicts.
+func (ts *TaskSystem) SetInterner(in *Interner) { ts.Opts.Interner = in }
+
+// Interner returns the attached intern table (nil when interning is off).
+func (ts *TaskSystem) Interner() *Interner { return ts.Opts.Interner }
+
+// InternType canonicalizes a pisotype through the attached interner; the
+// identity when no interner is attached. Nil-safe in both arguments.
+func (ts *TaskSystem) InternType(t *Pisotype) *Pisotype {
+	if ts.Opts.Interner == nil {
+		return t
+	}
+	return ts.Opts.Interner.Intern(t)
+}

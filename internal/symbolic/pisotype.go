@@ -466,7 +466,12 @@ func (t *Pisotype) Hash() uint64 {
 }
 
 // Equal reports whether two types have identical constraint sets.
+// Interned types (see Interner) compare by pointer without touching the
+// edge sets.
 func (t *Pisotype) Equal(o *Pisotype) bool {
+	if t == o {
+		return true
+	}
 	a, b := t.Edges(), o.Edges()
 	if len(a) != len(b) {
 		return false
@@ -482,6 +487,9 @@ func (t *Pisotype) Equal(o *Pisotype) bool {
 // Implies reports τ |= τ' (paper Section 3.5): every constraint of o is a
 // constraint of t, i.e. o's closed edge set is a subset of t's.
 func (t *Pisotype) Implies(o *Pisotype) bool {
+	if t == o {
+		return true
+	}
 	return subsetSorted(o.Edges(), t.Edges())
 }
 
@@ -653,6 +661,26 @@ func (t *Pisotype) MergeFrom(src *Pisotype) bool {
 // NumConstraints returns the size of the canonical edge set (a measure of
 // how constrained the type is).
 func (t *Pisotype) NumConstraints() int { return len(t.Edges()) }
+
+// SizeBytes deterministically estimates the retained heap size of the
+// type: struct header, union-find array, constraint maps, and the sealed
+// canonical edge set. It is an accounting estimate for the memory-budget
+// machinery (deliberately ignoring allocator rounding and map bucket
+// internals), not a precise measurement — what matters is that it is a
+// pure function of the type's contents, so budget cutoffs are
+// reproducible across runs.
+func (t *Pisotype) SizeBytes() int {
+	sz := 160 + 4*len(t.parent) // struct + slice headers + parent array
+	for _, ms := range t.members {
+		sz += 48 + 4*len(ms)
+	}
+	for _, adj := range t.neq {
+		sz += 48 + 16*len(adj)
+	}
+	sz += 16 * (len(t.constOf) + len(t.delegate) + len(t.hasNav))
+	sz += 8 * len(t.Edges())
+	return sz
+}
 
 // String renders the constraints for diagnostics.
 func (t *Pisotype) String() string {

@@ -1,0 +1,164 @@
+package vass
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sizedVec wraps Vec with a fixed per-state estimate so tests can verify
+// the Sized fast path of the memory accounting.
+type sizedVec struct {
+	*Vec
+	perState int
+}
+
+func (s *sizedVec) StateBytes(State) int { return s.perState }
+
+func TestMemBytesAccounting(t *testing.T) {
+	v := &Vec{
+		Dim:  1,
+		Init: VConfig{Loc: 0, C: []Count{1}},
+		Trans: []VTrans{
+			{From: 0, To: 1, Delta: []Count{0}},
+			{From: 1, To: 2, Delta: []Count{-1}},
+		},
+	}
+	tree, err := Explore(v, Options{Prune: true, Accelerate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vec does not implement Sized: each node costs the fallback estimate.
+	want := int64(len(tree.Nodes)) * (nodeOverheadBytes + defaultStateBytes)
+	if tree.MemBytes != want {
+		t.Errorf("MemBytes = %d, want %d (%d nodes)", tree.MemBytes, want, len(tree.Nodes))
+	}
+
+	sized := &sizedVec{Vec: v, perState: 1000}
+	tree2, err := Explore(sized, Options{Prune: true, Accelerate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := int64(len(tree2.Nodes)) * (nodeOverheadBytes + 1000)
+	if tree2.MemBytes != want2 {
+		t.Errorf("sized MemBytes = %d, want %d", tree2.MemBytes, want2)
+	}
+}
+
+func TestMemBudgetExhausted(t *testing.T) {
+	// Unbounded growth without acceleration must hit the memory budget
+	// well before the (absent) state budget.
+	v := &Vec{
+		Dim:   1,
+		Init:  VConfig{Loc: 0, C: []Count{0}},
+		Trans: []VTrans{{From: 0, To: 0, Delta: []Count{1}}},
+	}
+	tree, err := Explore(v, Options{Prune: false, Accelerate: false,
+		MaxStates: 1 << 30, MaxMemBytes: 10 * (nodeOverheadBytes + defaultStateBytes)})
+	if err != ErrMemBudget {
+		t.Fatalf("expected ErrMemBudget, got %v", err)
+	}
+	// The partial tree is returned for partial stats.
+	if tree == nil || len(tree.Nodes) == 0 {
+		t.Fatal("no partial tree on the budget path")
+	}
+	if tree.MemBytes <= 0 {
+		t.Error("partial tree reports no MemBytes")
+	}
+}
+
+func TestMemBudgetCountsMemExtra(t *testing.T) {
+	v := &Vec{
+		Dim:   1,
+		Init:  VConfig{Loc: 0, C: []Count{0}},
+		Trans: []VTrans{{From: 0, To: 0, Delta: []Count{1}}},
+	}
+	// A MemExtra larger than the budget must trip it immediately even
+	// though the tree itself is tiny.
+	_, err := Explore(v, Options{Prune: true, Accelerate: true,
+		MaxMemBytes: 1 << 20, MemExtra: func() int64 { return 2 << 20 }})
+	if err != ErrMemBudget {
+		t.Fatalf("expected ErrMemBudget via MemExtra, got %v", err)
+	}
+	// Same budget without the extra completes.
+	if _, err := Explore(v, Options{Prune: true, Accelerate: true,
+		MaxMemBytes: 1 << 20}); err != nil {
+		t.Fatalf("budget without MemExtra should pass: %v", err)
+	}
+}
+
+func TestZeroMemBudgetUnlimited(t *testing.T) {
+	v := &Vec{
+		Dim:   1,
+		Init:  VConfig{Loc: 0, C: []Count{0}},
+		Trans: []VTrans{{From: 0, To: 0, Delta: []Count{1}}},
+	}
+	if _, err := Explore(v, Options{Prune: true, Accelerate: true, MaxMemBytes: 0}); err != nil {
+		t.Fatalf("zero budget must mean unlimited: %v", err)
+	}
+}
+
+// TestChildLinks verifies the intrusive child list of the arena nodes:
+// walking firstChild/nextSibling must enumerate exactly the nodes whose
+// Parent pointer names the walked node, in creation order.
+func TestChildLinks(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		v := randomVASS(r)
+		tree, err := Explore(v, Options{Prune: trial%2 == 0, Accelerate: true, MaxStates: 5000})
+		if err != nil {
+			continue
+		}
+		byParent := make(map[*Node][]*Node)
+		for _, n := range tree.Nodes {
+			if n.Parent != nil {
+				byParent[n.Parent] = append(byParent[n.Parent], n)
+			}
+		}
+		for _, n := range tree.Nodes {
+			var walked []*Node
+			for cid := n.firstChild; cid >= 0; cid = tree.Nodes[cid].nextSibling {
+				walked = append(walked, tree.Nodes[cid])
+			}
+			want := byParent[n]
+			if len(walked) != len(want) {
+				t.Fatalf("trial %d: node %d has %d linked children, want %d",
+					trial, n.ID, len(walked), len(want))
+			}
+			for i := range walked {
+				if walked[i] != want[i] {
+					t.Fatalf("trial %d: node %d child %d mismatch", trial, n.ID, i)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaPointerStability: node pointers handed out by the arena must
+// stay valid (addressing the same node) as the tree grows across block
+// boundaries.
+func TestArenaPointerStability(t *testing.T) {
+	v := &Vec{
+		Dim:  2,
+		Init: VConfig{Loc: 0, C: []Count{0, 0}},
+		Trans: []VTrans{
+			{From: 0, To: 0, Delta: []Count{1, 0}},
+			{From: 0, To: 0, Delta: []Count{0, 1}},
+		},
+	}
+	// Force well past one arena block (1024 nodes) without acceleration.
+	tree, err := Explore(v, Options{Prune: false, Accelerate: false, MaxStates: 3 * nodeArenaBlock})
+	if err != nil && err != ErrBudget {
+		t.Fatal(err)
+	}
+	if len(tree.Nodes) <= nodeArenaBlock {
+		t.Fatalf("tree too small (%d nodes) to cross an arena block", len(tree.Nodes))
+	}
+	for i, n := range tree.Nodes {
+		if n.ID != i {
+			t.Fatalf("Nodes[%d].ID = %d; pointer moved or IDs corrupt", i, n.ID)
+		}
+		if n.Parent != nil && tree.Nodes[n.Parent.ID] != n.Parent {
+			t.Fatalf("node %d's Parent pointer does not match Nodes[%d]", i, n.Parent.ID)
+		}
+	}
+}

@@ -42,7 +42,11 @@ type System interface {
 	IndexSet(s State) []uint64
 }
 
-// Node is a node of the Karp-Miller tree.
+// Node is a node of the Karp-Miller tree. Nodes are allocated in
+// fixed-size arena blocks (see nodeArena) and linked to their children
+// through int32 indexes into Tree.Nodes rather than per-node pointer
+// slices, so a tree of N nodes costs a handful of large allocations
+// instead of 2N small ones.
 type Node struct {
 	S      State
 	Label  any // label of the edge from Parent
@@ -51,13 +55,38 @@ type Node struct {
 
 	Active    bool
 	processed bool
-	children  []*Node
+	// firstChild/lastChild/nextSibling thread the children as an
+	// intrusive singly-linked list of Tree.Nodes indexes (-1 = none):
+	// children replace a per-node []*Node slice, the single biggest
+	// per-node allocation of the seed implementation.
+	firstChild  int32
+	lastChild   int32
+	nextSibling int32
 	// subtreeKilled caches that this node and every descendant are
 	// inactive, making repeated deactivation sweeps O(1).
 	subtreeKilled bool
 	// task is the node's pending successor prefetch when the exploration
 	// runs with Workers > 1; nil in sequential mode.
 	task *succTask
+}
+
+// nodeArena hands out Node values from fixed-size blocks. Blocks are
+// never reallocated (only a fresh block is started when the current one
+// fills), so &block[i] pointers stay valid for the life of the tree —
+// Tree.Nodes and Node.Parent keep their pointer-based API.
+type nodeArena struct {
+	cur []Node
+}
+
+// nodeArenaBlock is the arena block size in nodes.
+const nodeArenaBlock = 1024
+
+func (a *nodeArena) alloc() *Node {
+	if len(a.cur) == cap(a.cur) {
+		a.cur = make([]Node, 0, nodeArenaBlock)
+	}
+	a.cur = a.cur[:len(a.cur)+1]
+	return &a.cur[len(a.cur)-1]
 }
 
 // Path returns the labels and states from the root to this node.
@@ -96,6 +125,19 @@ type Options struct {
 	// MaxStates aborts the search after creating this many nodes
 	// (0 = unlimited).
 	MaxStates int
+	// MaxMemBytes aborts the search (ErrMemBudget) once the estimated
+	// retained bytes of the tree — per-node overhead plus the domain's
+	// StateBytes estimates (see Sized) plus MemExtra — exceed this budget
+	// (0 = unlimited). The estimate is deterministic accounting, not a
+	// heap measurement: the same search hits the same cutoff on every
+	// run (modulo MemExtra, whose sampling point can shift with
+	// Workers > 1, exactly like wall-clock timeouts).
+	MaxMemBytes int64
+	// MemExtra, if set, reports additional retained bytes charged
+	// against MaxMemBytes beyond the per-node estimates — typically the
+	// shared intern table, which per-state estimates must exclude to
+	// avoid double counting.
+	MemExtra func() int64
 	// Workers sets the number of goroutines that precompute
 	// System.Successors for frontier nodes. Values <= 1 keep the
 	// exploration fully sequential. With N > 1 workers the expensive,
@@ -152,6 +194,9 @@ type Progress struct {
 	// served by a worker rather than computed inline; Prefetched /
 	// Created approximates worker utilization.
 	Prefetched int
+	// MemBytes is the estimated retained bytes of the tree so far
+	// (per-node estimates plus MemExtra; see Options.MaxMemBytes).
+	MemBytes int64
 }
 
 // DefaultProgressStride is the node-creation stride between OnProgress
@@ -163,6 +208,28 @@ const DefaultProgressStride = 8192
 // context.Canceled) instead.
 var ErrBudget = errors.New("vass: state budget exceeded")
 
+// ErrMemBudget is returned when the estimated retained bytes exceed
+// Options.MaxMemBytes. Like ErrBudget, the partial tree built so far is
+// still returned alongside the error.
+var ErrMemBudget = errors.New("vass: memory budget exceeded")
+
+// Sized is optionally implemented by a System to report the estimated
+// unique retained bytes of one state (excluding structure shared with
+// other states, such as interned types — those are charged once via
+// Options.MemExtra). Without it the memory accounting falls back to a
+// flat per-state constant.
+type Sized interface {
+	StateBytes(s State) int
+}
+
+// Per-node accounting constants: the Node struct plus its Tree.Nodes and
+// byKey entries, and the fallback state estimate when the System does not
+// implement Sized.
+const (
+	nodeOverheadBytes = 136
+	defaultStateBytes = 160
+)
+
 // Tree is the result of an exploration.
 type Tree struct {
 	Roots []*Node
@@ -172,6 +239,10 @@ type Tree struct {
 	Stopped bool
 	// Stats counters.
 	Created, Pruned, Skipped, Accelerations int
+	// MemBytes is the estimated retained bytes of the tree (per-node
+	// overhead plus state estimates; MemExtra is not folded in because it
+	// describes structure outside the tree).
+	MemBytes int64
 }
 
 // Active returns the active nodes — with pruning these form the
@@ -191,6 +262,7 @@ func (t *Tree) Active() []*Node {
 // (ErrBudget), or until opts.Ctx is done (its ctx.Err()).
 func Explore(sys System, opts Options) (*Tree, error) {
 	e := &explorer{sys: sys, opts: opts, tree: &Tree{}, byKey: map[uint64][]*Node{}}
+	e.sized, _ = sys.(Sized)
 	if opts.UseIndex {
 		e.idx = newActIndex()
 	}
@@ -219,6 +291,7 @@ func Explore(sys System, opts Options) (*Tree, error) {
 			p.Inflight = int(e.pool.inflight.Load())
 			p.Prefetched = e.prefetched
 		}
+		p.MemBytes = e.memTotal()
 		opts.OnProgress(p)
 	}
 	var work []*Node
@@ -241,6 +314,9 @@ func Explore(sys System, opts Options) (*Tree, error) {
 	for len(work) > 0 {
 		if opts.MaxStates > 0 && e.tree.Created > opts.MaxStates {
 			return finish(e.tree, ErrBudget)
+		}
+		if opts.MaxMemBytes > 0 && e.memTotal() > opts.MaxMemBytes {
+			return finish(e.tree, ErrMemBudget)
 		}
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
@@ -292,10 +368,24 @@ type explorer struct {
 	byKey map[uint64][]*Node
 	idx   *actIndex
 	stop  bool
+	// arena block-allocates the tree's nodes.
+	arena nodeArena
+	// sized is non-nil when the System reports per-state byte estimates.
+	sized Sized
 	// pool is the successor prefetch pool (nil when Workers <= 1).
 	pool *prefetchPool
 	// prefetched counts nodes whose successors a worker served.
 	prefetched int
+}
+
+// memTotal is the budget-accounting sum: tree estimate plus shared
+// extras (intern table).
+func (e *explorer) memTotal() int64 {
+	total := e.tree.MemBytes
+	if e.opts.MemExtra != nil {
+		total += e.opts.MemExtra()
+	}
+	return total
 }
 
 // fetchSuccessors returns succ(n.S): computed inline in sequential mode,
@@ -378,13 +468,28 @@ func (e *explorer) newNode(s State, label any, parent *Node) *Node {
 		// coordinator before the state is published to workers.
 		key = e.sys.Key(s)
 	}
-	n := &Node{S: s, Label: label, Parent: parent, Active: true, ID: len(e.tree.Nodes)}
+	n := e.arena.alloc()
+	*n = Node{
+		S: s, Label: label, Parent: parent, Active: true,
+		ID:         len(e.tree.Nodes),
+		firstChild: -1, lastChild: -1, nextSibling: -1,
+	}
 	e.tree.Nodes = append(e.tree.Nodes, n)
 	e.tree.Created++
+	stateBytes := defaultStateBytes
+	if e.sized != nil {
+		stateBytes = e.sized.StateBytes(s)
+	}
+	e.tree.MemBytes += int64(nodeOverheadBytes + stateBytes)
 	if parent == nil {
 		e.tree.Roots = append(e.tree.Roots, n)
 	} else {
-		parent.children = append(parent.children, n)
+		if parent.firstChild < 0 {
+			parent.firstChild = int32(n.ID)
+		} else {
+			e.tree.Nodes[parent.lastChild].nextSibling = int32(n.ID)
+		}
+		parent.lastChild = int32(n.ID)
 		// The new active node invalidates any killed-subtree caches on
 		// its ancestor chain.
 		for a := parent; a != nil && a.subtreeKilled; a = a.Parent {
@@ -418,8 +523,8 @@ func (e *explorer) deactivateSubtree(m *Node) {
 		m.Active = false
 		e.tree.Pruned++
 	}
-	for _, c := range m.children {
-		e.deactivateSubtree(c)
+	for cid := m.firstChild; cid >= 0; cid = e.tree.Nodes[cid].nextSibling {
+		e.deactivateSubtree(e.tree.Nodes[cid])
 	}
 	m.subtreeKilled = true
 }
