@@ -226,11 +226,7 @@ func BenchmarkRRStrategyAblation(b *testing.B) {
 }
 
 func runWithRRMode(spec *benchmark.Spec, prop *core.Property, aggressive bool, cfg benchmark.Config) benchmark.Run {
-	res, err := core.Verify(context.Background(), spec.Sys, prop, core.Options{
-		MaxStates:    cfg.MaxStates,
-		Timeout:      cfg.Timeout,
-		AggressiveRR: aggressive,
-	})
+	res, err := core.Verify(context.Background(), spec.Sys, prop, core.Options{Budget: core.Budget{MaxStates: cfg.MaxStates, Timeout: cfg.Timeout}, AggressiveRR: aggressive})
 	run := benchmark.Run{Spec: spec, Template: prop.Name}
 	if err != nil {
 		run.Fail = true

@@ -32,6 +32,7 @@ import (
 	"verifas/internal/concrete"
 	"verifas/internal/core"
 	"verifas/internal/cyclo"
+	"verifas/internal/engines"
 	"verifas/internal/has"
 	"verifas/internal/memsize"
 	"verifas/internal/obs"
@@ -50,6 +51,8 @@ func run() int {
 	var (
 		propName  = flag.String("prop", "", "verify only the named property")
 		engine    = flag.String("engine", "verifas", "verification engine: verifas or spinlike")
+		engineCSV = flag.String("engines", "", "comma-separated engine portfolio to race per property (e.g. verifas,spinlike); the first decisive verdict wins and the losers are canceled")
+		portfolio = flag.Bool("portfolio", false, "race the default engine portfolio ("+strings.Join(engines.DefaultPortfolio, ",")+"); -engines overrides the set")
 		noSet     = flag.Bool("noset", false, "ignore artifact relations (VERIFAS-NoSet)")
 		noSP      = flag.Bool("nosp", false, "disable ⪯ state pruning")
 		noSA      = flag.Bool("nosa", false, "disable static analysis")
@@ -82,6 +85,18 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error: -mem-budget:", err)
 		return 2
+	}
+	engineList := portfolioNames(*engineCSV, *portfolio)
+	budget := core.Budget{Timeout: *timeout, MaxStates: *maxStates, MaxMemBytes: memBytes, Workers: *searchJ}
+	var contenders []core.Engine
+	if len(engineList) > 0 && *server == "" {
+		// Contenders carry the shared budget but run unobserved; the
+		// portfolio-level observer gets the engine-start/engine-done stream.
+		contenders, err = engines.Default().BuildAll(engineList, budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error: -engines:", err)
+			return 2
+		}
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -154,11 +169,16 @@ func run() int {
 	// reports are produced concurrently and printed in property order.
 	verifyProp := func(prop *core.Property) (string, int) {
 		var sb strings.Builder
+		if contenders != nil {
+			return portfolioReport(ctx, file, prop, contenders, observerFor(prop), *showTrace, *showStats, *witness)
+		}
 		switch *engine {
 		case "spinlike":
+			b := budget
+			b.Observer = observerFor(prop)
 			res, err := spinlike.Verify(ctx, file.System, &spinlike.Property{
 				Task: prop.Task, Globals: prop.Globals, Conds: prop.Conds, Formula: prop.Formula,
-			}, spinlike.Options{Timeout: *timeout, Workers: *searchJ, MaxMemBytes: memBytes, Observer: observerFor(prop)})
+			}, spinlike.Options{Budget: b})
 			if err != nil {
 				fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
 				return sb.String(), 2
@@ -178,17 +198,15 @@ func run() int {
 				return sb.String(), 1
 			}
 		default:
+			b := budget
+			b.Observer = observerFor(prop)
 			res, err := core.Verify(ctx, file.System, prop, core.Options{
+				Budget:                   b,
 				IgnoreSets:               *noSet,
 				NoStatePruning:           *noSP,
 				NoStaticAnalysis:         *noSA,
 				NoIndexes:                *noDSS,
 				SkipRepeatedReachability: *noRR,
-				Timeout:                  *timeout,
-				MaxStates:                *maxStates,
-				MaxMemBytes:              memBytes,
-				Workers:                  *searchJ,
-				Observer:                 observerFor(prop),
 			})
 			if err != nil {
 				fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
@@ -240,6 +258,7 @@ func run() int {
 	if *server != "" {
 		verify = remoteVerifier(ctx, *server, string(src), file, remoteFlags{
 			engine:    *engine,
+			engines:   engineList,
 			noSet:     *noSet,
 			noSP:      *noSP,
 			noSA:      *noSA,
@@ -302,6 +321,7 @@ func run() int {
 // options and report formatting.
 type remoteFlags struct {
 	engine                         string
+	engines                        []string
 	noSet, noSP, noSA, noDSS, noRR bool
 	timeout                        time.Duration
 	maxStates                      int
@@ -328,6 +348,12 @@ func remoteVerifier(ctx context.Context, addr, src string, file *spec.File, rf r
 		MaxStates:                rf.maxStates,
 		MemBudget:                rf.memBudget,
 		Workers:                  rf.searchJ,
+	}
+	if len(rf.engines) > 0 {
+		// Portfolio mode: the daemon rejects engine+engines together, and
+		// the per-engine knobs don't apply to preconfigured contenders.
+		ropts.Engine = ""
+		ropts.Engines = rf.engines
 	}
 	var encMu sync.Mutex
 	var enc *json.Encoder
@@ -416,6 +442,90 @@ func remoteVerifier(ctx context.Context, addr, src string, file *spec.File, rf r
 		}
 		return sb.String(), code
 	}
+}
+
+// portfolioNames resolves the -engines/-portfolio flags into the ordered
+// contender list (nil when portfolio mode is off). The order is the
+// deterministic tie-break priority.
+func portfolioNames(csv string, useDefault bool) []string {
+	if csv != "" {
+		var names []string
+		for _, n := range strings.Split(csv, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		return names
+	}
+	if useDefault {
+		return append([]string(nil), engines.DefaultPortfolio...)
+	}
+	return nil
+}
+
+// portfolioReport races the contenders on one property and renders the
+// merged report. Engine disagreement on a decisive verdict surfaces as a
+// hard error (exit 2), never as a silently merged verdict.
+func portfolioReport(ctx context.Context, file *spec.File, prop *core.Property, contenders []core.Engine, observer core.Observer, showTrace, showStats, witness bool) (string, int) {
+	var sb strings.Builder
+	res, err := core.VerifyPortfolio(ctx, file.System, prop, core.PortfolioOptions{
+		Engines:  contenders,
+		Observer: observer,
+	})
+	if err != nil {
+		fmt.Fprintf(&sb, "%s: error: %v\n", prop.Name, err)
+		return sb.String(), 2
+	}
+	note := ""
+	if p := res.Portfolio; p != nil && p.Winner != "" {
+		note = ", won by " + p.Winner
+	}
+	elapsed := res.Stats.Elapsed.Round(time.Millisecond)
+	states := res.Stats.StatesExplored()
+	code := 0
+	switch {
+	case res.BudgetExhausted():
+		fmt.Fprintf(&sb, "%-30s BUDGET   (%s, %d states, memory budget exhausted%s)\n", prop.Name, elapsed, states, note)
+		code = 2
+	case res.TimedOut():
+		fmt.Fprintf(&sb, "%-30s TIMEOUT  (%s, %d states%s)\n", prop.Name, elapsed, states, note)
+		code = 2
+	case res.Holds():
+		fmt.Fprintf(&sb, "%-30s HOLDS    (%s, %d states%s)\n", prop.Name, elapsed, states, note)
+	default:
+		kind := ""
+		if res.Violation != nil {
+			kind = res.Violation.Kind + " "
+		}
+		fmt.Fprintf(&sb, "%-30s VIOLATED (%s, %d states, %scounterexample%s)\n", prop.Name, elapsed, states, kind, note)
+		if res.Violation != nil {
+			if showTrace {
+				printTrace(&sb, res.Violation)
+			}
+			if witness && prop.Task == file.System.Root.Name {
+				replayWitness(&sb, file.System, prefixAtoms(res.Violation))
+			}
+		}
+		code = 1
+	}
+	if showStats && res.Portfolio != nil {
+		for _, o := range res.Portfolio.Engines {
+			status := o.Verdict.String()
+			switch {
+			case o.Canceled:
+				status = "canceled"
+			case o.Error != "":
+				status = "error: " + o.Error
+			}
+			mark := " "
+			if o.Winner {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, "  %s %-22s %-16s %10s  states=%d\n",
+				mark, o.Engine, status, o.Elapsed.Round(time.Millisecond), o.States)
+		}
+	}
+	return sb.String(), code
 }
 
 // replayWitness tries to realize a counterexample prefix — given as the

@@ -62,7 +62,7 @@ func main() {
 		}
 		fmt.Printf("== %s ==\n", variant.label)
 		for _, prop := range []*core.Property{guard, dagger} {
-			res, err := core.Verify(context.Background(), sys, prop, core.Options{Timeout: 60 * time.Second})
+			res, err := core.Verify(context.Background(), sys, prop, core.Options{Budget: core.Budget{Timeout: 60 * time.Second}})
 			if err != nil {
 				log.Fatal(err)
 			}

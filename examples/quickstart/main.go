@@ -78,7 +78,7 @@ func main() {
 	}
 
 	verify := func(prop *core.Property) {
-		res, err := core.Verify(context.Background(), sys, prop, core.Options{Timeout: 30 * time.Second})
+		res, err := core.Verify(context.Background(), sys, prop, core.Options{Budget: core.Budget{Timeout: 30 * time.Second}})
 		if err != nil {
 			log.Fatal(err)
 		}

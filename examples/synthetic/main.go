@@ -51,8 +51,10 @@ func main() {
 	fmt.Println("\nverifying the 12 Table 4 template properties of the root task:")
 	for i, prop := range props {
 		res, err := core.Verify(context.Background(), sys, prop, core.Options{
-			Timeout:   20 * time.Second,
-			MaxStates: 300_000,
+			Budget: core.Budget{
+				Timeout:   20 * time.Second,
+				MaxStates: 300_000,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -54,7 +54,7 @@ func main() {
 		},
 	}
 	for _, prop := range props {
-		res, err := core.Verify(context.Background(), sys, prop, core.Options{Timeout: 60 * time.Second})
+		res, err := core.Verify(context.Background(), sys, prop, core.Options{Budget: core.Budget{Timeout: 60 * time.Second}})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -270,7 +270,9 @@ func RROverhead(ctx context.Context, real, synthetic []*Spec, cfg Config) string
 // verifier on a named property.
 func VerifyOne(ctx context.Context, spec *Spec, prop *core.Property, cfg Config) (*core.Result, error) {
 	return core.Verify(ctx, spec.Sys, prop, core.Options{
-		MaxStates: cfg.MaxStates,
-		Timeout:   cfg.Timeout,
+		Budget: core.Budget{
+			MaxStates: cfg.MaxStates,
+			Timeout:   cfg.Timeout,
+		},
 	})
 }

@@ -1,0 +1,154 @@
+package benchmark
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"verifas/internal/core"
+)
+
+// PortfolioTally aggregates one engine's outcomes over a set of
+// portfolio runs: how often it launched, won the race, finished with
+// each verdict, or was canceled as a loser.
+type PortfolioTally struct {
+	Engine   string `json:"engine"`
+	Starts   int    `json:"starts"`
+	Wins     int    `json:"wins"`
+	Holds    int    `json:"holds"`
+	Violated int    `json:"violated"`
+	TimedOut int    `json:"timed_out"`
+	Budget   int    `json:"budget_exhausted"`
+	Canceled int    `json:"canceled"`
+	Errors   int    `json:"errors"`
+}
+
+// TallyPortfolio folds the per-run PortfolioStats of a run set into
+// per-engine totals, sorted by wins (descending), then name. Runs
+// without portfolio stats (single-engine or hard-errored) are skipped.
+func TallyPortfolio(runs []Run) []PortfolioTally {
+	byName := map[string]*PortfolioTally{}
+	for _, r := range runs {
+		if r.Portfolio == nil {
+			continue
+		}
+		for _, o := range r.Portfolio.Engines {
+			t, ok := byName[o.Engine]
+			if !ok {
+				t = &PortfolioTally{Engine: o.Engine}
+				byName[o.Engine] = t
+			}
+			t.Starts++
+			if o.Winner {
+				t.Wins++
+			}
+			switch {
+			case o.Canceled:
+				t.Canceled++
+			case o.Error != "":
+				t.Errors++
+			default:
+				switch o.Verdict {
+				case core.VerdictHolds:
+					t.Holds++
+				case core.VerdictViolated:
+					t.Violated++
+				case core.VerdictTimedOut:
+					t.TimedOut++
+				case core.VerdictBudget:
+					t.Budget++
+				}
+			}
+		}
+	}
+	out := make([]PortfolioTally, 0, len(byName))
+	for _, t := range byName {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wins != out[j].Wins {
+			return out[i].Wins > out[j].Wins
+		}
+		return out[i].Engine < out[j].Engine
+	})
+	return out
+}
+
+// Disagreements returns the runs whose error wraps
+// core.ErrEngineDisagreement: decisive contradictory verdicts from two
+// contenders, i.e. a verifier bug surfaced by differential testing.
+func Disagreements(runs []Run) []Run {
+	var out []Run
+	for _, r := range runs {
+		if r.Err != nil && errors.Is(r.Err, core.ErrEngineDisagreement) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PortfolioReport renders the per-engine win-rate table of a portfolio
+// run set, plus any disagreements (which callers should treat as
+// failures).
+func PortfolioReport(runs []Run) string {
+	var sb strings.Builder
+	sb.WriteString("Portfolio: Per-Engine Outcomes\n")
+	sb.WriteString(fmt.Sprintf("%-22s %7s %6s %7s %9s %9s %7s %9s %7s\n",
+		"Engine", "Starts", "Wins", "Holds", "Violated", "TimedOut", "Budget", "Canceled", "Errors"))
+	for _, t := range TallyPortfolio(runs) {
+		sb.WriteString(fmt.Sprintf("%-22s %7d %6d %7d %9d %9d %7d %9d %7d\n",
+			t.Engine, t.Starts, t.Wins, t.Holds, t.Violated, t.TimedOut, t.Budget, t.Canceled, t.Errors))
+	}
+	if dis := Disagreements(runs); len(dis) > 0 {
+		sb.WriteString(fmt.Sprintf("ENGINE DISAGREEMENTS: %d\n", len(dis)))
+		for _, r := range dis {
+			sb.WriteString(fmt.Sprintf("  %s/%s: %v\n", r.Spec.Name, r.Template, r.Err))
+		}
+	}
+	return sb.String()
+}
+
+// PortfolioBench is the BENCH_portfolio.json shape: the per-engine win
+// tallies of a small-tier portfolio sweep plus summary counts, so CI and
+// the bench-quick target can track win rates over time.
+type PortfolioBench struct {
+	// Engines is the contender list raced (tie-break order).
+	Engines []string `json:"engines"`
+	// Runs is the number of (spec, property) portfolio races.
+	Runs int `json:"runs"`
+	// Decisive counts races settled by a decisive verdict.
+	Decisive int `json:"decisive"`
+	// Disagreements counts decisive-verdict contradictions (must be 0).
+	Disagreements int `json:"disagreements"`
+	// Errored counts hard-errored runs (disagreements included).
+	Errored int `json:"errored"`
+	// AvgTimeMS is the mean portfolio wall clock over non-errored runs.
+	AvgTimeMS float64 `json:"avg_time_ms"`
+	// Tallies is the per-engine outcome breakdown.
+	Tallies []PortfolioTally `json:"tallies"`
+}
+
+// NewPortfolioBench summarizes a portfolio run set for BENCH_portfolio.json.
+func NewPortfolioBench(engines []string, runs []Run) PortfolioBench {
+	b := PortfolioBench{Engines: engines, Runs: len(runs), Tallies: TallyPortfolio(runs)}
+	var total time.Duration
+	timed := 0
+	for _, r := range runs {
+		if r.Err != nil {
+			b.Errored++
+			continue
+		}
+		total += r.Time
+		timed++
+		if r.Portfolio != nil && r.Portfolio.Decisive {
+			b.Decisive++
+		}
+	}
+	b.Disagreements = len(Disagreements(runs))
+	if timed > 0 {
+		b.AvgTimeMS = float64(total.Milliseconds()) / float64(timed)
+	}
+	return b
+}

@@ -25,10 +25,7 @@ func TestCheckedProperties(t *testing.T) {
 			}
 			systems[cp.Workflow] = sys
 		}
-		res, err := core.Verify(context.Background(), sys, cp.Prop, core.Options{
-			MaxStates: 400_000,
-			Timeout:   120 * time.Second,
-		})
+		res, err := core.Verify(context.Background(), sys, cp.Prop, core.Options{Budget: core.Budget{MaxStates: 400_000, Timeout: 120 * time.Second}})
 		if err != nil {
 			t.Fatalf("%s/%s: %v", cp.Workflow, cp.Prop.Name, err)
 		}

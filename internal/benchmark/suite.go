@@ -10,6 +10,7 @@ import (
 
 	"verifas/internal/core"
 	"verifas/internal/cyclo"
+	"verifas/internal/engines"
 	"verifas/internal/has"
 	"verifas/internal/spinlike"
 	"verifas/internal/synth"
@@ -120,6 +121,11 @@ type Config struct {
 	// ProgressStride overrides the state-count stride between Progress
 	// events (0 = core.DefaultProgressStride).
 	ProgressStride int
+	// Engines is the portfolio contender list (registry names, tie-break
+	// order) used by the VPortfolio verifier; empty means the default
+	// portfolio (verifas + spinlike). All contenders share one budget
+	// derived from Timeout/MaxStates/MaxMemBytes.
+	Engines []string
 }
 
 // DefaultConfig returns a budget suitable for a small container.
@@ -153,6 +159,19 @@ type Run struct {
 	// Stats carries the verifier's search-effort counters. Spin-like
 	// runs populate only the Reachability phase.
 	Stats core.Stats
+	// Portfolio carries the per-engine outcomes of a VPortfolio run
+	// (winner, contender verdicts and durations); nil for single-engine
+	// runs.
+	Portfolio *core.PortfolioStats
+}
+
+// Winner is the portfolio race winner's engine name ("" for
+// single-engine runs or undecided portfolios).
+func (r Run) Winner() string {
+	if r.Portfolio == nil {
+		return ""
+	}
+	return r.Portfolio.Winner
 }
 
 // Holds reports whether the run's verdict was VerdictHolds.
@@ -171,29 +190,46 @@ var (
 	VNoRR         = core.Options{SkipRepeatedReachability: true}.Variant()
 )
 
-// Engine resolves a verifier name into a core.Verifier with the config's
-// budgets and the given observer attached. Unknown names report
-// core.ErrUnknownVariant.
-func (cfg Config) Engine(verifier string, obs core.Observer) (core.Verifier, error) {
-	if verifier == VSpinlike {
-		return spinlike.Engine(spinlike.Options{
-			FreshPerSort:   cfg.SpinFresh,
-			MaxStates:      cfg.SpinMaxStates,
-			MaxMemBytes:    cfg.MaxMemBytes,
-			Timeout:        cfg.Timeout,
-			Workers:        cfg.SearchWorkers,
-			Observer:       obs,
-			ProgressStride: cfg.ProgressStride,
-		}), nil
-	}
-	opts := core.Options{
-		MaxStates:      cfg.MaxStates,
+// VPortfolio is the portfolio verifier label: the engines of
+// Config.Engines race per property and the first decisive verdict wins.
+const VPortfolio = "Portfolio"
+
+// budget assembles the shared run budget from the config's knobs.
+func (cfg Config) budget(maxStates int, obs core.Observer) core.Budget {
+	return core.Budget{
+		MaxStates:      maxStates,
 		MaxMemBytes:    cfg.MaxMemBytes,
 		Timeout:        cfg.Timeout,
 		Workers:        cfg.SearchWorkers,
 		Observer:       obs,
 		ProgressStride: cfg.ProgressStride,
 	}
+}
+
+// Engine resolves a verifier name into a core.Engine with the config's
+// budgets and the given observer attached. VPortfolio builds the
+// Config.Engines contenders from the built-in registry and races them
+// per property (the observer then sees the portfolio-level stream, not
+// the contenders'). Unknown names report core.ErrUnknownVariant.
+func (cfg Config) Engine(verifier string, obs core.Observer) (core.Engine, error) {
+	if verifier == VSpinlike {
+		return spinlike.Engine(spinlike.Options{
+			Budget:       cfg.budget(cfg.SpinMaxStates, obs),
+			FreshPerSort: cfg.SpinFresh,
+		}), nil
+	}
+	if verifier == VPortfolio {
+		names := cfg.Engines
+		if len(names) == 0 {
+			names = engines.DefaultPortfolio
+		}
+		contenders, err := engines.Default().BuildAll(names, cfg.budget(cfg.MaxStates, nil))
+		if err != nil {
+			return nil, err
+		}
+		return core.PortfolioEngine(contenders, false, obs), nil
+	}
+	opts := core.Options{Budget: cfg.budget(cfg.MaxStates, obs)}
 	switch verifier {
 	case VVerifas:
 	case VVerifasNoSet:
@@ -209,7 +245,7 @@ func (cfg Config) Engine(verifier string, obs core.Observer) (core.Verifier, err
 	default:
 		return nil, fmt.Errorf("benchmark: %w %q", core.ErrUnknownVariant, verifier)
 	}
-	return core.Engine(opts), nil
+	return core.Verifas(opts), nil
 }
 
 // templateClasses maps template names to their Table 4 class.
@@ -240,7 +276,7 @@ func RunOne(ctx context.Context, spec *Spec, prop *core.Property, verifier strin
 		run.Err = err
 		return run
 	}
-	res, err := eng(ctx, spec.Sys, prop)
+	res, err := eng.Verify(ctx, spec.Sys, prop)
 	if err != nil {
 		run.Err = err
 		return run
@@ -249,6 +285,7 @@ func RunOne(ctx context.Context, spec *Spec, prop *core.Property, verifier strin
 	run.Fail = res.TimedOut() || res.BudgetExhausted()
 	run.Verdict = res.Verdict
 	run.Stats = res.Stats
+	run.Portfolio = res.Portfolio
 	return run
 }
 

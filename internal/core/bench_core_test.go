@@ -24,7 +24,7 @@ func BenchmarkVerifySafety(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Verify(context.Background(), sys, prop, Options{Timeout: 30 * time.Second})
+		res, err := Verify(context.Background(), sys, prop, Options{Budget: Budget{Timeout: 30 * time.Second}})
 		if err != nil || !res.Holds() {
 			b.Fatal("unexpected result")
 		}
@@ -43,7 +43,7 @@ func BenchmarkVerifyLiveness(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Verify(context.Background(), sys, prop, Options{Timeout: 30 * time.Second})
+		res, err := Verify(context.Background(), sys, prop, Options{Budget: Budget{Timeout: 30 * time.Second}})
 		if err != nil || res.Holds() {
 			b.Fatal("unexpected result")
 		}
@@ -63,7 +63,7 @@ func BenchmarkVerifyNoPruning(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Verify(context.Background(), sys, prop, Options{NoStatePruning: true, Timeout: 30 * time.Second}); err != nil {
+		if _, err := Verify(context.Background(), sys, prop, Options{Budget: Budget{Timeout: 30 * time.Second}, NoStatePruning: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +93,7 @@ func BenchmarkVerifySafetyObserved(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Verify(context.Background(), sys, prop, Options{Timeout: 30 * time.Second, Observer: nopObserver{}})
+		res, err := Verify(context.Background(), sys, prop, Options{Budget: Budget{Timeout: 30 * time.Second, Observer: nopObserver{}}})
 		if err != nil || !res.Holds() {
 			b.Fatal("unexpected result")
 		}
@@ -153,10 +153,10 @@ func TestObserverOverheadGuard(t *testing.T) {
 		t.Errorf("%s overhead above %.0f%% in all %d attempts (worst ratio %.4f)",
 			name, (bound-1)*100, attempts, worst)
 	}
-	guard("observer", Options{Observer: nopObserver{}}, 1.02)
+	guard("observer", Options{Budget: Budget{Observer: nopObserver{}}}, 1.02)
 	// Progress observers at stride 1 build one snapshot per explored
 	// state; with the rate-limited runtime/metrics heap sampler this must
 	// stay cheap (the old per-snapshot ReadMemStats was a stop-the-world
 	// pause that blew far past this bound).
-	guard("progress-stride-1", Options{Observer: nopObserver{}, ProgressStride: 1}, 1.30)
+	guard("progress-stride-1", Options{Budget: Budget{Observer: nopObserver{}, ProgressStride: 1}}, 1.30)
 }

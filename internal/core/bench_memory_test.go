@@ -62,12 +62,7 @@ func buildReachTree(tb testing.TB, ts *symbolic.TaskSystem, buchi *ltl.Buchi) *v
 	tb.Helper()
 	prod := newProduct(ts, buchi, OrderPrecedes)
 	prod.ctx = context.Background()
-	tree, err := vass.Explore(prod, vass.Options{
-		Prune:      true,
-		Accelerate: true,
-		UseIndex:   true,
-		MaxStates:  DefaultMaxStates,
-	})
+	tree, err := vass.Explore(prod, vass.Options{MaxStates: DefaultMaxStates, Prune: true, Accelerate: true, UseIndex: true})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -173,7 +168,7 @@ func TestWriteMemoryBenchJSON(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		start := time.Now()
-		res, err := Verify(context.Background(), sys, memBenchProp(), Options{Timeout: 30 * time.Second})
+		res, err := Verify(context.Background(), sys, memBenchProp(), Options{Budget: Budget{Timeout: 30 * time.Second}})
 		if err != nil || !res.Holds() {
 			t.Fatalf("verify: %v (%v)", err, res)
 		}
@@ -189,7 +184,7 @@ func TestWriteMemoryBenchJSON(t *testing.T) {
 	// Budget degradation: a tiny budget yields the typed verdict plus
 	// partial stats.
 	rec.Budget.Bytes = 8 << 10
-	bres, err := Verify(context.Background(), sys, memBenchProp(), Options{MaxMemBytes: rec.Budget.Bytes})
+	bres, err := Verify(context.Background(), sys, memBenchProp(), Options{Budget: Budget{MaxMemBytes: rec.Budget.Bytes}})
 	if err != nil {
 		t.Fatal(err)
 	}

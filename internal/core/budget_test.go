@@ -21,7 +21,7 @@ func budgetProp() *Property {
 
 func TestMemBudgetVerdict(t *testing.T) {
 	sys := workflows.OrderFulfillment(false)
-	res := mustVerify(t, sys, budgetProp(), Options{MaxMemBytes: 8 << 10})
+	res := mustVerify(t, sys, budgetProp(), Options{Budget: Budget{MaxMemBytes: 8 << 10}})
 	if !res.BudgetExhausted() {
 		t.Fatalf("verdict = %v, want budget-exhausted under an 8 KiB budget", res.Verdict)
 	}
@@ -50,9 +50,7 @@ func TestMemBudgetVerdict(t *testing.T) {
 func TestMemBudgetEventStream(t *testing.T) {
 	sys := workflows.OrderFulfillment(false)
 	rec := &recorder{}
-	res := mustVerify(t, sys, budgetProp(), Options{
-		MaxMemBytes: 8 << 10, Observer: rec, ProgressStride: 1,
-	})
+	res := mustVerify(t, sys, budgetProp(), Options{Budget: Budget{MaxMemBytes: 8 << 10, Observer: rec, ProgressStride: 1}})
 	if !res.BudgetExhausted() {
 		t.Fatalf("verdict = %v, want budget-exhausted", res.Verdict)
 	}
@@ -84,7 +82,7 @@ func TestMemBudgetEventStream(t *testing.T) {
 func TestMemBudgetGenerousPasses(t *testing.T) {
 	// A budget far above the real footprint must not change the verdict.
 	sys := workflows.OrderFulfillment(false)
-	bounded := mustVerify(t, sys, budgetProp(), Options{MaxMemBytes: 1 << 30})
+	bounded := mustVerify(t, sys, budgetProp(), Options{Budget: Budget{MaxMemBytes: 1 << 30}})
 	unbounded := mustVerify(t, sys, budgetProp(), Options{})
 	if bounded.Verdict != unbounded.Verdict {
 		t.Errorf("generous budget changed the verdict: %v vs %v", bounded.Verdict, unbounded.Verdict)

@@ -53,12 +53,7 @@ func TestVerifyCancelledMidSearch(t *testing.T) {
 	// Pessimize the search so the cancellation usually lands mid-search;
 	// when the machine wins the race anyway, the run must still have
 	// finished promptly.
-	res, err := Verify(ctx, sys, prop, Options{
-		NoStatePruning:   true,
-		NoStaticAnalysis: true,
-		NoIndexes:        true,
-		MaxStates:        100_000_000,
-	})
+	res, err := Verify(ctx, sys, prop, Options{Budget: Budget{MaxStates: 100_000_000}, NoStatePruning: true, NoStaticAnalysis: true, NoIndexes: true})
 	elapsed := time.Since(start)
 	if elapsed > 10*time.Second {
 		t.Fatalf("Verify took %s to honor cancellation", elapsed)

@@ -308,7 +308,7 @@ func TestPropertyValidation(t *testing.T) {
 		},
 	}
 	for i, prop := range cases {
-		if _, err := Verify(context.Background(), sys, prop, Options{MaxStates: 10}); err == nil {
+		if _, err := Verify(context.Background(), sys, prop, Options{Budget: Budget{MaxStates: 10}}); err == nil {
 			t.Errorf("case %d: expected validation error", i)
 		}
 	}
@@ -332,7 +332,7 @@ func TestTimeoutReported(t *testing.T) {
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Verify(context.Background(), sys, prop, Options{MaxStates: 3})
+	res, err := Verify(context.Background(), sys, prop, Options{Budget: Budget{MaxStates: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,15 +64,11 @@ func TestCrossCheckSpinlike(t *testing.T) {
 			Formula: ltl.MustParse(`G F placed`),
 		},
 	}
-	// Both engines behind the shared Verifier signature: the cross-check
+	// Both engines behind the shared Engine interface: the cross-check
 	// logic below never dispatches on the engine kind again.
-	engines := map[string]core.Verifier{
-		core.Options{IgnoreSets: true}.Variant(): core.Engine(core.Options{
-			IgnoreSets: true, MaxStates: 300_000, Timeout: 60 * time.Second,
-		}),
-		spinlike.Variant: spinlike.Engine(spinlike.Options{
-			FreshPerSort: 1, MaxStates: 150_000, Timeout: 60 * time.Second,
-		}),
+	engines := map[string]core.Engine{
+		core.Options{IgnoreSets: true}.Variant(): core.Verifas(core.Options{Budget: core.Budget{MaxStates: 300_000, Timeout: 60 * time.Second}, IgnoreSets: true}),
+		spinlike.Variant:                         spinlike.Engine(spinlike.Options{Budget: core.Budget{MaxStates: 150_000, Timeout: 60 * time.Second}, FreshPerSort: 1}),
 	}
 	for _, buggy := range []bool{false, true} {
 		sys := workflows.OrderFulfillment(buggy)
@@ -83,7 +79,7 @@ func TestCrossCheckSpinlike(t *testing.T) {
 			results := map[string]*core.Result{}
 			budget := false
 			for name, eng := range engines {
-				res, err := eng(context.Background(), sys, prop)
+				res, err := eng.Verify(context.Background(), sys, prop)
 				if err != nil {
 					t.Fatalf("%s/%s: %v", prop.Name, name, err)
 				}
@@ -132,13 +128,13 @@ func TestCrossCheckSynthetic(t *testing.T) {
 			ltl.MustParse(`F open(` + child + `)`),
 		} {
 			prop := &core.Property{Task: sys.Root.Name, Formula: f}
-			verifas := core.Engine(core.Options{IgnoreSets: true, MaxStates: 100_000, Timeout: 20 * time.Second})
-			bounded := spinlike.Engine(spinlike.Options{FreshPerSort: 1, MaxStates: 60_000, MaxBranch: 1 << 15, Timeout: 20 * time.Second})
-			vres, err := verifas(context.Background(), sys, prop)
+			verifas := core.Verifas(core.Options{Budget: core.Budget{MaxStates: 100_000, Timeout: 20 * time.Second}, IgnoreSets: true})
+			bounded := spinlike.Engine(spinlike.Options{Budget: core.Budget{MaxStates: 60_000, Timeout: 20 * time.Second}, FreshPerSort: 1, MaxBranch: 1 << 15})
+			vres, err := verifas.Verify(context.Background(), sys, prop)
 			if err != nil {
 				t.Fatal(err)
 			}
-			sres, err := bounded(context.Background(), sys, prop)
+			sres, err := bounded.Verify(context.Background(), sys, prop)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -103,7 +103,7 @@ func TestDifferentialConcreteVsSymbolic(t *testing.T) {
 		verdicts := map[string]bool{}
 		props := mkProps()
 		for _, p := range props {
-			res, err := Verify(context.Background(), sys, p.prop, Options{MaxStates: 300_000, Timeout: 60 * time.Second})
+			res, err := Verify(context.Background(), sys, p.prop, Options{Budget: Budget{MaxStates: 300_000, Timeout: 60 * time.Second}})
 			if err != nil {
 				t.Fatalf("%s: %v", p.name, err)
 			}
@@ -162,7 +162,7 @@ func TestDifferentialRootInvariants(t *testing.T) {
 		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	}
-	res, err := Verify(context.Background(), sys, prop, Options{MaxStates: 300_000})
+	res, err := Verify(context.Background(), sys, prop, Options{Budget: Budget{MaxStates: 300_000}})
 	if err != nil || !res.Holds() {
 		t.Fatalf("setup: expected property to hold (err=%v)", err)
 	}

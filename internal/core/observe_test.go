@@ -108,7 +108,7 @@ func TestObserverEventOrderingSafety(t *testing.T) {
 		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	}
-	res := mustVerify(t, sys, prop, Options{Observer: rec, ProgressStride: 1})
+	res := mustVerify(t, sys, prop, Options{Budget: Budget{Observer: rec, ProgressStride: 1}})
 	checkWellFormed(t, rec.events)
 
 	seq := phaseSequence(rec.events)
@@ -154,7 +154,7 @@ func TestObserverEventOrderingLiveness(t *testing.T) {
 		Task:    "ProcessOrders",
 		Formula: ltl.MustParse(`F open(ShipItem)`),
 	}
-	res := mustVerify(t, sys, prop, Options{Observer: rec, ProgressStride: 1})
+	res := mustVerify(t, sys, prop, Options{Budget: Budget{Observer: rec, ProgressStride: 1}})
 	if res.Holds() {
 		t.Fatal("liveness property unexpectedly holds")
 	}
@@ -184,7 +184,7 @@ func TestObserverDefaultStrideStillReports(t *testing.T) {
 		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	}
-	mustVerify(t, sys, prop, Options{Observer: rec})
+	mustVerify(t, sys, prop, Options{Budget: Budget{Observer: rec}})
 	n := 0
 	for _, e := range rec.events {
 		if e.kind == "progress" && e.phase == PhaseReach {
@@ -285,7 +285,7 @@ func TestVariantNames(t *testing.T) {
 		{Options{SkipRepeatedReachability: true}, "VERIFAS-noRR"},
 		{Options{AggressiveRR: true}, "VERIFAS-aggRR"},
 		{Options{NoStatePruning: true, NoIndexes: true}, "VERIFAS-noSP-noDSS"},
-		{Options{MaxStates: 10, Timeout: time.Second, ProgressStride: 1}, "VERIFAS"},
+		{Options{Budget: Budget{MaxStates: 10, Timeout: time.Second, ProgressStride: 1}}, "VERIFAS"},
 	}
 	for _, c := range cases {
 		if got := c.opts.Variant(); got != c.want {
@@ -305,8 +305,8 @@ func TestEngineDispatch(t *testing.T) {
 		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
 	}
-	eng := Engine(Options{MaxStates: 300_000, Timeout: 30 * time.Second})
-	res, err := eng(context.Background(), sys, prop)
+	eng := Verifas(Options{Budget: Budget{MaxStates: 300_000, Timeout: 30 * time.Second}})
+	res, err := eng.Verify(context.Background(), sys, prop)
 	if err != nil {
 		t.Fatal(err)
 	}

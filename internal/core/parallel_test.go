@@ -112,7 +112,7 @@ func TestParallelVerifyDeterministic(t *testing.T) {
 	for _, tc := range parallelCases(t) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			base := core.Options{MaxStates: 300_000, Timeout: 60 * time.Second, Workers: 1}
+			base := core.Options{Budget: core.Budget{MaxStates: 300_000, Timeout: 60 * time.Second, Workers: 1}}
 			ref, err := core.Verify(context.Background(), tc.sys, tc.prop, base)
 			if err != nil {
 				t.Fatal(err)
@@ -161,7 +161,7 @@ func TestParallelSpinlikeDeterministic(t *testing.T) {
 		},
 	}
 	for _, prop := range props {
-		base := spinlike.Options{MaxStates: 60_000, Timeout: 60 * time.Second}
+		base := spinlike.Options{Budget: core.Budget{MaxStates: 60_000, Timeout: 60 * time.Second}}
 		ref, err := spinlike.Verify(context.Background(), sys, prop, base)
 		if err != nil {
 			t.Fatal(err)

@@ -35,8 +35,11 @@ type Property struct {
 }
 
 // Options configure the verifier; the zero value enables every
-// optimization (the full VERIFAS configuration).
+// optimization (the full VERIFAS configuration). The embedded Budget
+// carries the engine-neutral resource knobs (MaxStates, MaxMemBytes,
+// Timeout, Workers, Observer, ProgressStride).
 type Options struct {
+	Budget
 	// NoStatePruning disables the ⪯-based aggressive pruning (SP, paper
 	// Section 3.5), falling back to the coverage order ≤.
 	NoStatePruning bool
@@ -63,40 +66,12 @@ type Options struct {
 	// NoRRConfirmation skips re-confirming an infinite violation found by
 	// the aggressive ⪯+ phase with the classical method.
 	NoRRConfirmation bool
-	// MaxStates bounds each search phase (0 = DefaultMaxStates).
-	MaxStates int
-	// MaxMemBytes bounds each search phase's estimated retained bytes
-	// (0 = unlimited). A run exceeding it returns VerdictBudget with the
-	// partial stats gathered so far instead of growing until the process
-	// OOMs. The accounting is the deterministic estimate described at
-	// vass.Options.MaxMemBytes: per-node structure plus per-state unique
-	// bytes plus the shared intern table.
-	MaxMemBytes int64
 	// NoInterning disables the hash-consing of pisotypes into a shared
 	// intern table. Interning is semantically transparent (structural
 	// equality is unchanged; equal types just share one allocation), so
 	// this exists for memory benchmarking and defensive bisection, and —
-	// like Workers — does not contribute to Variant().
+	// like the Budget fields — does not contribute to Variant().
 	NoInterning bool
-	// Workers sets the intra-search successor-computation parallelism
-	// (vass.Options.Workers): <= 1 keeps every search phase sequential.
-	// The verdict, trace and per-phase stats are identical for any
-	// value; only wall-clock time changes, so Workers does not
-	// contribute to Variant().
-	Workers int
-	// Timeout bounds the whole verification (0 = none). It is layered on
-	// top of the Context passed to Verify: whichever expires first stops
-	// the search.
-	Timeout time.Duration
-	// Observer, when non-nil, receives the verification's typed event
-	// stream: PhaseStart/PhaseEnd for every phase, periodic Progress
-	// snapshots from the search loops, and a terminal Verdict event. A
-	// nil Observer disables all instrumentation (the hot loops pay only a
-	// nil check).
-	Observer Observer
-	// ProgressStride is the state-count stride between Progress events
-	// (0 = DefaultProgressStride). Ignored without an Observer.
-	ProgressStride int
 }
 
 // DefaultMaxStates bounds each search phase unless overridden.
@@ -177,6 +152,11 @@ type Result struct {
 	Verdict   Verdict
 	Violation *Violation
 	Stats     Stats
+	// Portfolio records the per-engine outcomes when the result was
+	// produced by VerifyPortfolio (nil for single-engine runs): the
+	// winner, each contender's verdict/duration, and whether the merged
+	// verdict was decisive.
+	Portfolio *PortfolioStats `json:"portfolio,omitempty"`
 }
 
 // Holds reports whether every local run of the task satisfies the

@@ -95,6 +95,30 @@ property p of Main {
 	}
 }
 
+// TestCacheKeyEngines: the engine selection — including the ordered
+// portfolio contender list — participates in the cache key, so a
+// portfolio result can never answer a single-engine job or vice versa.
+func TestCacheKeyEngines(t *testing.T) {
+	f, prop := mustResolve(t, cacheSpec)
+	opts := func(engine string, engines ...string) EngineOptions {
+		return EngineOptions{Engine: engine, Engines: engines, TimeoutMS: 1000, MaxStates: 100}
+	}
+	base := cacheKey(f.System, prop, opts(EngineVerifas))
+	p := cacheKey(f.System, prop, opts(EnginePortfolio, "verifas", "spinlike"))
+	if p == base {
+		t.Error("portfolio selection did not change the key")
+	}
+	if got := cacheKey(f.System, prop, opts(EnginePortfolio, "verifas", "spinlike-bitstate")); got == p {
+		t.Error("a different contender list did not change the key")
+	}
+	if got := cacheKey(f.System, prop, opts(EnginePortfolio, "spinlike", "verifas")); got == p {
+		t.Error("contender order did not change the key (order is the tie-break priority)")
+	}
+	if got := cacheKey(f.System, prop, opts(EnginePortfolio, "verifas", "spinlike")); got != p {
+		t.Error("identical portfolio selections got distinct keys")
+	}
+}
+
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
 	res := func(i int) *core.Result { return &core.Result{Verdict: core.Verdict(i % 3)} }

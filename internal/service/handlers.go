@@ -72,6 +72,12 @@ type StatsResponse struct {
 	JobWorkers JobWorkersInfo `json:"job_workers"`
 	// MemBudget reports the per-job `mem_budget` option's server default.
 	MemBudget MemBudgetInfo `json:"mem_budget"`
+	// Engines lists the engine labels the built-in dispatch accepts for
+	// the `engine` and `engines` job options, in registration order.
+	// Per-engine portfolio outcome counters (starts, wins, verdicts,
+	// cancellations) appear under Verifier.engines once a portfolio job
+	// has run.
+	Engines []string `json:"engines"`
 }
 
 // JobWorkersInfo describes the per-job `workers` option's effective
@@ -282,6 +288,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MemBudget: MemBudgetInfo{
 			DefaultBytes: s.cfg.DefaultMemBudget,
 		},
+		Engines: EngineNames(),
 	})
 }
 

@@ -42,8 +42,20 @@ type SubmitRequest struct {
 // zero value of each field means "server default"; unknown fields are
 // rejected.
 type RequestOptions struct {
-	// Engine is "verifas" (default) or "spinlike" (the bounded baseline).
+	// Engine selects a single engine by registry name: "verifas"
+	// (default), "spinlike" (the bounded baseline), or any other name in
+	// the built-in registry ("verifas-noset", "spinlike-bitstate", ...).
+	// Mutually exclusive with Engines.
 	Engine string `json:"engine,omitempty"`
+	// Engines selects portfolio mode: the named engines race on the job
+	// under one shared budget, the first decisive verdict wins and the
+	// losers are canceled. Order is the deterministic tie-break priority.
+	// The list participates in the result-cache key. Mutually exclusive
+	// with Engine and with the per-engine tuning knobs below (the
+	// ablation switches, spin_fresh) — portfolio contenders are
+	// preconfigured registry variants. A single-element list degenerates
+	// to that engine alone.
+	Engines []string `json:"engines,omitempty"`
 	// The VERIFAS optimization switches (see core.Options).
 	NoStatePruning           bool `json:"no_sp,omitempty"`
 	NoStaticAnalysis         bool `json:"no_sa,omitempty"`
@@ -86,19 +98,25 @@ type RequestOptions struct {
 // configuration share one cache entry regardless of which fields they
 // spelled out.
 type EngineOptions struct {
-	Engine                   string `json:"engine"`
-	NoStatePruning           bool   `json:"no_sp"`
-	NoStaticAnalysis         bool   `json:"no_sa"`
-	NoIndexes                bool   `json:"no_dss"`
-	IgnoreSets               bool   `json:"no_set"`
-	SkipRepeatedReachability bool   `json:"no_rr"`
-	AggressiveRR             bool   `json:"agg_rr"`
-	TimeoutMS                int64  `json:"timeout_ms"`
-	MaxStates                int    `json:"max_states"`
-	MemBudget                int64  `json:"mem_budget"`
-	ProgressStride           int    `json:"progress_stride"`
-	SpinFresh                int    `json:"spin_fresh"`
-	Workers                  int    `json:"workers"`
+	Engine string `json:"engine"`
+	// Engines is the portfolio contender list in tie-break order (nil
+	// for single-engine jobs; Engine is then "portfolio"). Its canonical
+	// JSON marshals unconditionally, so the engine selection — including
+	// contender order — is part of the cache key: a portfolio result can
+	// never collide with a single-engine result for the same spec.
+	Engines                  []string `json:"engines"`
+	NoStatePruning           bool     `json:"no_sp"`
+	NoStaticAnalysis         bool     `json:"no_sa"`
+	NoIndexes                bool     `json:"no_dss"`
+	IgnoreSets               bool     `json:"no_set"`
+	SkipRepeatedReachability bool     `json:"no_rr"`
+	AggressiveRR             bool     `json:"agg_rr"`
+	TimeoutMS                int64    `json:"timeout_ms"`
+	MaxStates                int      `json:"max_states"`
+	MemBudget                int64    `json:"mem_budget"`
+	ProgressStride           int      `json:"progress_stride"`
+	SpinFresh                int      `json:"spin_fresh"`
+	Workers                  int      `json:"workers"`
 }
 
 // Timeout returns the wall-clock bound as a duration.
@@ -144,6 +162,9 @@ type JobStatus struct {
 	System   string `json:"system"`
 	Property string `json:"property"`
 	Engine   string `json:"engine"`
+	// Engines lists the portfolio contenders in tie-break order (absent
+	// for single-engine jobs).
+	Engines []string `json:"engines,omitempty"`
 	// Key is the content-addressed cache key of the (spec, property,
 	// options) triple.
 	Key       string `json:"key"`
@@ -159,6 +180,10 @@ type JobResult struct {
 	// Violation is the counterexample for violated verdicts.
 	Violation *WireViolation `json:"violation,omitempty"`
 	Stats     *core.Stats    `json:"stats,omitempty"`
+	// Portfolio reports the per-engine outcomes of a portfolio job: the
+	// winner, each contender's verdict and duration, and whether the
+	// merged verdict was decisive.
+	Portfolio *core.PortfolioStats `json:"portfolio,omitempty"`
 	// Error is the engine failure for failed jobs.
 	Error string `json:"error,omitempty"`
 }
@@ -305,6 +330,26 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 			"options must be non-negative (timeout_ms=%d max_states=%d mem_budget=%d progress_stride=%d spin_fresh=%d workers=%d)",
 			o.TimeoutMS, o.MaxStates, o.MemBudget, o.ProgressStride, o.SpinFresh, o.Workers)
 	}
+	if len(o.Engines) > 0 {
+		if o.Engine != "" {
+			return EngineOptions{}, badRequestf(codeBadOptions, "engine and engines are mutually exclusive")
+		}
+		if o.NoStatePruning || o.NoStaticAnalysis || o.NoIndexes || o.IgnoreSets ||
+			o.SkipRepeatedReachability || o.AggressiveRR || o.SpinFresh != 0 {
+			return EngineOptions{}, badRequestf(codeBadOptions,
+				"per-engine tuning knobs (no_sp/no_sa/no_dss/no_set/no_rr/agg_rr/spin_fresh) are not valid with engines; name preconfigured variants instead (e.g. \"verifas-noset\", \"spinlike-bitstate\")")
+		}
+		seen := make(map[string]bool, len(o.Engines))
+		for _, name := range o.Engines {
+			if name == "" {
+				return EngineOptions{}, badRequestf(codeBadOptions, "engines contains an empty name")
+			}
+			if seen[name] {
+				return EngineOptions{}, badRequestf(codeBadOptions, "engines lists %q twice", name)
+			}
+			seen[name] = true
+		}
+	}
 	e := EngineOptions{
 		Engine:                   o.Engine,
 		NoStatePruning:           o.NoStatePruning,
@@ -319,6 +364,17 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 		ProgressStride:           o.ProgressStride,
 		SpinFresh:                o.SpinFresh,
 		Workers:                  o.Workers,
+	}
+	// Canonicalize the engine selection before the cache key is derived:
+	// a one-element portfolio IS that engine, and real portfolios get
+	// the fixed "portfolio" label with the ordered contender list in
+	// Engines.
+	switch {
+	case len(o.Engines) == 1:
+		e.Engine = o.Engines[0]
+	case len(o.Engines) > 1:
+		e.Engine = EnginePortfolio
+		e.Engines = append([]string(nil), o.Engines...)
 	}
 	if e.Engine == "" {
 		e.Engine = EngineVerifas
@@ -376,7 +432,7 @@ type execution struct {
 	key    string
 	leader string // job id that started the run; tags the event stream
 	res    *resolved
-	run    core.Verifier
+	run    core.Engine
 	hub    *hub
 	cancel func()
 	ctx    context.Context
@@ -421,6 +477,7 @@ func (j *job) snapshotResult() JobResult {
 			Verdict:   j.cached.Verdict.String(),
 			Violation: wireViolation(j.cached.Violation),
 			Stats:     &stats,
+			Portfolio: j.cached.Portfolio,
 		}
 	}
 	out := JobResult{JobStatus: j.snapshotStatus()}
@@ -440,6 +497,7 @@ func (j *job) snapshotResult() JobResult {
 		out.Violation = wireViolation(e.result.Violation)
 		stats := e.result.Stats
 		out.Stats = &stats
+		out.Portfolio = e.result.Portfolio
 	}
 	return out
 }

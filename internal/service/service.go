@@ -1,7 +1,9 @@
 // Package service turns the VERIFAS engines into a long-lived
 // verification server: jobs (spec + LTL-FO property + options) are
 // submitted over HTTP/JSON, executed on a bounded worker pool through the
-// shared core.Verifier dispatch, observed live through a streaming events
+// shared core.Engine dispatch — a single engine by name, or a portfolio
+// racing several registered engines with first-decisive-verdict-wins
+// (the "engines" job option) — observed live through a streaming events
 // endpoint carrying the core.Observer event model, and answered from a
 // content-addressed result cache when an identical job was verified
 // before. Identical in-flight jobs coalesce onto one engine run
@@ -32,20 +34,35 @@ import (
 	"time"
 
 	"verifas/internal/core"
+	"verifas/internal/engines"
 	"verifas/internal/obs"
 	"verifas/internal/spinlike"
 )
 
-// Engine labels accepted in RequestOptions.Engine.
+// Engine labels accepted in RequestOptions.Engine. Any name in the
+// built-in engine registry (engines.Default: the verifas ablation
+// variants, "spinlike-bitstate", ...) is also accepted; these two get
+// dedicated handling for their per-job tuning knobs (the ablation
+// switches, spin_fresh). EnginePortfolio is the synthesized label of
+// jobs that set the "engines" list.
 const (
-	EngineVerifas  = "verifas"
-	EngineSpinlike = "spinlike"
+	EngineVerifas   = "verifas"
+	EngineSpinlike  = "spinlike"
+	EnginePortfolio = "portfolio"
 )
 
+// builtinRegistry resolves engine names for the default dispatch and for
+// portfolio contenders.
+var builtinRegistry = engines.Default()
+
+// EngineNames lists the engine labels the built-in dispatch accepts, in
+// registration order.
+func EngineNames() []string { return builtinRegistry.Names() }
+
 // EngineFunc resolves a normalized option set and a per-run observer into
-// a runnable engine. The default (nil) dispatch covers the "verifas" and
-// "spinlike" labels; tests inject synthetic engines through it.
-type EngineFunc func(opts EngineOptions, observer core.Observer) (core.Verifier, error)
+// a runnable engine. The default (nil) dispatch covers every registry
+// label plus portfolio jobs; tests inject synthetic engines through it.
+type EngineFunc func(opts EngineOptions, observer core.Observer) (core.Engine, error)
 
 // Config sizes the server. The zero value serves with sensible defaults.
 type Config struct {
@@ -182,45 +199,65 @@ func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
 
 // engineFor dispatches the configured or built-in engines. A nil
 // observer is allowed (resolve uses it to pre-check the label).
-func (s *Server) engineFor(o EngineOptions, observer core.Observer) (core.Verifier, error) {
+func (s *Server) engineFor(o EngineOptions, observer core.Observer) (core.Engine, error) {
 	if s.cfg.Engine != nil {
 		return s.cfg.Engine(o, observer)
 	}
 	return BuiltinEngine(o, observer)
 }
 
-// BuiltinEngine is the default engine dispatch: "verifas" and "spinlike"
-// labels onto the two engine packages. Injected Config.Engine overrides
-// can delegate to it to wrap the real engines.
-func BuiltinEngine(o EngineOptions, observer core.Observer) (core.Verifier, error) {
+// budget converts the normalized options into the uniform engine budget
+// with the given observer attached.
+func (o EngineOptions) budget(observer core.Observer) core.Budget {
+	return core.Budget{
+		MaxStates:      o.MaxStates,
+		MaxMemBytes:    o.MemBudget,
+		Timeout:        o.Timeout(),
+		Workers:        o.Workers,
+		Observer:       observer,
+		ProgressStride: o.ProgressStride,
+	}
+}
+
+// BuiltinEngine is the default engine dispatch. Portfolio jobs (a
+// non-empty Engines list) build their contenders from the built-in
+// registry under one uniform budget and race them — the observer then
+// receives the portfolio-level stream (EngineStart/EngineDone plus the
+// merged verdict) while the contenders run unobserved. Single-engine
+// jobs dispatch "verifas" and "spinlike" directly (those two honour the
+// per-job ablation switches and spin_fresh) and any other registry name
+// through the registry. Injected Config.Engine overrides can delegate to
+// it to wrap the real engines.
+func BuiltinEngine(o EngineOptions, observer core.Observer) (core.Engine, error) {
+	if len(o.Engines) > 0 {
+		contenders, err := builtinRegistry.BuildAll(o.Engines, o.budget(nil))
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		return core.PortfolioEngine(contenders, false, observer), nil
+	}
 	switch o.Engine {
 	case EngineVerifas:
-		return core.Engine(core.Options{
+		return core.Verifas(core.Options{
+			Budget:                   o.budget(observer),
 			NoStatePruning:           o.NoStatePruning,
 			NoStaticAnalysis:         o.NoStaticAnalysis,
 			NoIndexes:                o.NoIndexes,
 			IgnoreSets:               o.IgnoreSets,
 			SkipRepeatedReachability: o.SkipRepeatedReachability,
 			AggressiveRR:             o.AggressiveRR,
-			MaxStates:                o.MaxStates,
-			MaxMemBytes:              o.MemBudget,
-			Timeout:                  o.Timeout(),
-			Workers:                  o.Workers,
-			Observer:                 observer,
-			ProgressStride:           o.ProgressStride,
 		}), nil
 	case EngineSpinlike:
 		return spinlike.Engine(spinlike.Options{
-			FreshPerSort:   o.SpinFresh,
-			MaxStates:      o.MaxStates,
-			MaxMemBytes:    o.MemBudget,
-			Timeout:        o.Timeout(),
-			Workers:        o.Workers,
-			Observer:       observer,
-			ProgressStride: o.ProgressStride,
+			Budget:       o.budget(observer),
+			FreshPerSort: o.SpinFresh,
 		}), nil
 	default:
-		return nil, fmt.Errorf("service: %w %q", core.ErrUnknownVariant, o.Engine)
+		eng, err := builtinRegistry.Build(o.Engine, o.budget(observer))
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		return eng, nil
 	}
 }
 
@@ -251,6 +288,7 @@ func (s *Server) submit(r *resolved) (JobStatus, int, *apiError) {
 		System:    r.sys.Name,
 		Property:  r.prop.Name,
 		Engine:    r.eopts.Engine,
+		Engines:   r.eopts.Engines,
 		Key:       r.key,
 		CreatedMS: j.created.UnixMilli(),
 	}
@@ -387,7 +425,7 @@ func (s *Server) runExecution(e *execution) {
 	e.state = StateRunning
 	s.mu.Unlock()
 
-	res, err := e.run(e.ctx, e.res.sys, e.res.prop)
+	res, err := e.run.Verify(e.ctx, e.res.sys, e.res.prop)
 	switch {
 	case err == nil && res != nil:
 		s.cache.put(e.key, res)

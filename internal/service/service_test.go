@@ -59,12 +59,12 @@ func TestEndToEnd(t *testing.T) {
 	gated := make(chan struct{})  // closed to release gated runs
 	parked := make(chan struct{}) // signals a gated run reached the engine
 	cfg := service.Config{Workers: 2}
-	cfg.Engine = func(o service.EngineOptions, observer core.Observer) (core.Verifier, error) {
+	cfg.Engine = func(o service.EngineOptions, observer core.Observer) (core.Engine, error) {
 		eng, err := service.BuiltinEngine(o, observer)
 		if err != nil {
 			return nil, err
 		}
-		return func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
+		return core.VerifierFunc(func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
 			runs.Add(1)
 			if prop.Name == "credit_close_decided" {
 				parked <- struct{}{}
@@ -74,8 +74,8 @@ func TestEndToEnd(t *testing.T) {
 					return nil, ctx.Err()
 				}
 			}
-			return eng(ctx, sys, prop)
-		}, nil
+			return eng.Verify(ctx, sys, prop)
+		}), nil
 	}
 	svc, cl := newTestServer(t, cfg)
 	ctx := context.Background()
@@ -256,8 +256,8 @@ func blockingConfig(started chan<- string, release <-chan struct{}) service.Conf
 	return service.Config{
 		Workers:    2,
 		QueueDepth: 2,
-		Engine: func(o service.EngineOptions, observer core.Observer) (core.Verifier, error) {
-			return func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
+		Engine: func(o service.EngineOptions, observer core.Observer) (core.Engine, error) {
+			return core.VerifierFunc(func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
 				if started != nil {
 					started <- prop.Name
 				}
@@ -270,7 +270,7 @@ func blockingConfig(started chan<- string, release <-chan struct{}) service.Conf
 					observer.Verdict(core.VerdictEvent{Verdict: core.VerdictHolds})
 				}
 				return &core.Result{Verdict: core.VerdictHolds}, nil
-			}, nil
+			}), nil
 		},
 	}
 }

@@ -136,7 +136,7 @@ func TestParsedSystemVerifies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Verify(context.Background(), f.System, f.Properties[0], core.Options{MaxStates: 100000})
+	res, err := core.Verify(context.Background(), f.System, f.Properties[0], core.Options{Budget: core.Budget{MaxStates: 100000}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestShippedSpecFiles(t *testing.T) {
 				t.Errorf("%s: unexpected property %q", c.path, prop.Name)
 				continue
 			}
-			res, err := core.Verify(context.Background(), f.System, prop, core.Options{MaxStates: 300000, Timeout: 60 * time.Second})
+			res, err := core.Verify(context.Background(), f.System, prop, core.Options{Budget: core.Budget{MaxStates: 300000, Timeout: 60 * time.Second}})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", c.path, prop.Name, err)
 			}

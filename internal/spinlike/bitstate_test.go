@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"verifas/internal/core"
 	"verifas/internal/fol"
 	"verifas/internal/has"
 	"verifas/internal/ltl"
@@ -123,7 +124,7 @@ func TestSpinlikeMemBudget(t *testing.T) {
 		Task:    "ProcessOrders",
 		Formula: ltl.MustParse(`F open(ShipItem)`),
 	}
-	res := verifyOpts(t, sys, prop, Options{MaxMemBytes: 4 << 10})
+	res := verifyOpts(t, sys, prop, Options{Budget: core.Budget{MaxMemBytes: 4 << 10}})
 	if !res.BudgetExhausted() {
 		t.Fatalf("verdict = %v, want budget-exhausted under a 4 KiB budget", res.Verdict)
 	}
@@ -138,7 +139,7 @@ func TestSpinlikeMemBudget(t *testing.T) {
 	}
 
 	// The same run with a generous budget completes with the real verdict.
-	full := verifyOpts(t, sys, prop, Options{MaxMemBytes: 1 << 30})
+	full := verifyOpts(t, sys, prop, Options{Budget: core.Budget{MaxMemBytes: 1 << 30}})
 	if full.BudgetExhausted() {
 		t.Error("generous budget tripped")
 	}
@@ -153,7 +154,7 @@ func TestSpinlikeMemBudgetCoreStats(t *testing.T) {
 		Task:    "ProcessOrders",
 		Formula: ltl.MustParse(`F open(ShipItem)`),
 	}
-	res := verifyOpts(t, sys, prop, Options{MaxMemBytes: 4 << 10})
+	res := verifyOpts(t, sys, prop, Options{Budget: core.Budget{MaxMemBytes: 4 << 10}})
 	cs := res.coreStats()
 	if !cs.BudgetExhausted {
 		t.Error("core-format stats missing BudgetExhausted")

@@ -11,13 +11,41 @@ import (
 // matching the naming scheme of core.Options.Variant.
 const Variant = "Spin-like"
 
-// Engine adapts the bounded baseline to the shared core.Verifier
-// signature, so the benchmark suite and the cross-check tests dispatch
-// both engines uniformly. The core.Property is narrowed to the fields the
-// baseline interprets, and the flat result is widened to core.Result
-// (the whole NDFS reported as the reachability phase).
-func Engine(opts Options) core.Verifier {
-	return func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
+// Registry names of the baseline's configurations.
+const (
+	// EngineName is the exact bounded baseline.
+	EngineName = "spinlike"
+	// BitstateEngineName is the bitstate-hashing variant (lossy).
+	BitstateEngineName = "spinlike-bitstate"
+)
+
+// Caps returns the decisiveness caveats of a configuration: the bounded
+// domain makes every "holds" advisory, artifact relations are always
+// ignored, and bitstate hashing adds lossiness.
+func (o Options) Caps() core.Capabilities {
+	return core.Capabilities{
+		BoundedHolds: true,
+		IgnoresSets:  true,
+		Lossy:        o.Bitstate,
+	}
+}
+
+// name is the registry spelling of a configuration.
+func (o Options) name() string {
+	if o.Bitstate {
+		return BitstateEngineName
+	}
+	return EngineName
+}
+
+// Engine adapts the bounded baseline to the shared core.Engine
+// interface, so the benchmark suite, the portfolio racer and the
+// cross-check tests dispatch both engines uniformly. The core.Property
+// is narrowed to the fields the baseline interprets, and the flat
+// result is widened to core.Result (the whole NDFS reported as the
+// reachability phase).
+func Engine(opts Options) core.Engine {
+	return core.NewEngine(opts.name(), opts.Caps(), func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
 		res, err := Verify(ctx, sys, &Property{
 			Task:    prop.Task,
 			Globals: prop.Globals,
@@ -28,5 +56,22 @@ func Engine(opts Options) core.Verifier {
 			return nil, err
 		}
 		return &core.Result{Verdict: res.Verdict, Stats: res.coreStats()}, nil
+	})
+}
+
+// Register adds the baseline's configurations ("spinlike",
+// "spinlike-bitstate") to an engine registry.
+func Register(r *core.Registry) {
+	for _, opts := range []Options{{}, {Bitstate: true}} {
+		opts := opts
+		r.MustRegister(core.Registration{
+			Name: opts.name(),
+			Caps: opts.Caps(),
+			New: func(b core.Budget) core.Engine {
+				o := opts
+				o.Budget = b
+				return Engine(o)
+			},
+		})
 	}
 }

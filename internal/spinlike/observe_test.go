@@ -36,14 +36,7 @@ func TestObserverEvents(t *testing.T) {
 		Task:    "ProcessOrders",
 		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),
-	}, Options{
-		FreshPerSort:   2,
-		MaxStates:      400000,
-		MaxBranch:      1 << 17,
-		Timeout:        120 * time.Second,
-		Observer:       rec,
-		ProgressStride: 1,
-	})
+	}, Options{Budget: core.Budget{MaxStates: 400000, Timeout: 120 * time.Second, Observer: rec, ProgressStride: 1}, FreshPerSort: 2, MaxBranch: 1 << 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,13 +93,8 @@ func TestEngineAdapter(t *testing.T) {
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	eng := Engine(Options{
-		FreshPerSort: 2,
-		MaxStates:    400000,
-		MaxBranch:    1 << 17,
-		Timeout:      120 * time.Second,
-	})
-	res, err := eng(context.Background(), sys, &core.Property{
+	eng := Engine(Options{Budget: core.Budget{MaxStates: 400000, Timeout: 120 * time.Second}, FreshPerSort: 2, MaxBranch: 1 << 17})
+	res, err := eng.Verify(context.Background(), sys, &core.Property{
 		Task:    "ProcessOrders",
 		Conds:   map[string]fol.Formula{"stocked": fol.MustParse(`instock == "Yes"`)},
 		Formula: ltl.MustParse(`G (open(ShipItem) -> stocked)`),

@@ -37,19 +37,34 @@ import (
 	"verifas/internal/vass"
 )
 
-// Options configure the bounded search.
+// Options configure the bounded search. The embedded core.Budget
+// carries the engine-neutral resource knobs, with spinlike-specific
+// defaults and semantics:
+//
+//   - MaxStates bounds the number of distinct product states (default
+//     200000, not core.DefaultMaxStates). Exceeding it aborts with a
+//     timed-out verdict.
+//   - MaxMemBytes bounds the estimated retained bytes of the search
+//     (state table plus records; 0 = unlimited). Exceeding it aborts
+//     with core.VerdictBudget and partial stats.
+//   - Timeout bounds wall-clock time (0 = none).
+//   - Workers bounds the goroutines checking independent global
+//     valuations concurrently (<= 1 = sequential). The verdict is
+//     identical to the sequential one — results are reduced in
+//     valuation order — but Stats.States may include extra states from
+//     valuations explored speculatively after the deciding one, and
+//     intermediate Progress events are suppressed. Properties without
+//     global variables have a single valuation and always run
+//     sequentially.
+//   - Observer, if non-nil, receives the run's event stream (the same
+//     core event model as core.Verify: PhaseCompile + PhaseReach with
+//     Progress snapshots, terminated by a Verdict event);
+//     ProgressStride is the interned-state stride between snapshots.
 type Options struct {
+	core.Budget
 	// FreshPerSort is k, the number of abstract values/identifiers per
 	// sort beyond the named constants (default 2).
 	FreshPerSort int
-	// MaxStates bounds the number of distinct product states (default
-	// 200000). Exceeding it aborts with a timed-out verdict.
-	MaxStates int
-	// MaxMemBytes bounds the estimated retained bytes of the search
-	// (state table plus records; 0 = unlimited). Exceeding it aborts
-	// with core.VerdictBudget and partial stats — the explicit-state
-	// analogue of core.Options.MaxMemBytes.
-	MaxMemBytes int64
 	// Bitstate replaces the exact state table (which retains every
 	// state's full serialized key) with a double-64-bit-hash table:
 	// dramatically less memory per state, at the cost of LOSSY coverage —
@@ -59,28 +74,9 @@ type Options struct {
 	// fabricated. Off by default; runs that enable it carry
 	// Stats.Lossy = true so downstream consumers can tell.
 	Bitstate bool
-	// Timeout bounds wall-clock time (0 = none).
-	Timeout time.Duration
 	// MaxBranch caps the nondeterministic branching of one transition
 	// (assignment × row-materialization choices); exceeding it aborts.
 	MaxBranch int
-	// Workers bounds the number of goroutines checking independent
-	// global valuations concurrently (<= 1 = sequential, the default).
-	// The verdict is identical to the sequential one — results are
-	// reduced in valuation order, exactly like the sequential early
-	// exit — but Stats.States may include extra states from valuations
-	// explored speculatively after the deciding one, and intermediate
-	// Progress events are suppressed (only the final snapshot is
-	// emitted). Properties without global variables have a single
-	// valuation and always run sequentially.
-	Workers int
-	// Observer, if non-nil, receives the run's event stream (the same
-	// core event model as core.Verify: PhaseCompile + PhaseReach with
-	// Progress snapshots, terminated by a Verdict event).
-	Observer core.Observer
-	// ProgressStride is the interned-state stride between Progress
-	// events (<= 0 = core.DefaultProgressStride).
-	ProgressStride int
 }
 
 // Property mirrors core.Property for the baseline. It stays a separate

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"verifas/internal/core"
 	"verifas/internal/fol"
 	"verifas/internal/has"
 	"verifas/internal/ltl"
@@ -16,12 +17,7 @@ func run(t *testing.T, sys *has.System, prop *Property) *Result {
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Verify(context.Background(), sys, prop, Options{
-		FreshPerSort: 2,
-		MaxStates:    400000,
-		MaxBranch:    1 << 17,
-		Timeout:      120 * time.Second,
-	})
+	res, err := Verify(context.Background(), sys, prop, Options{Budget: core.Budget{MaxStates: 400000, Timeout: 120 * time.Second}, FreshPerSort: 2, MaxBranch: 1 << 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +101,7 @@ func TestTinyBudgetTimesOut(t *testing.T) {
 	res, err := Verify(context.Background(), sys, &Property{
 		Task:    "ProcessOrders",
 		Formula: ltl.MustParse(`F open(ShipItem)`),
-	}, Options{MaxStates: 5, MaxBranch: 1 << 16})
+	}, Options{Budget: core.Budget{MaxStates: 5}, MaxBranch: 1 << 16})
 	if err != nil {
 		t.Fatal(err)
 	}

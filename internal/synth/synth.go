@@ -101,7 +101,7 @@ func GenerateValid(p Params, seed int64, minStates, tries int) *has.System {
 			// False's negation is True, whose automaton accepts
 			// everything: the product enumerates the real state space.
 			Formula: ltl.FalseF{},
-		}, core.Options{MaxStates: minStates + 64, SkipRepeatedReachability: true})
+		}, core.Options{Budget: core.Budget{MaxStates: minStates + 64}, SkipRepeatedReachability: true})
 		if err != nil {
 			continue
 		}

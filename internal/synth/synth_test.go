@@ -83,7 +83,7 @@ func TestGenerateValidHasNonEmptyStateSpace(t *testing.T) {
 	res, err := core.Verify(context.Background(), sys, &core.Property{
 		Task:    sys.Root.Name,
 		Formula: ltl.FalseF{},
-	}, core.Options{MaxStates: 30000, Timeout: 30 * time.Second, SkipRepeatedReachability: true})
+	}, core.Options{Budget: core.Budget{MaxStates: 30000, Timeout: 30 * time.Second}, SkipRepeatedReachability: true})
 	if err != nil {
 		t.Fatal(err)
 	}

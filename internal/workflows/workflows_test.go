@@ -29,7 +29,7 @@ func TestAllWorkflowsValidateAndRun(t *testing.T) {
 			resF, err := core.Verify(context.Background(), sys, &core.Property{
 				Task:    sys.Root.Name,
 				Formula: ltl.FalseF{},
-			}, core.Options{MaxStates: 200000, Timeout: 60 * time.Second})
+			}, core.Options{Budget: core.Budget{MaxStates: 200000, Timeout: 60 * time.Second}})
 			if err != nil {
 				t.Fatalf("verify False: %v", err)
 			}
@@ -144,7 +144,7 @@ func TestDomainProperties(t *testing.T) {
 		if err := sys.Validate(); err != nil {
 			t.Fatalf("%s: %v", c.flow, err)
 		}
-		res, err := core.Verify(context.Background(), sys, c.prop, core.Options{MaxStates: 300000, Timeout: 120 * time.Second})
+		res, err := core.Verify(context.Background(), sys, c.prop, core.Options{Budget: core.Budget{MaxStates: 300000, Timeout: 120 * time.Second}})
 		if err != nil {
 			t.Fatalf("%s: %v", c.flow, err)
 		}
