@@ -16,7 +16,7 @@ check:
 
 # Race-detector pass over the packages with concurrent schedulers.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/benchmark/... ./internal/vass/... ./internal/spinlike/... ./internal/service/...
+	$(GO) test -race -short ./internal/core/... ./internal/benchmark/... ./internal/vass/... ./internal/spinlike/... ./internal/service/... ./internal/store/...
 
 # Run the verification daemon locally with the debug endpoint attached.
 SERVE_ADDR ?= localhost:8080
@@ -41,6 +41,8 @@ bench-quick:
 	@echo "wrote BENCH_memory.json"
 	BENCH_PORTFOLIO_JSON=$(CURDIR)/BENCH_portfolio.json $(GO) test -run TestWritePortfolioBenchJSON -v ./internal/benchmark/
 	@echo "wrote BENCH_portfolio.json"
+	BENCH_STORE_JSON=$(CURDIR)/BENCH_store.json $(GO) test -run TestWriteStoreBenchJSON -v ./internal/store/
+	@echo "wrote BENCH_store.json"
 
 # CPU-profile a live suite through the -debug-addr pprof endpoint:
 # start benchrun in the background, sample its CPU for PROFILE_SECONDS,

@@ -384,6 +384,11 @@ func remoteVerifier(ctx context.Context, addr, src string, file *spec.File, rf r
 		cached := ""
 		if res.Cached {
 			cached = ", cached"
+			// Name the store tier that answered when the daemon reports
+			// it ("disk" = the verdict survived a daemon restart).
+			if res.CacheTier != "" {
+				cached = ", cached (" + res.CacheTier + ")"
+			}
 		}
 		elapsed := "-"
 		states := 0

@@ -8,8 +8,14 @@
 // Usage:
 //
 //	verifasd [-addr :8080] [-workers N] [-job-workers N] [-queue N]
-//	         [-cache N] [-default-timeout D] [-max-timeout D]
+//	         [-cache N] [-store-dir DIR] [-store-max SIZE]
+//	         [-default-timeout D] [-max-timeout D]
 //	         [-debug-addr ADDR] [-version]
+//
+// With -store-dir the in-memory result cache is layered over a
+// persistent content-addressed store in DIR: verdicts survive restarts
+// (and can be shared by replicas on one filesystem), bounded on disk by
+// -store-max with LRU-by-mtime eviction.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new submissions are
 // rejected with 503, running verifications are canceled via their
@@ -33,6 +39,7 @@ import (
 	"verifas/internal/memsize"
 	"verifas/internal/obs"
 	"verifas/internal/service"
+	"verifas/internal/store"
 	"verifas/internal/version"
 )
 
@@ -46,7 +53,9 @@ func run() int {
 		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "verification worker-pool size")
 		jobWorkers   = flag.Int("job-workers", 1, "default intra-run search parallelism when a job sets no workers option (clamped to GOMAXPROCS)")
 		queueDepth   = flag.Int("queue", 64, "bound on queued runs beyond the workers (overflow gets 429)")
-		cacheSize    = flag.Int("cache", 256, "result-cache entries (negative disables caching)")
+		cacheSize    = flag.Int("cache", 256, "memory-tier result-store entries (negative disables caching)")
+		storeDir     = flag.String("store-dir", "", "persist results in this directory (content-addressed, survives restarts; empty = memory only)")
+		storeMax     = flag.String("store-max", "1G", "on-disk result-store size cap (binary units, e.g. 512M, 2G; 0 = uncapped)")
 		defTimeout   = flag.Duration("default-timeout", 60*time.Second, "per-job timeout when the request sets none")
 		maxTimeout   = flag.Duration("max-timeout", 0, "cap on requested per-job timeouts (0 = uncapped)")
 		maxStates    = flag.Int("max-states", core.DefaultMaxStates, "default state budget per search phase")
@@ -66,11 +75,31 @@ func run() int {
 		return 2
 	}
 
+	// Result store: memory-only by default; with -store-dir, the memory
+	// LRU tiers over a persistent content-addressed disk store so
+	// restarts serve previously computed verdicts without re-running an
+	// engine. The server owns the store and closes it after its drain.
+	var resultStore store.Store
+	if *storeDir != "" {
+		maxBytes, err := memsize.Parse(*storeMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-store-max:", err)
+			return 2
+		}
+		disk, err := store.OpenDisk(*storeDir, maxBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-store-dir:", err)
+			return 2
+		}
+		resultStore = store.NewTiered(store.NewMemory(*cacheSize), disk)
+	}
+
 	reg := obs.NewRegistry()
 	svc := service.NewServer(service.Config{
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		CacheEntries:     *cacheSize,
+		Store:            resultStore,
 		DefaultTimeout:   *defTimeout,
 		MaxTimeout:       *maxTimeout,
 		DefaultMaxStates: *maxStates,
@@ -79,10 +108,12 @@ func run() int {
 		Registry:         reg,
 		Version:          version.String(),
 	})
-	// Both aggregates surface on /debug/vars next to the runtime's
-	// expvars: the verifier-event totals and the service counters.
+	// All three aggregates surface on /debug/vars next to the runtime's
+	// expvars: the verifier-event totals, the service counters, and the
+	// result store's per-tier counters.
 	reg.Publish("verifasd")
 	expvar.Publish("verifasd_service", svc.Metrics())
+	obs.PublishJSON("verifasd_store", func() any { return svc.Store().Stats() })
 
 	var dbg *http.Server
 	if *debugAddr != "" {
@@ -101,8 +132,12 @@ func run() int {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "verifasd %s serving on http://%s (workers=%d job-workers=%d queue=%d cache=%d)\n",
-		version.String(), *addr, *workers, *jobWorkers, *queueDepth, *cacheSize)
+	persist := "memory-only"
+	if *storeDir != "" {
+		persist = fmt.Sprintf("disk=%s max=%s", *storeDir, *storeMax)
+	}
+	fmt.Fprintf(os.Stderr, "verifasd %s serving on http://%s (workers=%d job-workers=%d queue=%d cache=%d store=%s)\n",
+		version.String(), *addr, *workers, *jobWorkers, *queueDepth, *cacheSize, persist)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

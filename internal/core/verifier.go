@@ -77,12 +77,14 @@ type Options struct {
 // DefaultMaxStates bounds each search phase unless overridden.
 const DefaultMaxStates = 2_000_000
 
-// Step is one transition of a counterexample trace.
+// Step is one transition of a counterexample trace. The JSON field names
+// are part of the persistent result-store envelope (internal/store), so
+// they must stay stable across releases.
 type Step struct {
-	Service symbolic.ServiceRef
+	Service symbolic.ServiceRef `json:"service"`
 	// State describes the reached symbolic state (constraints on the
 	// artifact variables).
-	State string
+	State string `json:"state"`
 }
 
 // Violation describes a counterexample: a symbolic local run violating the
@@ -92,11 +94,11 @@ type Violation struct {
 	// (an accepting state recurs via a counter-pumping cycle found during
 	// acceleration), or "cycle" (an accepting cycle of the coverability
 	// graph).
-	Kind string
+	Kind string `json:"kind"`
 	// Prefix is the stem of the run.
-	Prefix []Step
+	Prefix []Step `json:"prefix,omitempty"`
 	// Cycle is the repeated part for infinite violations.
-	Cycle []Step
+	Cycle []Step `json:"cycle,omitempty"`
 }
 
 // Stats reports search effort, broken down per phase.
@@ -149,9 +151,9 @@ type Result struct {
 	// Verdict is the three-valued outcome: VerdictHolds, VerdictViolated
 	// (see Violation) or VerdictTimedOut (budget exhaustion; nothing is
 	// known).
-	Verdict   Verdict
-	Violation *Violation
-	Stats     Stats
+	Verdict   Verdict    `json:"verdict"`
+	Violation *Violation `json:"violation,omitempty"`
+	Stats     Stats      `json:"stats"`
 	// Portfolio records the per-engine outcomes when the result was
 	// produced by VerifyPortfolio (nil for single-engine runs): the
 	// winner, each contender's verdict/duration, and whether the merged

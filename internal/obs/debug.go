@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"expvar"
 	"net"
 	"net/http"
 
@@ -9,6 +10,15 @@ import (
 	// registry.go.
 	_ "net/http/pprof"
 )
+
+// PublishJSON exposes fn's return value as a JSON expvar under name on
+// /debug/vars, next to any published Registry. fn is invoked on every
+// scrape, so it should snapshot cheap counters — verifasd uses it for
+// the result store's per-tier stats. Panics (like expvar.Publish) if the
+// name is already in use.
+func PublishJSON(name string, fn func() any) {
+	expvar.Publish(name, expvar.Func(fn))
+}
 
 // ServeDebug starts the debug HTTP server on addr (e.g. "localhost:6060"
 // or ":6060"), serving net/http/pprof under /debug/pprof/ and expvar —

@@ -1,11 +1,9 @@
 package service
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"sync"
 
 	"verifas/internal/core"
 	"verifas/internal/has"
@@ -13,7 +11,11 @@ import (
 )
 
 // cacheKey derives the content-addressed identity of a verification:
-// a SHA-256 over the canonicalized (spec, property, options) triple.
+// a SHA-256 over the canonicalized (spec, property, options) triple. It
+// is the key of the pluggable result store (internal/store) — including
+// its persistent on-disk tier, so the canonicalization below is a
+// durable format: restarts and replicas answer from entries older
+// processes wrote.
 //
 // Canonicalization makes textually different but semantically identical
 // requests collide on purpose:
@@ -41,72 +43,4 @@ func cacheKey(sys *has.System, prop *core.Property, eopts EngineOptions) string 
 	}
 	h.Write(ob)
 	return hex.EncodeToString(h.Sum(nil))
-}
-
-// resultCache is a mutex-guarded LRU of terminal verification results
-// keyed by cacheKey. Values are *core.Result, which are immutable once
-// published, so hits alias the stored result without copying.
-//
-// Timed-out verdicts are cached too: with the same budgets the engine
-// would time out again, so replaying the search buys nothing — a caller
-// that wants a real answer resubmits with a larger budget, which is a
-// different key.
-type resultCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
-}
-
-type cacheEntry struct {
-	key string
-	res *core.Result
-}
-
-func newResultCache(max int) *resultCache {
-	return &resultCache{
-		max:     max,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
-	}
-}
-
-// get returns the cached result and refreshes its recency.
-func (c *resultCache) get(key string) (*core.Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
-}
-
-// put stores a result, evicting the least recently used entry beyond the
-// bound. A zero or negative bound disables caching.
-func (c *resultCache) put(key string, res *core.Result) {
-	if c.max <= 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.order.MoveToFront(el)
-		return
-	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
-	for len(c.entries) > c.max {
-		el := c.order.Back()
-		c.order.Remove(el)
-		delete(c.entries, el.Value.(*cacheEntry).key)
-	}
-}
-
-// len reports the current entry count.
-func (c *resultCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
 }

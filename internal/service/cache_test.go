@@ -1,7 +1,6 @@
 package service
 
 import (
-	"fmt"
 	"testing"
 
 	"verifas/internal/core"
@@ -119,44 +118,6 @@ func TestCacheKeyEngines(t *testing.T) {
 	}
 }
 
-func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
-	res := func(i int) *core.Result { return &core.Result{Verdict: core.Verdict(i % 3)} }
-	key := func(i int) string { return fmt.Sprintf("k%d", i) }
-
-	c.put(key(1), res(1))
-	c.put(key(2), res(2))
-	if _, ok := c.get(key(1)); !ok {
-		t.Fatal("k1 missing before eviction")
-	}
-	// k1 was just refreshed, so inserting k3 evicts k2.
-	c.put(key(3), res(3))
-	if _, ok := c.get(key(2)); ok {
-		t.Error("k2 survived past the bound")
-	}
-	if _, ok := c.get(key(1)); !ok {
-		t.Error("recently used k1 was evicted")
-	}
-	if c.len() != 2 {
-		t.Errorf("len = %d, want 2", c.len())
-	}
-
-	// Re-putting an existing key replaces in place without eviction.
-	c.put(key(1), res(2))
-	if got, _ := c.get(key(1)); got.Verdict != res(2).Verdict {
-		t.Error("re-put did not replace the entry")
-	}
-	if c.len() != 2 {
-		t.Errorf("len after re-put = %d, want 2", c.len())
-	}
-
-	// A disabled cache stores nothing.
-	off := newResultCache(0)
-	off.put(key(1), res(1))
-	if off.len() != 0 {
-		t.Error("disabled cache stored an entry")
-	}
-	if _, ok := off.get(key(1)); ok {
-		t.Error("disabled cache returned a hit")
-	}
-}
+// The LRU behaviour itself is tested in internal/store (the cache moved
+// there as store.Memory); this file keeps the cache-key canonicalization
+// tests, which are service-level concerns.

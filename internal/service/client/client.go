@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"verifas/internal/service"
+	"verifas/internal/store"
 )
 
 // Client talks to one verifasd server.
@@ -61,8 +62,9 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // do issues one request and decodes the JSON response into out (unless
-// nil). Non-2xx responses become *APIError.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// nil). Non-2xx responses become *APIError. header, when non-nil,
+// receives each named response header's first value.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, header map[string]*string) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -85,6 +87,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		return decodeAPIError(resp)
+	}
+	for name, dst := range header {
+		*dst = resp.Header.Get(name)
 	}
 	if out == nil {
 		return nil
@@ -114,7 +119,7 @@ func decodeAPIError(resp *http.Response) error {
 // Health fetches /healthz.
 func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
 	var out service.HealthResponse
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -123,18 +128,28 @@ func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
 // Stats fetches /v1/stats.
 func (c *Client) Stats(ctx context.Context) (*service.StatsResponse, error) {
 	var out service.StatsResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Submit posts one job. On a cache hit the returned status is already
-// terminal with Cached set.
+// terminal with Cached set and CacheTier naming the store tier that
+// answered ("memory", or "disk" for an entry that survived a daemon
+// restart) — cross-checked against the X-Verifas-Cache response header,
+// the canonical wire surface of the hit tier.
 func (c *Client) Submit(ctx context.Context, req *service.SubmitRequest) (*service.JobStatus, error) {
 	var out service.JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+	var tier string
+	hdr := map[string]*string{service.CacheTierHeader: &tier}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out, hdr); err != nil {
 		return nil, err
+	}
+	// Prefer the header when the body predates the cache_tier field
+	// (older daemons) or on any drift between the two.
+	if out.Cached && tier != "" && tier != string(store.TierMiss) {
+		out.CacheTier = tier
 	}
 	return &out, nil
 }
@@ -142,7 +157,7 @@ func (c *Client) Submit(ctx context.Context, req *service.SubmitRequest) (*servi
 // Status fetches a job's current state.
 func (c *Client) Status(ctx context.Context, id string) (*service.JobStatus, error) {
 	var out service.JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -156,7 +171,7 @@ func (c *Client) Result(ctx context.Context, id string, wait bool) (*service.Job
 		path += "?wait=1"
 	}
 	var out service.JobResult
-	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -165,7 +180,7 @@ func (c *Client) Result(ctx context.Context, id string, wait bool) (*service.Job
 // Cancel cancels a job.
 func (c *Client) Cancel(ctx context.Context, id string) (*service.JobStatus, error) {
 	var out service.JobStatus
-	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"verifas/internal/store"
 )
 
 // Structured error codes of the API. Every non-2xx response carries
@@ -26,6 +28,11 @@ const (
 	codeDraining        = "draining"
 	codeNotFound        = "not-found"
 )
+
+// CacheTierHeader is the response header of POST /v1/jobs naming the
+// result-store tier that answered the submission: "memory", "disk", or
+// "miss".
+const CacheTierHeader = "X-Verifas-Cache"
 
 // ErrorBody is the JSON envelope of every error response.
 type ErrorBody struct {
@@ -66,8 +73,14 @@ type StatsResponse struct {
 	// Verifier is the aggregated engine-event registry (states explored,
 	// verdict counts, per-phase wall time, parallel-search utilization).
 	Verifier json.RawMessage `json:"verifier"`
-	// CacheEntries is the current result-cache population.
+	// CacheEntries is the resident (memory-tier) result-store
+	// population.
 	CacheEntries int `json:"cache_entries"`
+	// Store is the per-tier result-store breakdown: hits, misses, puts,
+	// evictions, corrupt-quarantine count, entries and bytes for each
+	// tier the configured store has ("memory" always; "disk" when the
+	// daemon runs with -store-dir).
+	Store store.Stats `json:"store"`
 	// JobWorkers reports the intra-run search parallelism in force.
 	JobWorkers JobWorkersInfo `json:"job_workers"`
 	// MemBudget reports the per-job `mem_budget` option's server default.
@@ -150,6 +163,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, aerr)
 		return
 	}
+	// Surface the store tier that answered: "memory", "disk" (the entry
+	// survived a restart), or "miss" (a run was started or joined).
+	tier := string(store.TierMiss)
+	if st.Cached {
+		tier = st.CacheTier
+	}
+	w.Header().Set(CacheTierHeader, tier)
 	writeJSON(w, httpStatus, st)
 }
 
@@ -280,7 +300,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Service:      s.met.Snapshot(),
 		Verifier:     json.RawMessage(s.cfg.Registry.String()),
-		CacheEntries: s.cache.len(),
+		CacheEntries: s.store.Len(),
+		Store:        s.store.Stats(),
 		JobWorkers: JobWorkersInfo{
 			Default: s.cfg.JobWorkers,
 			Cap:     runtime.GOMAXPROCS(0),

@@ -10,6 +10,7 @@ import (
 	"verifas/internal/core"
 	"verifas/internal/has"
 	"verifas/internal/spec"
+	"verifas/internal/store"
 	"verifas/internal/workflows"
 )
 
@@ -150,9 +151,15 @@ func (s JobState) Terminal() bool {
 type JobStatus struct {
 	ID    string   `json:"id"`
 	State JobState `json:"state"`
-	// Cached: the verdict was served from the result cache without
+	// Cached: the verdict was served from the result store without
 	// running the engine.
 	Cached bool `json:"cached,omitempty"`
+	// CacheTier names the store tier that answered a cached job:
+	// "memory" (resident LRU) or "disk" (the persistent store — the
+	// entry survived a daemon restart). Empty for uncached jobs. The
+	// same value rides on submit responses as the X-Verifas-Cache
+	// header ("miss" for uncached submissions).
+	CacheTier string `json:"cache_tier,omitempty"`
 	// Coalesced: the job attached to an identical in-flight job's run
 	// (singleflight) instead of starting its own.
 	Coalesced bool `json:"coalesced,omitempty"`
@@ -418,13 +425,18 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 // (singleflight); a job canceled while sharing detaches without stopping
 // the others.
 type job struct {
-	id        string
-	created   time.Time
-	status    JobStatus // immutable descriptive fields (State recomputed)
-	exec      *execution
-	cached    *core.Result // set iff the job was answered from the cache
-	canceled  bool         // guarded by Server.mu
-	coalesced bool
+	id      string
+	created time.Time
+	status  JobStatus // immutable descriptive fields (State recomputed)
+	exec    *execution
+	// cached is set iff the job was answered from the result store; it
+	// is this job's private deep copy (store.Get clones), so no other
+	// job or store internals alias it. cachedTier records which tier
+	// answered.
+	cached     *core.Result
+	cachedTier store.Tier
+	canceled   bool // guarded by Server.mu
+	coalesced  bool
 }
 
 // execution is one engine run, shared by every job coalesced onto it.
@@ -458,6 +470,7 @@ func (j *job) snapshotStatus() JobStatus {
 	case j.cached != nil:
 		st.State = StateDone
 		st.Cached = true
+		st.CacheTier = string(j.cachedTier)
 	case j.canceled:
 		st.State = StateCanceled
 	default:

@@ -3,6 +3,8 @@ package service
 import (
 	"encoding/json"
 	"sync/atomic"
+
+	"verifas/internal/store"
 )
 
 // Metrics aggregates the service-level counters across the server's
@@ -16,7 +18,8 @@ type Metrics struct {
 	completed        atomic.Int64
 	failed           atomic.Int64
 	canceled         atomic.Int64
-	cacheHits        atomic.Int64
+	cacheHitsMemory  atomic.Int64
+	cacheHitsDisk    atomic.Int64
 	cacheMisses      atomic.Int64
 	coalesced        atomic.Int64
 	rejectedFull     atomic.Int64
@@ -25,6 +28,16 @@ type Metrics struct {
 	// queueDepth/queueCap are set by the server on snapshot; kept here so
 	// one var carries the whole picture.
 	depth func() (int, int)
+}
+
+// hit counts a store hit under its tier.
+func (m *Metrics) hit(tier store.Tier) {
+	switch tier {
+	case store.TierDisk:
+		m.cacheHitsDisk.Add(1)
+	default:
+		m.cacheHitsMemory.Add(1)
+	}
 }
 
 // MetricsSnapshot is the JSON shape of the service counters.
@@ -37,9 +50,14 @@ type MetricsSnapshot struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
-	// CacheHits counts submissions answered from the result cache;
+	// CacheHits counts submissions answered from the result store
+	// (either tier; kept as the historical total). CacheHitsMemory and
+	// CacheHitsDisk split it by the tier that answered — disk hits are
+	// the restart-surviving ones.
+	CacheHits       int64 `json:"cache_hits"`
+	CacheHitsMemory int64 `json:"cache_hits_memory"`
+	CacheHitsDisk   int64 `json:"cache_hits_disk"`
 	// CacheMisses counts submissions that started or joined a run.
-	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	// Coalesced counts submissions attached to an identical in-flight
 	// run (singleflight).
@@ -61,12 +79,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Completed:        m.completed.Load(),
 		Failed:           m.failed.Load(),
 		Canceled:         m.canceled.Load(),
-		CacheHits:        m.cacheHits.Load(),
+		CacheHitsMemory:  m.cacheHitsMemory.Load(),
+		CacheHitsDisk:    m.cacheHitsDisk.Load(),
 		CacheMisses:      m.cacheMisses.Load(),
 		Coalesced:        m.coalesced.Load(),
 		RejectedFull:     m.rejectedFull.Load(),
 		RejectedDraining: m.rejectedDraining.Load(),
 	}
+	s.CacheHits = s.CacheHitsMemory + s.CacheHitsDisk
 	if m.depth != nil {
 		s.QueueDepth, s.QueueCapacity = m.depth()
 	}

@@ -37,6 +37,7 @@ import (
 	"verifas/internal/engines"
 	"verifas/internal/obs"
 	"verifas/internal/spinlike"
+	"verifas/internal/store"
 )
 
 // Engine labels accepted in RequestOptions.Engine. Any name in the
@@ -71,9 +72,14 @@ type Config struct {
 	// QueueDepth bounds the number of admitted-but-unclaimed runs beyond
 	// the workers; overflow is rejected with 429 (default 64).
 	QueueDepth int
-	// CacheEntries bounds the LRU result cache (default 256; negative
-	// disables caching).
+	// CacheEntries bounds the in-memory LRU result store built when
+	// Store is nil (default 256; negative disables caching).
 	CacheEntries int
+	// Store overrides the result store: a tiered memory-over-disk store
+	// makes verdicts survive restarts (cmd/verifasd builds one from
+	// -store-dir). The server takes ownership and closes it once its
+	// drain completes. Nil builds a memory-only store from CacheEntries.
+	Store store.Store
 	// MaxJobs bounds the retained job records; the oldest terminal
 	// records are evicted beyond it (default 4096).
 	MaxJobs int
@@ -147,7 +153,7 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	met   *Metrics
-	cache *resultCache
+	store store.Store
 	start time.Time
 
 	// baseCtx parents every run context; baseCancel is the drain switch.
@@ -168,10 +174,14 @@ type Server struct {
 // NewServer builds the service and starts its worker pool.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemory(cfg.CacheEntries)
+	}
 	s := &Server{
 		cfg:      cfg,
 		met:      &Metrics{},
-		cache:    newResultCache(cfg.CacheEntries),
+		store:    st,
 		start:    time.Now(),
 		queue:    make(chan *execution, cfg.QueueDepth),
 		jobs:     make(map[string]*job),
@@ -293,11 +303,14 @@ func (s *Server) submit(r *resolved) (JobStatus, int, *apiError) {
 		CreatedMS: j.created.UnixMilli(),
 	}
 
-	// 1. Result cache: answer without touching the queue.
-	if res, ok := s.cache.get(r.key); ok {
+	// 1. Result store: answer without touching the queue. The store
+	// hands out a deep copy, so this job's result cannot be corrupted by
+	// (or corrupt) any other hit on the same key.
+	if res, tier, ok := s.store.Get(r.key); ok {
 		s.met.submitted.Add(1)
-		s.met.cacheHits.Add(1)
+		s.met.hit(tier)
 		j.cached = res
+		j.cachedTier = tier
 		j.status.Run = j.id
 		s.admitLocked(j)
 		return j.snapshotStatus(), http.StatusOK, nil
@@ -428,7 +441,11 @@ func (s *Server) runExecution(e *execution) {
 	res, err := e.run.Verify(e.ctx, e.res.sys, e.res.prop)
 	switch {
 	case err == nil && res != nil:
-		s.cache.put(e.key, res)
+		// Put is cheap on the job's completion path: the memory tier
+		// inserts synchronously (so a follow-up submission of the same
+		// key hits), while a tiered store hands the disk write to its
+		// background writer.
+		s.store.Put(e.key, res)
 		s.finishExecution(e, StateDone, res, nil)
 		// The verdict event already reached the hub through the
 		// observer; it is the stream's terminal record.
@@ -488,8 +505,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		// Every run has finished, so no more Puts are coming: flush and
+		// close the result store (a tiered store drains its pending disk
+		// writes here, making every verdict durable before exit).
+		return s.store.Close()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
+
+// Store returns the result store serving this server (an accessor for
+// stats endpoints and tests; the server retains ownership).
+func (s *Server) Store() store.Store { return s.store }

@@ -1,0 +1,273 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/has"
+	"verifas/internal/service"
+	"verifas/internal/service/client"
+	"verifas/internal/store"
+)
+
+// buggyShipStocked is a (workflow, property) pair whose verdict is
+// "violated" with a witness trace — so restart persistence is checked on
+// the richest result shape (verdict + stats + counterexample).
+func buggyShipStocked() *service.SubmitRequest {
+	return &service.SubmitRequest{
+		Workflow: "OrderFulfillmentBuggy",
+		PropertySrc: `property ship_stocked of ProcessOrders {
+			define stocked := instock == "Yes"
+			formula G (open(ShipItem) -> stocked)
+		}`,
+	}
+}
+
+// generation is one daemon lifetime over a shared store directory.
+type generation struct {
+	svc *service.Server
+	ts  *httptest.Server
+	cl  *client.Client
+}
+
+// startGeneration boots a server whose tiered store persists into dir and
+// whose engine dispatch counts invocations in runs.
+func startGeneration(t *testing.T, dir string, runs *atomic.Int64) *generation {
+	t.Helper()
+	disk, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := service.Config{
+		Workers: 1,
+		Store:   store.NewTiered(store.NewMemory(16), disk),
+	}
+	cfg.Engine = func(o service.EngineOptions, observer core.Observer) (core.Engine, error) {
+		eng, err := service.BuiltinEngine(o, observer)
+		if err != nil {
+			return nil, err
+		}
+		return core.VerifierFunc(func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
+			runs.Add(1)
+			return eng.Verify(ctx, sys, prop)
+		}), nil
+	}
+	svc := service.NewServer(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	cl := client.New(ts.URL)
+	cl.HTTP = ts.Client()
+	return &generation{svc: svc, ts: ts, cl: cl}
+}
+
+// stop shuts the generation down the way the daemon does: listener
+// first, then the service drain (which flushes and closes the store).
+func (g *generation) stop(t *testing.T) {
+	t.Helper()
+	g.ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := g.svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// rawSubmit posts a job over plain HTTP so the X-Verifas-Cache response
+// header — the canonical wire surface of the hit tier — can be asserted
+// directly, not through the client's convenience backfill.
+func rawSubmit(t *testing.T, g *generation, req *service.SubmitRequest) (service.JobStatus, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := g.ts.Client().Post(g.ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st, resp.Header.Get(service.CacheTierHeader)
+}
+
+// outcome extracts the fields the acceptance criterion requires to be
+// byte-identical across a restart: verdict, witness and stats.
+func outcome(t *testing.T, res *service.JobResult) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Verdict   string                 `json:"verdict"`
+		Violation *service.WireViolation `json:"violation"`
+		Stats     *core.Stats            `json:"stats"`
+	}{res.Verdict, res.Violation, res.Stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRestartPersistence is the tentpole acceptance test: a daemon
+// restarted over the same store directory answers a previously verified
+// (system, property, options) job from the disk tier — byte-identical
+// verdict, stats and witness — without invoking any engine; and a
+// corrupt entry degrades to recomputation, never to a wrong verdict.
+func TestRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+	ctx := context.Background()
+
+	// ---- Generation 1: cold miss, then a memory-tier hit.
+	g1 := startGeneration(t, dir, &runs)
+	st, hdr := rawSubmit(t, g1, buggyShipStocked())
+	if st.Cached || hdr != string(store.TierMiss) {
+		t.Fatalf("cold submit: cached=%v header=%q, want a miss", st.Cached, hdr)
+	}
+	res1, err := g1.cl.Result(ctx, st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.State != service.StateDone || res1.Verdict != "violated" || res1.Violation == nil {
+		t.Fatalf("seed job = %+v", res1)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("engine ran %d times, want 1", got)
+	}
+	want := outcome(t, res1)
+
+	st2, hdr2 := rawSubmit(t, g1, buggyShipStocked())
+	if !st2.Cached || st2.CacheTier != string(store.TierMemory) || hdr2 != string(store.TierMemory) {
+		t.Fatalf("warm submit: cached=%v tier=%q header=%q, want memory", st2.Cached, st2.CacheTier, hdr2)
+	}
+	g1.stop(t) // drains the tiered writer: the entry must now be on disk
+
+	// ---- Generation 2: a fresh process, empty memory tier, same dir.
+	g2 := startGeneration(t, dir, &runs)
+	st3, hdr3 := rawSubmit(t, g2, buggyShipStocked())
+	if !st3.Cached || st3.CacheTier != string(store.TierDisk) || hdr3 != string(store.TierDisk) {
+		t.Fatalf("restart submit: cached=%v tier=%q header=%q, want disk", st3.Cached, st3.CacheTier, hdr3)
+	}
+	if st3.Key != st.Key {
+		t.Fatalf("cache key drifted across restart: %q vs %q", st3.Key, st.Key)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("restart re-ran the engine (%d runs)", got)
+	}
+	res2, err := g2.cl.Result(ctx, st3.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outcome(t, res2); got != want {
+		t.Fatalf("disk-tier result is not byte-identical:\n got %s\nwant %s", got, want)
+	}
+
+	// The hit was promoted: the next submit answers from memory. And the
+	// stats endpoint attributes each hit to its tier.
+	st4, _ := rawSubmit(t, g2, buggyShipStocked())
+	if st4.CacheTier != string(store.TierMemory) {
+		t.Fatalf("post-promotion tier = %q, want memory", st4.CacheTier)
+	}
+	stats, err := g2.cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stats.Service
+	if m.CacheHitsDisk != 1 || m.CacheHitsMemory != 1 || m.CacheHits != 2 {
+		t.Errorf("per-tier hit split = mem %d disk %d total %d, want 1/1/2",
+			m.CacheHitsMemory, m.CacheHitsDisk, m.CacheHits)
+	}
+	if stats.Store.Disk == nil || stats.Store.Disk.Hits != 1 || stats.Store.Disk.Entries != 1 {
+		t.Errorf("store stats = %+v, want one disk entry with one hit", stats.Store.Disk)
+	}
+	g2.stop(t)
+
+	// ---- Generation 3: corrupt the stored entry; the daemon must
+	// quarantine it and recompute rather than serve garbage.
+	if n := truncateEntries(t, dir); n != 1 {
+		t.Fatalf("corrupted %d entries, want 1", n)
+	}
+	g3 := startGeneration(t, dir, &runs)
+	st5, hdr5 := rawSubmit(t, g3, buggyShipStocked())
+	if st5.Cached || hdr5 != string(store.TierMiss) {
+		t.Fatalf("corrupt-entry submit: cached=%v header=%q, want a recomputation miss", st5.Cached, hdr5)
+	}
+	res3, err := g3.cl.Result(ctx, st5.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("engine ran %d times, want 2 (one recomputation)", got)
+	}
+	if got := outcome(t, res3); res3.Verdict != "violated" {
+		t.Fatalf("recomputed verdict = %s", got)
+	}
+	stats3, err := g3.cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Store.Disk == nil || stats3.Store.Disk.Corrupt != 1 {
+		t.Errorf("corrupt counter = %+v, want 1", stats3.Store.Disk)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Errorf("quarantine holds %d files (err %v), want the corrupt entry", len(q), err)
+	}
+	g3.stop(t)
+
+	// The recomputed verdict was re-persisted: a fourth generation hits
+	// disk again.
+	g4 := startGeneration(t, dir, &runs)
+	st6, _ := rawSubmit(t, g4, buggyShipStocked())
+	if !st6.Cached || st6.CacheTier != string(store.TierDisk) {
+		t.Fatalf("post-recovery submit = %+v, want a disk hit", st6)
+	}
+	g4.stop(t)
+}
+
+// truncateEntries cuts every committed entry file in half, simulating a
+// torn write that survived on a non-atomic filesystem. Returns the
+// number of files corrupted.
+func truncateEntries(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if de.IsDir() {
+			if de.Name() == "quarantine" && path != dir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(de.Name(), ".json") {
+			return nil
+		}
+		info, err := de.Info()
+		if err != nil {
+			return err
+		}
+		if err := os.Truncate(path, info.Size()/2); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

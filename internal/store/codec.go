@@ -1,0 +1,76 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"verifas/internal/core"
+)
+
+// EnvelopeVersion is the current on-disk envelope version. Bump it when
+// the core.Result JSON shape changes incompatibly; old daemons treat
+// newer entries as misses (and quarantine them) instead of misreading
+// them.
+const EnvelopeVersion = 1
+
+// ErrCorrupt marks an entry that failed to decode: truncated or invalid
+// JSON, an unknown envelope version, or a key mismatch. Callers treat it
+// as a miss; the disk store additionally quarantines the file.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// envelope is the on-disk record: a version tag, the content-addressed
+// key the result was stored under (integrity cross-check against the
+// file name), and the result itself.
+//
+// Result uses a concrete field (not RawMessage) so Encode(Decode(b))
+// normalization and Decode(Encode(r)) round-tripping both go through the
+// typed core.Result marshaling, which is the shape the version number
+// protects.
+type envelope struct {
+	V      int          `json:"v"`
+	Key    string       `json:"key"`
+	Result *core.Result `json:"result"`
+}
+
+// Encode renders a terminal result as a versioned envelope. The encoding
+// is lossless: Decode returns a deeply equal result.
+func Encode(key string, res *core.Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("store: encoding nil result")
+	}
+	b, err := json.Marshal(envelope{V: EnvelopeVersion, Key: key, Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding result: %w", err)
+	}
+	return b, nil
+}
+
+// Decode parses a versioned envelope previously produced by Encode,
+// verifying the version and — when wantKey is non-empty — that the entry
+// was stored under that key. Every failure wraps ErrCorrupt.
+func Decode(b []byte, wantKey string) (*core.Result, error) {
+	// Peek at the version first so an envelope from a future release
+	// (whose result shape may not unmarshal cleanly) reports "unknown
+	// version", not a confusing JSON error.
+	var ver struct {
+		V int `json:"v"`
+	}
+	if err := json.Unmarshal(b, &ver); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if ver.V != EnvelopeVersion {
+		return nil, fmt.Errorf("%w: unknown envelope version %d (want %d)", ErrCorrupt, ver.V, EnvelopeVersion)
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if env.Result == nil {
+		return nil, fmt.Errorf("%w: envelope has no result", ErrCorrupt)
+	}
+	if wantKey != "" && env.Key != wantKey {
+		return nil, fmt.Errorf("%w: envelope key %.12s... does not match %.12s...", ErrCorrupt, env.Key, wantKey)
+	}
+	return env.Result, nil
+}

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"verifas/internal/core"
+)
+
+// Disk is the persistent content-addressed tier: one file per SHA-256
+// cache key under a two-level fan-out directory, written via
+// write-to-temp + atomic rename so a reader (or a crash) never observes
+// a partial entry. Entries that still fail to decode — truncated by a
+// crash mid-rename on a non-atomic filesystem, bit-rotted, produced by
+// an unknown future envelope version — are moved into quarantine/ and
+// reported as misses, so corruption degrades to recomputation, never to
+// a wrong verdict.
+//
+// The size cap is enforced LRU-by-mtime: every hit touches the entry's
+// mtime, and when the store grows past MaxBytes a sweep deletes the
+// stalest entries until it fits again. Layout:
+//
+//	<dir>/ab/<key>.json    entries (ab = first two hex digits of key)
+//	<dir>/quarantine/      undecodable entries, kept for post-mortem
+//
+// All methods are safe for concurrent use; concurrent daemons sharing
+// one directory are safe too (atomic rename + content-addressed names
+// make double-writes idempotent).
+type Disk struct {
+	dir string
+	max int64 // size cap in bytes; <= 0 = uncapped
+
+	mu      sync.Mutex
+	entries int
+	bytes   int64
+
+	hits, misses, puts, evictions, corrupt, errs int64
+}
+
+const (
+	diskSuffix    = ".json"
+	quarantineDir = "quarantine"
+	tmpPrefix     = ".tmp-"
+)
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir with a
+// total-size cap of maxBytes (<= 0 = uncapped). Existing entries are
+// counted, stale temp files from crashed writers are removed, and an
+// over-cap population is swept immediately.
+func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty disk-store directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	d := &Disk{dir: dir, max: maxBytes}
+	if err := d.rescan(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.sweepLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// path maps a key to its entry file. Keys are hex SHA-256 digests; a
+// short or unusual key still maps deterministically.
+func (d *Disk) path(key string) string {
+	fan := "xx"
+	if len(key) >= 2 {
+		fan = key[:2]
+	}
+	return filepath.Join(d.dir, fan, key+diskSuffix)
+}
+
+// rescan rebuilds the entry count and byte total from the directory and
+// removes stale temp files.
+func (d *Disk) rescan() error {
+	var entries int
+	var bytes int64
+	err := d.walkEntries(func(path string, info fs.FileInfo) {
+		entries++
+		bytes += info.Size()
+	})
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.entries, d.bytes = entries, bytes
+	d.mu.Unlock()
+	return nil
+}
+
+// walkEntries visits every committed entry file, deleting stale temp
+// files on the way. The quarantine directory is skipped.
+func (d *Disk) walkEntries(fn func(path string, info fs.FileInfo)) error {
+	return filepath.WalkDir(d.dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if de.IsDir() {
+			if de.Name() == quarantineDir && path != d.dir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			_ = os.Remove(path) // leftover from a crashed writer
+			return nil
+		}
+		if !strings.HasSuffix(name, diskSuffix) {
+			return nil
+		}
+		info, err := de.Info()
+		if err != nil {
+			return nil // raced with a concurrent delete
+		}
+		fn(path, info)
+		return nil
+	})
+}
+
+// Get reads and decodes the entry for key. Undecodable entries are
+// quarantined and report as misses.
+func (d *Disk) Get(key string) (*core.Result, Tier, bool) {
+	path := d.path(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		d.mu.Lock()
+		d.misses++
+		if !errors.Is(err, fs.ErrNotExist) {
+			d.errs++
+		}
+		d.mu.Unlock()
+		return nil, TierMiss, false
+	}
+	res, derr := Decode(b, key)
+	if derr != nil {
+		d.quarantine(path, int64(len(b)))
+		return nil, TierMiss, false
+	}
+	// Refresh the entry's recency for the LRU-by-mtime sweep;
+	// best-effort (a read-only replica still serves hits).
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	d.mu.Lock()
+	d.hits++
+	d.mu.Unlock()
+	return res, TierDisk, true
+}
+
+// quarantine moves a corrupt entry aside (keeping it for post-mortem)
+// and accounts for its removal from the live set.
+func (d *Disk) quarantine(path string, size int64) {
+	dst := filepath.Join(d.dir, quarantineDir,
+		fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	moveErr := os.Rename(path, dst)
+	if moveErr != nil {
+		// Fall back to deletion: a corrupt entry must never be served
+		// again.
+		moveErr = os.Remove(path)
+	}
+	d.mu.Lock()
+	d.misses++
+	d.corrupt++
+	if moveErr == nil {
+		d.entries--
+		d.bytes -= size
+	} else {
+		d.errs++
+	}
+	d.mu.Unlock()
+}
+
+// Put encodes the result and commits it with write-to-temp + atomic
+// rename. Failures are counted and dropped: persistence is best-effort,
+// the caller's job already completed.
+func (d *Disk) Put(key string, res *core.Result) {
+	b, err := Encode(key, res)
+	if err != nil {
+		d.mu.Lock()
+		d.errs++
+		d.mu.Unlock()
+		return
+	}
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		d.mu.Lock()
+		d.errs++
+		d.mu.Unlock()
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+"*")
+	if err != nil {
+		d.mu.Lock()
+		d.errs++
+		d.mu.Unlock()
+		return
+	}
+	_, werr := tmp.Write(b)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		d.mu.Lock()
+		d.errs++
+		d.mu.Unlock()
+		return
+	}
+	// Size delta under the lock so concurrent overwrites of one key keep
+	// the byte total consistent.
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var oldSize int64
+	replaced := false
+	if info, err := os.Stat(path); err == nil {
+		oldSize, replaced = info.Size(), true
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		d.errs++
+		return
+	}
+	d.puts++
+	d.bytes += int64(len(b)) - oldSize
+	if !replaced {
+		d.entries++
+	}
+	d.sweepLocked()
+}
+
+// sweepLocked enforces the size cap by deleting the stalest entries
+// (oldest mtime first) until the store fits. Caller holds d.mu.
+func (d *Disk) sweepLocked() {
+	if d.max <= 0 || d.bytes <= d.max {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var all []entry
+	var total int64
+	err := d.walkEntries(func(path string, info fs.FileInfo) {
+		all = append(all, entry{path, info.Size(), info.ModTime()})
+		total += info.Size()
+	})
+	if err != nil {
+		d.errs++
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	entries := len(all)
+	for _, e := range all {
+		if total <= d.max {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			d.errs++
+			continue
+		}
+		total -= e.size
+		entries--
+		d.evictions++
+	}
+	// The walk is the source of truth; adopt its totals.
+	d.entries, d.bytes = entries, total
+}
+
+// Len reports the committed entry count.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.entries
+}
+
+// Stats snapshots the disk-tier counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{Disk: &TierStats{
+		Hits:      d.hits,
+		Misses:    d.misses,
+		Puts:      d.puts,
+		Evictions: d.evictions,
+		Corrupt:   d.corrupt,
+		Errors:    d.errs,
+		Entries:   d.entries,
+		Bytes:     d.bytes,
+	}}
+}
+
+// Close is a no-op: every Put is already durable when it returns.
+func (d *Disk) Close() error { return nil }

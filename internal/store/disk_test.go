@@ -1,0 +1,247 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"verifas/internal/store"
+)
+
+// entryFiles lists the committed entry files under a store directory
+// (excluding quarantine and temp files), relative to dir.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if de.IsDir() {
+			if de.Name() == "quarantine" && path != dir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(de.Name(), ".json") {
+			rel, _ := filepath.Rel(dir, path)
+			out = append(out, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func quarantined(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+func TestDiskPutGetRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey("restart")
+	want := sampleResult()
+	d.Put(key, want)
+
+	// Layout: one file per key under a two-hex-digit fan-out directory.
+	files := entryFiles(t, dir)
+	if len(files) != 1 || files[0] != filepath.Join(key[:2], key+".json") {
+		t.Fatalf("layout = %v, want [%s]", files, filepath.Join(key[:2], key+".json"))
+	}
+	got, tier, ok := d.Get(key)
+	if !ok || tier != store.TierDisk || !reflect.DeepEqual(got, want) {
+		t.Fatalf("get = (%v, %v), result equal=%v", tier, ok, reflect.DeepEqual(got, want))
+	}
+	if st := d.Stats().Disk; st.Puts != 1 || st.Hits != 1 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// A second store over the same directory — the daemon-restart path —
+	// rescans and serves the entry without any Put.
+	d2, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 1 {
+		t.Fatalf("reopened len = %d, want 1", d2.Len())
+	}
+	got2, tier, ok := d2.Get(key)
+	if !ok || tier != store.TierDisk || !reflect.DeepEqual(got2, want) {
+		t.Fatalf("restart get = (%v, %v)", tier, ok)
+	}
+}
+
+func TestDiskOpenRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	fan := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(fan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(fan, ".tmp-crashed-writer")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived OpenDisk")
+	}
+	if d.Len() != 0 {
+		t.Errorf("temp file counted as an entry: len = %d", d.Len())
+	}
+}
+
+// TestDiskQuarantine: every undecodable on-disk shape reports a miss,
+// bumps the corrupt counter, and moves the file into quarantine/ — it is
+// never served, and never re-read on the next Get.
+func TestDiskQuarantine(t *testing.T) {
+	cases := map[string]func(good []byte) []byte{
+		"truncated":       func(g []byte) []byte { return g[:len(g)/2] },
+		"bad-json":        func([]byte) []byte { return []byte("{nope") },
+		"future-version":  func([]byte) []byte { return []byte(`{"v":999,"key":"x","result":{}}`) },
+		"foreign-content": func([]byte) []byte { return []byte(`{"v":1,"key":"deadbeef","result":{"verdict":"holds","stats":{}}}`) },
+	}
+	for label, corrupt := range cases {
+		t.Run(label, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := store.OpenDisk(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := fakeKey("quarantine-" + label)
+			d.Put(key, sampleResult())
+			path := filepath.Join(dir, key[:2], key+".json")
+			good, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, tier, ok := d.Get(key); ok || tier != store.TierMiss {
+				t.Fatalf("corrupt entry served: (%v, %v)", tier, ok)
+			}
+			st := d.Stats().Disk
+			if st.Corrupt != 1 || st.Entries != 0 {
+				t.Errorf("stats after corruption = %+v, want 1 corrupt / 0 entries", st)
+			}
+			q := quarantined(t, dir)
+			if len(q) != 1 || !strings.HasPrefix(q[0], key+".json.") {
+				t.Errorf("quarantine = %v, want one entry for %s", q, key)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt file still in the live set")
+			}
+			// Second Get: a plain miss, no double-count.
+			if _, _, ok := d.Get(key); ok {
+				t.Error("quarantined entry resurrected")
+			}
+			if st := d.Stats().Disk; st.Corrupt != 1 {
+				t.Errorf("corrupt counted twice: %+v", st)
+			}
+
+			// Recovery: a fresh Put re-commits the key cleanly.
+			d.Put(key, sampleResult())
+			if got, _, ok := d.Get(key); !ok || !reflect.DeepEqual(got, sampleResult()) {
+				t.Error("re-put after quarantine did not serve")
+			}
+		})
+	}
+}
+
+// TestDiskSweepEvictsStalest: the size cap deletes oldest-mtime entries
+// first, and a hit refreshes an entry's mtime, so recently used verdicts
+// survive the sweep.
+func TestDiskSweepEvictsStalest(t *testing.T) {
+	dir := t.TempDir()
+	// Uncapped store to seed entries without tripping sweeps.
+	seed, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult()
+	keys := make([]string, 4)
+	var entryBytes int64
+	for i := range keys {
+		keys[i] = fakeKey(strings.Repeat("k", i+1))
+		seed.Put(keys[i], res)
+	}
+	entryBytes = seed.Stats().Disk.Bytes / int64(len(keys))
+	// Age the entries explicitly: keys[0] oldest ... keys[3] newest.
+	base := time.Now().Add(-time.Hour)
+	for i, k := range keys {
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, k[:2], k+".json"), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen with room for roughly two entries: the initial sweep must
+	// evict the two stalest and keep the two freshest.
+	capped, err := store.OpenDisk(dir, 2*entryBytes+entryBytes/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[:2] {
+		if _, _, ok := capped.Get(k); ok {
+			t.Errorf("stale entry %s survived the sweep", k[:8])
+		}
+	}
+	for _, k := range keys[2:] {
+		if _, _, ok := capped.Get(k); !ok {
+			t.Errorf("fresh entry %s was evicted", k[:8])
+		}
+	}
+	if st := capped.Stats().Disk; st.Evictions != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 evictions / 2 entries", st)
+	}
+
+	// keys[2] was just hit (mtime refreshed); adding a new entry over the
+	// cap must evict around it. Re-age keys[3] to be the stalest.
+	old := base.Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, keys[3][:2], keys[3]+".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	capped.Put(fakeKey("newcomer"), res)
+	if _, _, ok := capped.Get(keys[2]); !ok {
+		t.Error("recently hit entry was evicted before the stalest one")
+	}
+	if _, _, ok := capped.Get(keys[3]); ok {
+		t.Error("stalest entry survived an over-cap Put")
+	}
+}
+
+func TestDiskOpenErrors(t *testing.T) {
+	if _, err := store.OpenDisk("", 0); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// A file where the directory should be.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.OpenDisk(f, 0); err == nil {
+		t.Error("file-as-dir accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"verifas/internal/core"
+)
+
+// Memory is the in-process LRU tier: a mutex-guarded map + recency list
+// bounded by entry count. It is the old service-internal result cache
+// promoted behind the Store interface — with one behavioural fix: Get
+// and Put deep-copy the result, so callers can no longer corrupt each
+// other through a shared pointer.
+type Memory struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, puts, evictions int64
+}
+
+type memEntry struct {
+	key string
+	res *core.Result
+}
+
+// NewMemory returns an LRU store bounded to max entries. A zero or
+// negative bound disables storage (every Get misses, Put is a no-op).
+func NewMemory(max int) *Memory {
+	return &Memory{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns a deep copy of the cached result and refreshes its
+// recency.
+func (m *Memory) Get(key string) (*core.Result, Tier, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[key]
+	if !ok {
+		m.misses++
+		return nil, TierMiss, false
+	}
+	m.hits++
+	m.order.MoveToFront(el)
+	return el.Value.(*memEntry).res.Clone(), TierMemory, true
+}
+
+// Put stores a deep copy of the result, evicting the least recently used
+// entry beyond the bound.
+func (m *Memory) Put(key string, res *core.Result) {
+	if res == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.max <= 0 {
+		return
+	}
+	m.puts++
+	if el, ok := m.entries[key]; ok {
+		el.Value.(*memEntry).res = res.Clone()
+		m.order.MoveToFront(el)
+		return
+	}
+	m.entries[key] = m.order.PushFront(&memEntry{key: key, res: res.Clone()})
+	for len(m.entries) > m.max {
+		el := m.order.Back()
+		m.order.Remove(el)
+		delete(m.entries, el.Value.(*memEntry).key)
+		m.evictions++
+	}
+}
+
+// Len reports the current entry count.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Stats snapshots the memory-tier counters.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Memory: &TierStats{
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Puts:      m.puts,
+		Evictions: m.evictions,
+		Entries:   len(m.entries),
+	}}
+}
+
+// Close is a no-op for the memory tier.
+func (m *Memory) Close() error { return nil }

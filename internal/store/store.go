@@ -1,0 +1,104 @@
+// Package store provides the pluggable, tiered result store behind the
+// verification service's content-addressed caching: terminal
+// core.Results keyed by the SHA-256 cache key of their (system,
+// property, options) triple.
+//
+// Three implementations share one interface:
+//
+//   - Memory: the mutex-guarded LRU that served as the daemon's only
+//     cache before this package existed. Fast, bounded by entry count,
+//     gone on restart.
+//   - Disk: a persistent content-addressed store — one file per cache
+//     key, written to a temp file and atomically renamed, so restarts
+//     (and replicas sharing a filesystem) serve previously computed
+//     verdicts without re-running an engine. Corrupt or partial entries
+//     are quarantined and degrade to misses, never to wrong verdicts.
+//   - Tiered: memory layered over disk with promote-on-hit and
+//     asynchronous disk writes, the daemon's default when -store-dir is
+//     set.
+//
+// Every Get hands out a deep copy (core.Result.Clone), so one caller's
+// mutation of a hit can never corrupt another caller's response — the
+// shared-pointer hazard of the old in-service cache.
+package store
+
+import (
+	"encoding/json"
+
+	"verifas/internal/core"
+)
+
+// Tier identifies which layer of a store answered a Get. It is the value
+// of the X-Verifas-Cache response header and of the per-tier service
+// metrics.
+type Tier string
+
+const (
+	// TierMemory: the hit came from the in-memory LRU.
+	TierMemory Tier = "memory"
+	// TierDisk: the hit came from the persistent on-disk store.
+	TierDisk Tier = "disk"
+	// TierMiss: no layer had the key.
+	TierMiss Tier = "miss"
+)
+
+// Store is a content-addressed result store. Implementations are safe
+// for concurrent use.
+type Store interface {
+	// Get returns a deep copy of the stored result and the tier that
+	// answered, or (nil, TierMiss, false) on a miss. A corrupt persistent
+	// entry is a miss (and is quarantined), never a wrong result.
+	Get(key string) (*core.Result, Tier, bool)
+	// Put stores a deep copy of a terminal result under key. Put never
+	// returns an error: persistence failures degrade to cache misses and
+	// are visible in Stats().
+	Put(key string, res *core.Result)
+	// Len reports the entry count of the store's fastest tier (the
+	// resident population a hit can be served from without I/O).
+	Len() int
+	// Stats snapshots the per-tier counters.
+	Stats() Stats
+	// Close flushes pending writes and releases resources. The store
+	// must not be used afterwards.
+	Close() error
+}
+
+// TierStats are one tier's lifetime counters plus its current size.
+type TierStats struct {
+	// Hits/Misses count Get outcomes at this tier (a tiered store's disk
+	// tier only sees the Gets its memory tier missed).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts counts stored entries, including overwrites.
+	Puts int64 `json:"puts"`
+	// Evictions counts entries dropped by the LRU bound (memory) or the
+	// size-cap sweep (disk).
+	Evictions int64 `json:"evictions"`
+	// Corrupt counts quarantined entries: present but undecodable
+	// (truncated write, bad JSON, unknown envelope version, key
+	// mismatch). Always zero for the memory tier.
+	Corrupt int64 `json:"corrupt,omitempty"`
+	// Errors counts I/O failures that silently degraded to misses or
+	// dropped puts. Always zero for the memory tier.
+	Errors int64 `json:"errors,omitempty"`
+	// Entries is the current entry count; Bytes the bytes they occupy
+	// (disk tier only).
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes,omitempty"`
+}
+
+// Stats snapshots a store's per-tier counters. Tiers the store does not
+// have are nil and absent from the JSON.
+type Stats struct {
+	Memory *TierStats `json:"memory,omitempty"`
+	Disk   *TierStats `json:"disk,omitempty"`
+}
+
+// String renders the snapshot as one JSON object (expvar.Var shape).
+func (s Stats) String() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"sync"
+
+	"verifas/internal/core"
+)
+
+// Tiered layers a fast tier (memory) over a persistent one (disk):
+//
+//   - Get checks memory first; a disk hit is promoted into memory so the
+//     next Get is answered without I/O, and still reports TierDisk (the
+//     caller learns the entry survived a restart).
+//   - Put writes memory synchronously — the verdict is immediately
+//     servable — and hands the disk write to a background writer, so
+//     disk latency never sits on a job's completion path.
+//   - Close drains the pending disk writes, making every accepted Put
+//     durable before it returns (the daemon calls it during shutdown).
+type Tiered struct {
+	mem  Store
+	disk Store
+
+	queue chan tieredPut
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type tieredPut struct {
+	key string
+	res *core.Result
+}
+
+// tieredQueueDepth bounds the pending async disk writes. A full queue
+// applies backpressure (Put blocks on the channel send): results are a
+// few KB, so the writer drains far faster than engines produce verdicts,
+// and blocking beats silently dropping persistence.
+const tieredQueueDepth = 256
+
+// NewTiered builds the two-tier store and starts its disk writer. Both
+// tiers are owned by the returned store and closed by its Close.
+func NewTiered(mem, disk Store) *Tiered {
+	t := &Tiered{
+		mem:   mem,
+		disk:  disk,
+		queue: make(chan tieredPut, tieredQueueDepth),
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for p := range t.queue {
+			t.disk.Put(p.key, p.res)
+		}
+	}()
+	return t
+}
+
+// Get serves from memory, falling back to disk with promote-on-hit.
+func (t *Tiered) Get(key string) (*core.Result, Tier, bool) {
+	if res, tier, ok := t.mem.Get(key); ok {
+		return res, tier, ok
+	}
+	res, _, ok := t.disk.Get(key)
+	if !ok {
+		return nil, TierMiss, false
+	}
+	// Promote so subsequent hits are memory-fast. The memory tier clones
+	// on Put, so the copy we return stays private to this caller.
+	t.mem.Put(key, res)
+	return res, TierDisk, true
+}
+
+// Put stores into memory now and into disk asynchronously. The clone for
+// the background writer is taken synchronously, so later mutations by
+// the caller cannot leak into the persistent entry.
+func (t *Tiered) Put(key string, res *core.Result) {
+	if res == nil {
+		return
+	}
+	t.mem.Put(key, res)
+	p := tieredPut{key: key, res: res.Clone()}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		// After Close the writer is gone; keep the persistence guarantee
+		// by writing synchronously.
+		t.disk.Put(p.key, p.res)
+		return
+	}
+	// The send happens under the mutex so Close cannot close the channel
+	// between the closed-check and the send. A full queue blocks here,
+	// but the writer drains without taking the mutex, so both this Put
+	// and a concurrent Close make progress.
+	t.queue <- p
+	t.mu.Unlock()
+}
+
+// Len reports the memory tier's resident population.
+func (t *Tiered) Len() int { return t.mem.Len() }
+
+// Stats merges both tiers' counters.
+func (t *Tiered) Stats() Stats {
+	out := Stats{}
+	if s := t.mem.Stats(); s.Memory != nil {
+		out.Memory = s.Memory
+	}
+	if s := t.disk.Stats(); s.Disk != nil {
+		out.Disk = s.Disk
+	}
+	return out
+}
+
+// Close drains the pending disk writes and closes both tiers.
+func (t *Tiered) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.queue)
+	t.wg.Wait()
+	err := t.mem.Close()
+	if derr := t.disk.Close(); err == nil {
+		err = derr
+	}
+	return err
+}

@@ -86,14 +86,16 @@ const (
 	SvcCloseChild
 )
 
-// ServiceRef identifies a transition's service.
+// ServiceRef identifies a transition's service. The JSON field names are
+// part of the persistent result-store envelope (internal/store), so they
+// must stay stable across releases.
 type ServiceRef struct {
-	Kind ServiceKind
+	Kind ServiceKind `json:"kind"`
 	// Name is the internal service name (SvcInternal) or the task name
 	// (self/child open/close).
-	Name string
+	Name string `json:"name"`
 	// Index is the internal-service or child index.
-	Index int
+	Index int `json:"index"`
 }
 
 // AtomName returns the LTL service proposition naming this service
