@@ -1,0 +1,325 @@
+// Package loadgen is the fleet's deterministic load generator: it
+// drives a mixed verification workload (submissions, result waits,
+// status polls, event streams) against one endpoint — a verifas-router
+// or a bare verifasd — at a target QPS, from a seeded schedule, and
+// reports achieved throughput, latency percentiles and loss. The soak
+// test runs it against a 3-replica fleet while killing a replica
+// mid-run; `make fleet-soak` turns its report into BENCH_fleet.json.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"verifas/internal/service"
+	"verifas/internal/service/client"
+)
+
+// Config parameterizes one load run. Zero values mean defaults.
+type Config struct {
+	// Target is the base URL submissions go to (router or replica).
+	Target string
+	// Seed drives the spec schedule and workload mix; identical seeds
+	// replay identical schedules (default 1).
+	Seed int64
+	// Jobs is the total submission count (default 1000).
+	Jobs int
+	// Specs is the number of distinct cache keys cycled over — each is
+	// an option variant of the template spec (default 50).
+	Specs int
+	// QPS is the target submission rate; 0 submits as fast as the
+	// concurrency bound allows.
+	QPS float64
+	// Concurrency bounds the in-flight jobs (default 16).
+	Concurrency int
+	// Retry is applied to the underlying client (nil = fail fast; the
+	// soak passes a policy so a mid-run replica kill loses nothing).
+	Retry *client.RetryPolicy
+	// Workflow and PropertySrc are the spec template; defaults verify
+	// the built-in buggy order-fulfillment workflow.
+	Workflow    string
+	PropertySrc string
+	// BaseMaxStates is the option variant base: spec i sets
+	// max_states = BaseMaxStates + i (default 10000).
+	BaseMaxStates int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 1000
+	}
+	if c.Specs <= 0 {
+		c.Specs = 50
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.Workflow == "" {
+		c.Workflow = "OrderFulfillmentBuggy"
+		c.PropertySrc = `property ship_stocked of ProcessOrders {
+			define stocked := instock == "Yes"
+			formula G (open(ShipItem) -> stocked)
+		}`
+	}
+	if c.BaseMaxStates <= 0 {
+		c.BaseMaxStates = 10_000
+	}
+	return c
+}
+
+// Op is one scheduled operation: which spec to submit and how to
+// consume the result.
+type Op struct {
+	// Spec indexes the option variant ([0, Specs)).
+	Spec int
+	// Mode is how the job is consumed after submission.
+	Mode Mode
+}
+
+// Mode is a workload flavor.
+type Mode int
+
+const (
+	// ModeWait submits then blocks on /result?wait=1.
+	ModeWait Mode = iota
+	// ModeStatusThenWait polls /v1/jobs/{id} once (an id-routed read),
+	// then blocks on the result.
+	ModeStatusThenWait
+	// ModeStream follows the event stream to its terminal record.
+	ModeStream
+)
+
+// Schedule expands the config into its deterministic operation list:
+// the spec sequence and per-job workload mix depend only on Seed, Jobs
+// and Specs. Run executes exactly this schedule.
+func Schedule(cfg Config) []Op {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ops := make([]Op, cfg.Jobs)
+	for i := range ops {
+		ops[i].Spec = rng.Intn(cfg.Specs)
+		switch roll := rng.Intn(10); {
+		case roll < 7:
+			ops[i].Mode = ModeWait
+		case roll < 9:
+			ops[i].Mode = ModeStatusThenWait
+		default:
+			ops[i].Mode = ModeStream
+		}
+	}
+	return ops
+}
+
+// Request builds the submission for spec index i under cfg: the
+// template spec with a distinct max_states, so each index is a distinct
+// cache key with an identical verification.
+func Request(cfg Config, i int) *service.SubmitRequest {
+	cfg = cfg.withDefaults()
+	return &service.SubmitRequest{
+		Workflow:    cfg.Workflow,
+		PropertySrc: cfg.PropertySrc,
+		Options:     &service.RequestOptions{MaxStates: cfg.BaseMaxStates + i},
+	}
+}
+
+// Report is the machine-readable outcome of one run.
+type Report struct {
+	// Jobs is the scheduled submission count; Completed the ones that
+	// reached a terminal verdict; Lost the ones that did not (errors
+	// after retries, missing results). A healthy fleet run has
+	// Lost == 0 even across a replica kill.
+	Jobs      int `json:"jobs"`
+	Specs     int `json:"specs"`
+	Completed int `json:"completed"`
+	Lost      int `json:"lost"`
+	// Cached counts submissions answered from the result store.
+	Cached int `json:"cached"`
+	// TargetQPS is the configured pacing; QPS the achieved submission
+	// rate over the run.
+	TargetQPS float64 `json:"target_qps"`
+	QPS       float64 `json:"qps"`
+	// P50MS/P99MS are end-to-end latency percentiles (submit to
+	// terminal verdict), milliseconds.
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	DurationMS int64   `json:"duration_ms"`
+	// Resubmits counts ops re-issued after their job handle was lost
+	// mid-op (the issuing replica died between the submission and the
+	// result read). Submissions are content-addressed, so a resubmit
+	// lands on the same cache key — idempotent, never a duplicate
+	// engine run once the key is in the shared store.
+	Resubmits int `json:"resubmits"`
+	// Verdicts counts terminal verdicts seen (all should agree here).
+	Verdicts map[string]int `json:"verdicts"`
+	// Errors samples up to 8 failure messages for diagnosis.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Run executes the configured schedule against the target, pacing
+// submissions at QPS across the concurrency bound, and reports.
+func Run(ctx context.Context, cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	ops := Schedule(cfg)
+	cl := client.New(cfg.Target)
+	cl.Retry = cfg.Retry
+
+	rep := &Report{
+		Jobs:      cfg.Jobs,
+		Specs:     cfg.Specs,
+		TargetQPS: cfg.QPS,
+		Verdicts:  make(map[string]int),
+	}
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, cfg.Jobs)
+	fail := func(op Op, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Lost++
+		if len(rep.Errors) < 8 {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("spec %d: %v", op.Spec, err))
+		}
+	}
+
+	var interval time.Duration
+	if cfg.QPS > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.QPS)
+	}
+	feed := make(chan Op)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range feed {
+				runOp(ctx, cl, cfg, op, rep, &mu, &latencies, fail)
+			}
+		}()
+	}
+	start := time.Now()
+	next := start
+	for _, op := range ops {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+				}
+			}
+			next = next.Add(interval)
+		}
+		if ctx.Err() != nil {
+			fail(op, ctx.Err())
+			continue
+		}
+		feed <- op
+	}
+	close(feed)
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep.DurationMS = elapsed.Milliseconds()
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.QPS = float64(cfg.Jobs-rep.Lost) / secs
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50MS = percentileMS(latencies, 0.50)
+	rep.P99MS = percentileMS(latencies, 0.99)
+	return rep
+}
+
+// runOp drives one scheduled op to a terminal verdict. A lost job
+// handle (the issuing replica died between the submission and the
+// id-addressed read) is healed by resubmitting the op: content
+// addressing makes the resubmit land on the same cache key, so it never
+// duplicates an engine run once the result is in the shared store.
+func runOp(ctx context.Context, cl *client.Client, cfg Config, op Op, rep *Report, mu *sync.Mutex, latencies *[]time.Duration, fail func(Op, error)) {
+	var lastErr error
+	for try := 0; try < 3; try++ {
+		if try > 0 {
+			mu.Lock()
+			rep.Resubmits++
+			mu.Unlock()
+		}
+		t0 := time.Now()
+		cached, verdict, err := tryOp(ctx, cl, cfg, op)
+		if err == nil {
+			lat := time.Since(t0)
+			mu.Lock()
+			rep.Completed++
+			if cached {
+				rep.Cached++
+			}
+			rep.Verdicts[verdict]++
+			*latencies = append(*latencies, lat)
+			mu.Unlock()
+			return
+		}
+		lastErr = err
+		if !recoverable(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	fail(op, lastErr)
+}
+
+// recoverable reports whether a failed op is worth resubmitting: lost
+// handles (404 after a replica restart, 502 from a router that lost the
+// shard), saturation, and transport failures are; validation errors are
+// not.
+func recoverable(err error) bool {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case 404, 429, 502, 503:
+			return true
+		}
+		return ae.Status >= 500
+	}
+	return true
+}
+
+func tryOp(ctx context.Context, cl *client.Client, cfg Config, op Op) (cached bool, verdict string, err error) {
+	st, err := cl.Submit(ctx, Request(cfg, op.Spec))
+	if err != nil {
+		return false, "", err
+	}
+	cached = st.Cached
+	if op.Mode == ModeStatusThenWait {
+		if _, serr := cl.Status(ctx, st.ID); serr != nil {
+			return cached, "", fmt.Errorf("status: %w", serr)
+		}
+	}
+	if op.Mode == ModeStream {
+		var last service.StreamEvent
+		if serr := cl.Stream(ctx, st.ID, func(ev service.StreamEvent) error {
+			last = ev
+			return nil
+		}); serr != nil {
+			return cached, "", fmt.Errorf("stream: %w", serr)
+		}
+		if last.Type != "verdict" || last.Verdict == nil {
+			return cached, "", fmt.Errorf("stream ended on %q, not a verdict", last.Type)
+		}
+		return cached, last.Verdict.Verdict.String(), nil
+	}
+	res, rerr := cl.Result(ctx, st.ID, true)
+	if rerr != nil {
+		return cached, "", fmt.Errorf("result: %w", rerr)
+	}
+	return cached, res.Verdict, nil
+}
+
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

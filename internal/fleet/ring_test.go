@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys derives n deterministic hex keys shaped like the service's
+// SHA-256 cache keys.
+func testKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		var buf [16]byte
+		rng.Read(buf[:])
+		sum := sha256.Sum256(buf[:])
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func shards(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("127.0.0.1:%d", 9000+i)
+	}
+	return out
+}
+
+// TestRingDistributionUniformity: with virtual nodes, key distribution
+// across 8 shards stays within ±15% of uniform.
+func TestRingDistributionUniformity(t *testing.T) {
+	const nShards, nKeys = 8, 20000
+	r := NewRing(0)
+	for _, s := range shards(nShards) {
+		r.Add(s)
+	}
+	counts := make(map[string]int, nShards)
+	for _, k := range testKeys(nKeys) {
+		owner := r.Owner(k)
+		if owner == "" {
+			t.Fatal("empty owner on a populated ring")
+		}
+		counts[owner]++
+	}
+	if len(counts) != nShards {
+		t.Fatalf("only %d of %d shards own keys", len(counts), nShards)
+	}
+	uniform := float64(nKeys) / nShards
+	for shard, c := range counts {
+		dev := (float64(c) - uniform) / uniform
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("shard %s owns %d keys (%.1f%% from uniform %0.f), want within ±15%%",
+				shard, c, 100*dev, uniform)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one of N members remaps only the
+// keys it owned (~1/N), and every other key keeps its owner exactly.
+func TestRingMinimalDisruption(t *testing.T) {
+	const nShards, nKeys = 8, 20000
+	members := shards(nShards)
+	r := NewRing(0)
+	for _, s := range members {
+		r.Add(s)
+	}
+	keys := testKeys(nKeys)
+	before := make(map[string]string, nKeys)
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	removed := members[3]
+	r.Remove(removed)
+
+	remapped, ownedByRemoved := 0, 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == removed {
+			t.Fatalf("key %s still maps to removed member", k[:12])
+		}
+		if before[k] == removed {
+			ownedByRemoved++
+			remapped++
+			continue
+		}
+		if after != before[k] {
+			t.Errorf("key %s moved %s -> %s though its owner stayed in the ring",
+				k[:12], before[k], after)
+		}
+	}
+	// Exactly the removed member's keys remap, and that share is ~1/N.
+	frac := float64(remapped) / nKeys
+	if frac < 0.5/nShards || frac > 2.0/nShards {
+		t.Errorf("remapped fraction %.3f, want ~1/%d", frac, nShards)
+	}
+	if remapped != ownedByRemoved {
+		t.Errorf("remapped %d keys but removed member owned %d", remapped, ownedByRemoved)
+	}
+
+	// Re-adding restores the original mapping bit-for-bit.
+	r.Add(removed)
+	for _, k := range keys {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("after re-add, key %s maps to %s, want %s", k[:12], got, before[k])
+		}
+	}
+}
+
+// TestRingSequence: the failover sequence starts at the owner, lists
+// distinct members, and its second entry absorbs the key on removal.
+func TestRingSequence(t *testing.T) {
+	r := NewRing(0)
+	for _, s := range shards(4) {
+		r.Add(s)
+	}
+	for _, k := range testKeys(200) {
+		seq := r.Sequence(k, 3)
+		if len(seq) != 3 {
+			t.Fatalf("sequence length %d, want 3", len(seq))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("sequence[0] = %s, owner = %s", seq[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("sequence repeats %s: %v", m, seq)
+			}
+			seen[m] = true
+		}
+		// Successor invariant: removing the owner hands the key to the
+		// next member in the sequence.
+		owner := seq[0]
+		r.Remove(owner)
+		if got := r.Owner(k); got != seq[1] {
+			t.Fatalf("after removing %s, key owner = %s, want successor %s", owner, got, seq[1])
+		}
+		r.Add(owner)
+	}
+}
+
+// TestRingStability: ownership is a pure function of (members, vnodes,
+// key) — two independently built rings agree.
+func TestRingStability(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(0)
+		for _, s := range shards(5) {
+			r.Add(s)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k[:12], a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if r.Owner("abc") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	if seq := r.Sequence("abc", 2); seq != nil {
+		t.Fatalf("empty ring returned sequence %v", seq)
+	}
+	r.Add("only")
+	for _, k := range testKeys(50) {
+		if r.Owner(k) != "only" {
+			t.Fatal("single-member ring routed elsewhere")
+		}
+	}
+	if got := r.Sequence("abc", 5); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-member sequence = %v", got)
+	}
+}

@@ -21,13 +21,20 @@ import (
 	"verifas/internal/store"
 )
 
-// Client talks to one verifasd server.
+// Client talks to one verifasd server (or to a verifas-router fronting
+// a fleet — the surfaces are identical).
 type Client struct {
 	// Base is the server's base URL ("http://host:port"). New normalizes
 	// a bare host:port.
 	Base string
 	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
+	// Retry opts into bounded retry with jittered exponential backoff
+	// honoring the server's Retry-After hint on 429 (and 502/503/
+	// transport failures — the shapes a fleet produces during overload
+	// and replica restarts). Nil keeps the historical fail-fast
+	// behavior. Streams are never retried mid-flight.
+	Retry *RetryPolicy
 }
 
 // New builds a client for a base URL; a bare "host:port" gets the http
@@ -63,21 +70,44 @@ func (c *Client) httpClient() *http.Client {
 
 // do issues one request and decodes the JSON response into out (unless
 // nil). Non-2xx responses become *APIError. header, when non-nil,
-// receives each named response header's first value.
+// receives each named response header's first value. With Retry set,
+// retryable failures (429/502/503/transport) are re-issued under the
+// policy's backoff; every call is safe to repeat (see RetryPolicy).
 func (c *Client) do(ctx context.Context, method, path string, in, out any, header map[string]*string) error {
-	var body io.Reader
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, in != nil, out, header)
+		if err == nil || c.Retry == nil || attempt >= c.Retry.Attempts() || !Retryable(err) {
+			return err
+		}
+		if serr := c.Retry.sleep(ctx, c.Retry.Delay(attempt, hintOf(err))); serr != nil {
+			return err
+		}
+	}
+}
+
+// permanentError marks failures retrying cannot fix (encode/decode).
+type permanentError struct{ error }
+
+func (e permanentError) Unwrap() error { return e.error }
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, hasBody bool, out any, header map[string]*string) error {
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return permanentError{fmt.Errorf("client: %w", err)}
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -95,7 +125,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, heade
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding response: %w", err)
+		return permanentError{fmt.Errorf("client: decoding response: %w", err)}
 	}
 	return nil
 }

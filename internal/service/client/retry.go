@@ -1,0 +1,151 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RetryPolicy is the client's opt-in bounded retry: jittered exponential
+// backoff that honors the server's Retry-After hint. Nil (the default)
+// keeps the historical fail-fast behavior.
+//
+// Retried failures are the ones a fleet produces under load or during a
+// replica restart: 429 (admission control shed the job), 503 (drain, or
+// a router with no ready shard), 502 (a router that lost the owning
+// shard mid-request), and transport errors (connection refused while a
+// replica restarts). Every API call is safe to repeat: submissions are
+// content-addressed (a retried submit lands on the same cache key and
+// coalesces), the rest are idempotent reads or cancels.
+//
+// The zero value of each field means its default. A policy is safe for
+// concurrent use; the router shares one across its proxy workers.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of tries, the first included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff (default 5s). A larger
+	// Retry-After hint overrides the cap: the server knows best.
+	MaxDelay time.Duration
+	// Jitter is the uniformly random fraction added to each delay,
+	// 0..1 of the computed backoff (default 0.2). Negative disables.
+	Jitter float64
+	// Seed makes the jitter sequence reproducible (default 1) — the
+	// loadgen and soak tests depend on deterministic schedules.
+	Seed int64
+	// Sleep replaces the delay primitive (tests). Nil uses a real
+	// context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// DefaultRetry returns the standard fleet-client policy.
+func DefaultRetry() *RetryPolicy { return &RetryPolicy{} }
+
+// Attempts is the effective attempt bound (MaxAttempts or its default).
+func (p *RetryPolicy) Attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+// Wait sleeps for d (through the Sleep hook when set) or until ctx is
+// done. The router shares it to pace its fleet-wide 429 retries.
+func (p *RetryPolicy) Wait(ctx context.Context, d time.Duration) error {
+	return p.sleep(ctx, d)
+}
+
+// Delay computes the wait before retry number attempt (1-based: the
+// delay after the attempt-th failure), honoring the server's Retry-After
+// hint when it exceeds the backoff.
+func (p *RetryPolicy) Delay(attempt int, hint time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 5 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d > maxD || d <= 0 {
+		d = maxD
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 {
+		p.mu.Lock()
+		if p.rng == nil {
+			seed := p.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			p.rng = rand.New(rand.NewSource(seed))
+		}
+		d += time.Duration(p.rng.Float64() * jitter * float64(d))
+		p.mu.Unlock()
+	}
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// sleep waits for d or until ctx is done.
+func (p *RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retryable reports whether an error is worth repeating: a structured
+// 429/502/503, or a transport failure (no response at all). Encode and
+// decode failures are permanent.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe permanentError
+	if errors.As(err, &pe) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+			return true
+		}
+		return false
+	}
+	// Anything else from doOnce is transport-level (dial, reset, EOF).
+	return true
+}
+
+// hintOf extracts the Retry-After duration from an API error (0 when
+// absent or not an API error).
+func hintOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}

@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"verifas/internal/service"
+)
+
+// flakyServer answers fail429 requests with 429 (+Retry-After hint),
+// then succeeds with a minimal health body.
+func flakyServer(fail429 int32, retryAfterSecs string) (*httptest.Server, *atomic.Int32) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= fail429 {
+			if retryAfterSecs != "" {
+				w.Header().Set("Retry-After", retryAfterSecs)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(service.ErrorBody{
+				Error: service.ErrorDetail{Code: "queue-full", Message: "shed"},
+			})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(service.HealthResponse{OK: true, Version: "t"})
+	}))
+	return ts, &calls
+}
+
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	ts, calls := flakyServer(2, "3")
+	defer ts.Close()
+	var slept []time.Duration
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		Jitter:      -1, // deterministic delays
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK {
+		t.Fatal("final response not decoded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 429s + success)", got)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	// The 3s Retry-After hint dominates the 10/20ms backoff.
+	for i, d := range slept {
+		if d != 3*time.Second {
+			t.Errorf("delay %d = %v, want the 3s Retry-After hint", i, d)
+		}
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	ts, calls := flakyServer(100, "")
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{
+		MaxAttempts: 3,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	_, err := c.Health(context.Background())
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want final 429", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want MaxAttempts=3", got)
+	}
+}
+
+func TestNoRetryWithoutPolicy(t *testing.T) {
+	ts, calls := flakyServer(1, "")
+	defer ts.Close()
+	c := New(ts.URL)
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("nil-policy client swallowed the 429")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want fail-fast 1", got)
+	}
+}
+
+func TestNoRetryOn4xxOther(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(service.ErrorBody{
+			Error: service.ErrorDetail{Code: "not-found", Message: "no"},
+		})
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retry = &RetryPolicy{Sleep: func(ctx context.Context, d time.Duration) error { return nil }}
+	if _, err := c.Status(context.Background(), "j-000001"); err == nil {
+		t.Fatal("404 did not surface")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (404 is permanent)", got)
+	}
+}
+
+func TestRetryTransportError(t *testing.T) {
+	// A server that dies after the first connection: the second attempt
+	// hits connection-refused and the policy retries it... against a
+	// dead socket, so the call ultimately fails after MaxAttempts.
+	ts, _ := flakyServer(0, "")
+	url := ts.URL
+	ts.Close()
+	attempts := 0
+	c := New(url)
+	c.Retry = &RetryPolicy{
+		MaxAttempts: 3,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			attempts++
+			return nil
+		},
+	}
+	if _, err := c.Health(context.Background()); err == nil {
+		t.Fatal("dead server produced no error")
+	}
+	if attempts != 2 {
+		t.Fatalf("transport failure retried %d times, want 2 (3 attempts)", attempts)
+	}
+}
+
+func TestDelayBackoffAndJitter(t *testing.T) {
+	p := &RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	for i, want := range []time.Duration{100, 200, 400, 800, 1000, 1000} {
+		if got := p.Delay(i+1, 0); got != want*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, want*time.Millisecond)
+		}
+	}
+	// Jittered delays stay within [d, d*(1+jitter)] and reproduce by seed.
+	a := &RetryPolicy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	b := &RetryPolicy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5, Seed: 7}
+	for i := 1; i <= 5; i++ {
+		da, db := a.Delay(i, 0), b.Delay(i, 0)
+		if da != db {
+			t.Fatalf("same seed diverged: %v vs %v", da, db)
+		}
+		base := 100 * time.Millisecond << (i - 1)
+		if base > 5*time.Second {
+			base = 5 * time.Second
+		}
+		if da < base || da > base+base/2 {
+			t.Errorf("Delay(%d) = %v outside [%v, %v]", i, da, base, base+base/2)
+		}
+	}
+}

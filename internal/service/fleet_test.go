@@ -1,0 +1,307 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"verifas/internal/core"
+	"verifas/internal/has"
+	"verifas/internal/service"
+	"verifas/internal/service/client"
+	"verifas/internal/store"
+)
+
+// startReplica boots one fleet replica: a server named node whose tiered
+// store persists into dir and whose lease manager claims in-flight work
+// under dir/leases. gate, when non-nil, parks every engine run until the
+// channel closes (and signals parked when a run reaches the engine).
+func startReplica(t *testing.T, dir, node string, ttl time.Duration, gate, parked chan struct{}) (*service.Server, *client.Client) {
+	t.Helper()
+	disk, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leases, err := store.OpenLeases(filepath.Join(dir, "leases"), node, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := service.Config{
+		Workers: 2,
+		NodeID:  node,
+		Store:   store.NewTiered(store.NewMemory(16), disk),
+		Leases:  leases,
+	}
+	if gate != nil {
+		cfg.Engine = func(o service.EngineOptions, observer core.Observer) (core.Engine, error) {
+			eng, err := service.BuiltinEngine(o, observer)
+			if err != nil {
+				return nil, err
+			}
+			return core.VerifierFunc(func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
+				parked <- struct{}{}
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return eng.Verify(ctx, sys, prop)
+			}), nil
+		}
+	}
+	svc, cl := newTestServer(t, cfg)
+	return svc, cl
+}
+
+// TestCrossReplicaLeaseSingleflight: two replicas sharing one store
+// directory receive the same job concurrently; the second must wait on
+// the first's lease and serve its result from the shared store, running
+// zero engines of its own.
+func TestCrossReplicaLeaseSingleflight(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	parked := make(chan struct{}, 1)
+	svcA, clA := startReplica(t, dir, "ra", 2*time.Second, gate, parked)
+	svcB, clB := startReplica(t, dir, "rb", 2*time.Second, nil, nil)
+	ctx := context.Background()
+	req := buggyShipStocked()
+
+	// Replica A claims the lease and parks inside the engine.
+	stA, err := clA.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-parked
+
+	// Replica B receives the identical job while A's run is in flight.
+	stB, err := clB.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.Cached || stB.Coalesced {
+		t.Fatalf("replica B should start a queued job (local miss), got %+v", stB)
+	}
+	if stA.Key != stB.Key {
+		t.Fatalf("replicas derived different cache keys: %s vs %s", stA.Key, stB.Key)
+	}
+
+	// Give B's worker time to park behind A's lease, then release A.
+	deadline := time.Now().Add(5 * time.Second)
+	for svcB.Metrics().Snapshot().LeaseWaits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica B never waited on replica A's lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(gate)
+
+	resA, err := clA.Result(ctx, stA.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := clB.Result(ctx, stB.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Verdict != "violated" || resB.Verdict != resA.Verdict {
+		t.Fatalf("verdicts = %q / %q, want both violated", resA.Verdict, resB.Verdict)
+	}
+
+	mA, mB := svcA.Metrics().Snapshot(), svcB.Metrics().Snapshot()
+	if mA.EngineRuns != 1 {
+		t.Errorf("replica A engine runs = %d, want 1", mA.EngineRuns)
+	}
+	if mB.EngineRuns != 0 {
+		t.Errorf("replica B engine runs = %d, want 0 (fleet singleflight)", mB.EngineRuns)
+	}
+	if mB.LeaseWaits != 1 || mB.LeaseCoalesced != 1 {
+		t.Errorf("replica B lease waits/coalesced = %d/%d, want 1/1", mB.LeaseWaits, mB.LeaseCoalesced)
+	}
+
+	// B's event stream still ends with a terminal verdict record,
+	// synthesized from the shared store and flagged cached.
+	var last service.StreamEvent
+	n := 0
+	if err := clB.Stream(ctx, stB.ID, func(ev service.StreamEvent) error {
+		last = ev
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || last.Type != "verdict" || !last.Cached {
+		t.Fatalf("replica B stream ends with %+v after %d events, want cached verdict", last, n)
+	}
+}
+
+// TestLeaseTakeoverAfterCrash: a lease left by a crashed replica expires
+// and is taken over instead of blocking the key forever.
+func TestLeaseTakeoverAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 100 * time.Millisecond
+
+	// The "crashed" replica: claims the key's lease and never releases.
+	req := buggyShipStocked()
+	key, err := service.RequestKey(req, service.KeyDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := store.OpenLeases(filepath.Join(dir, "leases"), "dead", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	if l, _ := dead.TryAcquire(key); l == nil {
+		t.Fatal("pre-claim failed")
+	}
+	if err := dead.ExpireForTest(key); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, cl := startReplica(t, dir, "live", ttl, nil, nil)
+	res, err := cl.Verify(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "violated" {
+		t.Fatalf("verdict = %q, want violated", res.Verdict)
+	}
+	m := svc.Metrics().Snapshot()
+	if m.EngineRuns != 1 || m.LeaseTakeovers != 1 {
+		t.Errorf("engine runs/takeovers = %d/%d, want 1/1", m.EngineRuns, m.LeaseTakeovers)
+	}
+}
+
+// TestRequestKeyMatchesServer: the router-side key derivation agrees
+// with the key the replica assigns at submission.
+func TestRequestKeyMatchesServer(t *testing.T) {
+	_, cl := newTestServer(t, service.Config{Workers: 1})
+	req := buggyShipStocked()
+	st, err := cl.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := service.RequestKey(req, service.KeyDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != st.Key {
+		t.Fatalf("RequestKey = %s, server assigned %s", key, st.Key)
+	}
+	// Invalid requests fail key derivation the same way submission would.
+	if _, err := service.RequestKey(&service.SubmitRequest{}, service.KeyDefaults{}); err == nil {
+		t.Fatal("RequestKey accepted an empty request")
+	}
+}
+
+// TestNodeJobIDs: replicas with a node id issue globally unique,
+// routable job ids.
+func TestNodeJobIDs(t *testing.T) {
+	_, cl := newTestServer(t, service.Config{Workers: 1, NodeID: "r7"})
+	st, err := cl.Submit(context.Background(), buggyShipStocked())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := service.NodeOfJobID(st.ID); got != "r7" {
+		t.Fatalf("NodeOfJobID(%q) = %q, want r7", st.ID, got)
+	}
+	for id, want := range map[string]string{
+		"j-000001":         "",
+		"r1-j-000042":      "r1",
+		"host:9001-j-0001": "host:9001",
+		"garbage":          "",
+	} {
+		if got := service.NodeOfJobID(id); got != want {
+			t.Errorf("NodeOfJobID(%q) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+// TestReadyz: readiness flips on queue saturation and on drain begin,
+// while liveness (/healthz) keeps answering 200.
+func TestReadyz(t *testing.T) {
+	gate := make(chan struct{})
+	parked := make(chan struct{}, 4)
+	dir := t.TempDir()
+	disk, err := store.OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := service.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		NodeID:     "r1",
+		Store:      store.NewTiered(store.NewMemory(16), disk),
+	}
+	cfg.Engine = func(o service.EngineOptions, observer core.Observer) (core.Engine, error) {
+		return core.VerifierFunc(func(ctx context.Context, sys *has.System, prop *core.Property) (*core.Result, error) {
+			parked <- struct{}{}
+			<-gate
+			return nil, ctx.Err()
+		}), nil
+	}
+	svc, cl := newTestServer(t, cfg)
+	defer close(gate)
+	ctx := context.Background()
+
+	readyz := func() (int, service.ReadyResponse) {
+		t.Helper()
+		resp, err := http.Get(cl.Base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body service.ReadyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := readyz(); code != http.StatusOK || !body.Ready || body.Node != "r1" {
+		t.Fatalf("idle readyz = %d %+v, want 200 ready node=r1", code, body)
+	}
+
+	// Saturate: one running job (parked in the engine) + one queued
+	// fills the depth-1 queue.
+	if _, err := cl.Submit(ctx, buggyShipStocked()); err != nil {
+		t.Fatal(err)
+	}
+	<-parked
+	other := buggyShipStocked()
+	other.Options = &service.RequestOptions{MaxStates: 123}
+	if _, err := cl.Submit(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := readyz(); code != http.StatusServiceUnavailable || !body.Saturated {
+		t.Fatalf("saturated readyz = %d %+v, want 503 saturated", code, body)
+	}
+
+	// Drain: readiness flips immediately; liveness stays 200.
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(sctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := readyz()
+		if code == http.StatusServiceUnavailable && body.Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never reported draining: %d %+v", code, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatalf("healthz during drain: %v", err)
+	}
+	if !h.Draining {
+		t.Fatal("healthz does not report draining")
+	}
+}

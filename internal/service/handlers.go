@@ -57,7 +57,9 @@ func badRequestf(code, format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz: pure liveness — it stays
+// 200 for as long as the process serves HTTP, shutdown included. Fleet
+// routers must use /readyz for routing decisions.
 type HealthResponse struct {
 	OK      bool   `json:"ok"`
 	Version string `json:"version"`
@@ -65,6 +67,28 @@ type HealthResponse struct {
 	UptimeMS int64 `json:"uptime_ms"`
 	// Draining reports an in-progress shutdown.
 	Draining bool `json:"draining,omitempty"`
+	// Node is the replica's fleet node id (empty standalone).
+	Node string `json:"node,omitempty"`
+}
+
+// ReadyResponse is the body of GET /readyz: readiness to accept new
+// work. It flips to 503 the moment a graceful drain begins — before the
+// listener closes — and while the admission queue is saturated, so a
+// fleet router stops routing submissions to this replica immediately
+// rather than discovering the condition through rejected jobs.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Node is the replica's fleet node id (empty standalone); the
+	// router's health checker learns the id-to-address mapping from it.
+	Node string `json:"node,omitempty"`
+	// Draining reports an in-progress shutdown; Saturated a full
+	// admission queue (submissions would 429).
+	Draining  bool `json:"draining,omitempty"`
+	Saturated bool `json:"saturated,omitempty"`
+	// QueueDepth/QueueCapacity snapshot the admission queue.
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Version       string `json:"version"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -91,6 +115,11 @@ type StatsResponse struct {
 	// cancellations) appear under Verifier.engines once a portfolio job
 	// has run.
 	Engines []string `json:"engines"`
+	// Node is the replica's fleet node id (empty standalone).
+	Node string `json:"node,omitempty"`
+	// Leases is the cross-replica singleflight counter snapshot (absent
+	// when no lease manager is configured).
+	Leases *store.LeaseStats `json:"leases,omitempty"`
 }
 
 // JobWorkersInfo describes the per-job `workers` option's effective
@@ -119,6 +148,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -297,7 +327,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Service:      s.met.Snapshot(),
 		Verifier:     json.RawMessage(s.cfg.Registry.String()),
 		CacheEntries: s.store.Len(),
@@ -310,7 +340,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DefaultBytes: s.cfg.DefaultMemBudget,
 		},
 		Engines: EngineNames(),
-	})
+		Node:    s.cfg.NodeID,
+	}
+	if s.cfg.Leases != nil {
+		ls := s.cfg.Leases.Stats()
+		resp.Leases = &ls
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -322,5 +358,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Version:  s.cfg.Version,
 		UptimeMS: time.Since(s.start).Milliseconds(),
 		Draining: draining,
+		Node:     s.cfg.NodeID,
 	})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	depth, capacity := len(s.queue), cap(s.queue)
+	resp := ReadyResponse{
+		Node:          s.cfg.NodeID,
+		Draining:      draining,
+		Saturated:     depth >= capacity,
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
+		Version:       s.cfg.Version,
+	}
+	resp.Ready = !resp.Draining && !resp.Saturated
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }

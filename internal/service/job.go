@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"verifas/internal/core"
@@ -239,12 +240,80 @@ type resolved struct {
 	key   string
 }
 
+// KeyDefaults are the server-side option defaults that participate in
+// the content-addressed cache key. A fleet router needs them to derive
+// the same key a replica will (routing identical submissions to one
+// shard), so they are exported; replicas build theirs from Config.
+type KeyDefaults struct {
+	// Timeout applies when a request sets no timeout_ms (default 60s).
+	Timeout time.Duration
+	// MaxTimeout caps requested timeouts (0 = uncapped).
+	MaxTimeout time.Duration
+	// MaxStates applies when a request sets no max_states.
+	MaxStates int
+	// MemBudget applies when a request sets no mem_budget (bytes).
+	MemBudget int64
+	// JobWorkers applies when a request sets no workers.
+	JobWorkers int
+}
+
+func (d KeyDefaults) withDefaults() KeyDefaults {
+	if d.Timeout <= 0 {
+		d.Timeout = 60 * time.Second
+	}
+	if d.MaxStates <= 0 {
+		d.MaxStates = core.DefaultMaxStates
+	}
+	if d.JobWorkers <= 0 {
+		d.JobWorkers = 1
+	}
+	return d
+}
+
+// keyDefaults projects the (already defaulted) server config.
+func (s *Server) keyDefaults() KeyDefaults {
+	return KeyDefaults{
+		Timeout:    s.cfg.DefaultTimeout,
+		MaxTimeout: s.cfg.MaxTimeout,
+		MaxStates:  s.cfg.DefaultMaxStates,
+		MemBudget:  s.cfg.DefaultMemBudget,
+		JobWorkers: s.cfg.JobWorkers,
+	}
+}
+
+// RequestKey derives the content-addressed cache key a replica running
+// with defaults d would assign to req: the router's shard-affinity key.
+// The request is parsed and validated exactly like a submission, so an
+// error here means every replica would reject the request too.
+func RequestKey(req *SubmitRequest, d KeyDefaults) (string, error) {
+	r, aerr := resolveRequest(req, d.withDefaults())
+	if aerr != nil {
+		return "", errors.New(aerr.msg)
+	}
+	return r.key, nil
+}
+
 // resolve parses and validates a submit request. Every failure is an
 // *apiError carrying the HTTP status and structured code the handlers
 // return verbatim, so bad requests are rejected before touching the
 // queue.
 func (s *Server) resolve(req *SubmitRequest) (*resolved, *apiError) {
-	eopts, aerr := s.normalizeOptions(req.Options)
+	r, aerr := resolveRequest(req, s.keyDefaults())
+	if aerr != nil {
+		return nil, aerr
+	}
+	// Resolve the engine now so unknown labels 400 at submit time (an
+	// injected Config.Engine participates in the pre-check).
+	if _, err := s.engineFor(r.eopts, nil); err != nil {
+		return nil, badRequestf(codeUnknownEngine, "%v", err)
+	}
+	return r, nil
+}
+
+// resolveRequest is the server-independent part of resolve: parse,
+// validate, normalize, derive the cache key.
+func resolveRequest(req *SubmitRequest, d KeyDefaults) (*resolved, *apiError) {
+	eopts, aerr := normalizeOptions(req.Options, d)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -313,11 +382,6 @@ func (s *Server) resolve(req *SubmitRequest) (*resolved, *apiError) {
 		}
 	}
 
-	// Resolve the engine now so unknown labels 400 at submit time.
-	if _, err := s.engineFor(eopts, nil); err != nil {
-		return nil, badRequestf(codeUnknownEngine, "%v", err)
-	}
-
 	return &resolved{
 		sys:   sys,
 		prop:  prop,
@@ -326,9 +390,9 @@ func (s *Server) resolve(req *SubmitRequest) (*resolved, *apiError) {
 	}, nil
 }
 
-// normalizeOptions applies the server defaults and range-checks the
-// request options.
-func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) {
+// normalizeOptions applies the defaults and range-checks the request
+// options.
+func normalizeOptions(o *RequestOptions, d KeyDefaults) (EngineOptions, *apiError) {
 	if o == nil {
 		o = &RequestOptions{}
 	}
@@ -387,13 +451,13 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 		e.Engine = EngineVerifas
 	}
 	if e.TimeoutMS == 0 {
-		e.TimeoutMS = s.cfg.DefaultTimeout.Milliseconds()
+		e.TimeoutMS = d.Timeout.Milliseconds()
 	}
 	if e.MaxStates == 0 {
-		e.MaxStates = s.cfg.DefaultMaxStates
+		e.MaxStates = d.MaxStates
 	}
 	if e.MemBudget == 0 {
-		e.MemBudget = s.cfg.DefaultMemBudget
+		e.MemBudget = d.MemBudget
 	}
 	if e.ProgressStride == 0 {
 		e.ProgressStride = core.DefaultProgressStride
@@ -402,7 +466,7 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 		e.SpinFresh = 2
 	}
 	if e.Workers == 0 {
-		e.Workers = s.cfg.JobWorkers
+		e.Workers = d.JobWorkers
 	}
 	// Clamp rather than reject: the cap depends on the server's
 	// hardware, which clients cannot know. Clamping happens before the
@@ -411,9 +475,9 @@ func (s *Server) normalizeOptions(o *RequestOptions) (EngineOptions, *apiError) 
 	if cap := runtime.GOMAXPROCS(0); e.Workers > cap {
 		e.Workers = cap
 	}
-	if s.cfg.MaxTimeout > 0 && e.Timeout() > s.cfg.MaxTimeout {
+	if d.MaxTimeout > 0 && e.Timeout() > d.MaxTimeout {
 		return EngineOptions{}, badRequestf(codeBadOptions,
-			"timeout_ms=%d exceeds the server cap %s", e.TimeoutMS, s.cfg.MaxTimeout)
+			"timeout_ms=%d exceeds the server cap %s", e.TimeoutMS, d.MaxTimeout)
 	}
 	return e, nil
 }
@@ -515,4 +579,25 @@ func (j *job) snapshotResult() JobResult {
 	return out
 }
 
-func fmtJobID(n int) string { return fmt.Sprintf("j-%06d", n) }
+// fmtJobID renders a job id: "j-000001" standalone, "<node>-j-000001"
+// when the server carries a fleet node id — globally unique across
+// replicas so a router can route id-addressed requests.
+func fmtJobID(node string, n int) string {
+	if node == "" {
+		return fmt.Sprintf("j-%06d", n)
+	}
+	return fmt.Sprintf("%s-j-%06d", node, n)
+}
+
+// NodeOfJobID extracts the fleet node id a job id embeds ("" for
+// standalone-format ids). The router uses it to send status/result/
+// events/cancel requests to the replica that issued the id.
+func NodeOfJobID(id string) string {
+	if strings.HasPrefix(id, "j-") {
+		return ""
+	}
+	if i := strings.LastIndex(id, "-j-"); i > 0 {
+		return id[:i]
+	}
+	return ""
+}

@@ -107,6 +107,20 @@ type Config struct {
 	Engine EngineFunc
 	// Version is reported by /healthz (default "unknown").
 	Version string
+	// NodeID names this replica in a fleet. When set, job ids are
+	// prefixed "<node>-j-000001" so a router can route id-addressed
+	// requests back to the replica that issued them, and /healthz,
+	// /readyz and /v1/stats report the node. Empty keeps the standalone
+	// "j-000001" format.
+	NodeID string
+	// Leases enables cross-replica singleflight over a shared result
+	// store: before running an engine, a worker claims a TTL'd lease on
+	// the job's cache key; if a sibling replica holds it, the worker
+	// waits for the sibling's result to appear in the store instead of
+	// recomputing. The server takes ownership and closes the manager
+	// after its drain. Nil disables the protocol (single-replica
+	// deployments).
+	Leases *store.LeaseManager
 }
 
 func (c Config) withDefaults() Config {
@@ -290,7 +304,7 @@ func (s *Server) submit(r *resolved) (JobStatus, int, *apiError) {
 
 	s.nextID++
 	j := &job{
-		id:      fmtJobID(s.nextID),
+		id:      fmtJobID(s.cfg.NodeID, s.nextID),
 		created: time.Now(),
 	}
 	j.status = JobStatus{
@@ -438,17 +452,21 @@ func (s *Server) runExecution(e *execution) {
 	e.state = StateRunning
 	s.mu.Unlock()
 
-	res, err := e.run.Verify(e.ctx, e.res.sys, e.res.prop)
+	res, stored, err := s.execute(e)
 	switch {
 	case err == nil && res != nil:
 		// Put is cheap on the job's completion path: the memory tier
 		// inserts synchronously (so a follow-up submission of the same
 		// key hits), while a tiered store hands the disk write to its
-		// background writer.
-		s.store.Put(e.key, res)
+		// background writer. The lease path stores before releasing its
+		// lease, so waiters never observe release-without-result.
+		if !stored {
+			s.store.Put(e.key, res)
+		}
 		s.finishExecution(e, StateDone, res, nil)
 		// The verdict event already reached the hub through the
-		// observer; it is the stream's terminal record.
+		// observer (or was synthesized for a fleet-coalesced result); it
+		// is the stream's terminal record.
 		e.hub.close()
 		s.met.completed.Add(1)
 	case e.ctx.Err() != nil:
@@ -459,6 +477,99 @@ func (s *Server) runExecution(e *execution) {
 		e.hub.terminalError(err.Error())
 		s.met.failed.Add(1)
 	}
+}
+
+// execute produces the run's result: directly through the engine, or —
+// when a fleet lease manager is configured — through the cross-replica
+// singleflight protocol. stored reports that the result is already in
+// the shared store (the lease owner writes it before releasing).
+func (s *Server) execute(e *execution) (res *core.Result, stored bool, err error) {
+	lm := s.cfg.Leases
+	if lm == nil {
+		s.met.engineRuns.Add(1)
+		res, err = e.run.Verify(e.ctx, e.res.sys, e.res.prop)
+		return res, false, err
+	}
+	// Bound the wait behind a live foreign lease by this job's own
+	// wall-clock budget: if the sibling replica renews but computes
+	// longer than we would wait for our own engine, fall back to running
+	// locally — correct, at worst duplicated work.
+	waitBound := e.res.eopts.Timeout()
+	if waitBound <= 0 {
+		waitBound = 2 * lm.TTL()
+	}
+	deadline := time.Now().Add(waitBound)
+	poll := lm.TTL() / 10
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+	if poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	waited := false
+	for {
+		// A sibling replica may have completed this key while the job
+		// queued or waited: serve its result instead of recomputing.
+		if got, _, ok := s.store.Get(e.key); ok {
+			s.met.leaseCoalesced.Add(1)
+			e.hub.terminalCachedVerdict(got)
+			return got, true, nil
+		}
+		lease, _ := lm.TryAcquire(e.key)
+		if lease != nil {
+			if lease.Takeover() {
+				s.met.leaseTakeovers.Add(1)
+			}
+			stopRenew := renewLease(lease, lm.TTL(), e.ctx.Done())
+			s.met.engineRuns.Add(1)
+			res, err = e.run.Verify(e.ctx, e.res.sys, e.res.prop)
+			if err == nil && res != nil {
+				// Result first, release second: a waiter that sees the
+				// lease vanish must find the result.
+				s.store.Put(e.key, res)
+				stored = true
+			}
+			stopRenew()
+			lease.Release()
+			return res, stored, err
+		}
+		if !waited {
+			waited = true
+			s.met.leaseWaits.Add(1)
+			lm.CountWait()
+		}
+		if time.Now().After(deadline) {
+			s.met.engineRuns.Add(1)
+			res, err = e.run.Verify(e.ctx, e.res.sys, e.res.prop)
+			return res, false, err
+		}
+		select {
+		case <-e.ctx.Done():
+			return nil, false, e.ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// renewLease keeps a held lease fresh (renewing at a third of the TTL)
+// until the returned stop function is called or done closes.
+func renewLease(l *store.Lease, ttl time.Duration, done <-chan struct{}) (stop func()) {
+	stopCh := make(chan struct{})
+	go func() {
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = l.Renew()
+			case <-stopCh:
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(stopCh) }
 }
 
 // finishExecution publishes the run's terminal state.
@@ -507,7 +618,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		// Every run has finished, so no more Puts are coming: flush and
 		// close the result store (a tiered store drains its pending disk
-		// writes here, making every verdict durable before exit).
+		// writes here, making every verdict durable before exit), then
+		// stop the lease sweeper. Held leases from this replica are all
+		// released (every run finished); a crash would leave them to
+		// expire by TTL instead.
+		if s.cfg.Leases != nil {
+			_ = s.cfg.Leases.Close()
+		}
 		return s.store.Close()
 	case <-ctx.Done():
 		return ctx.Err()

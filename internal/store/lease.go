@@ -1,0 +1,312 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LeaseManager implements the fleet's cross-replica singleflight: a
+// replica about to run an engine for a cache key first claims a TTL'd
+// lease file next to the shared result store, so a second replica
+// receiving the same key waits for the owner's result instead of
+// recomputing it. The persistent store dedupes *completed* work; leases
+// dedupe work *in flight*.
+//
+// Protocol (one file per key under <dir>):
+//
+//   - Claim: O_CREATE|O_EXCL — atomic on POSIX, exactly one creator wins.
+//     The file body records the owner node (informational, for
+//     post-mortem); the claim itself is the file's existence.
+//   - Liveness: the file's mtime. The owner renews by touching the file
+//     (Chtimes) at a fraction of the TTL while its run is in flight; a
+//     lease whose mtime is older than the TTL is stale (crashed or
+//     partitioned owner) and may be taken over.
+//   - Release: the owner removes the file after writing its result to the
+//     shared store (result first, release second — a waiter that sees
+//     the lease vanish finds the result).
+//   - Takeover: remove the stale file, then re-claim with O_EXCL.
+//   - Sweep: a periodic pass removes stale leases nobody is waiting on.
+//
+// The protocol is advisory, not mutual exclusion: the remove-then-create
+// takeover has a benign race window in which two replicas can both run
+// the same job. That degrades to duplicate computation — the
+// content-addressed store's atomic renames make double-writes idempotent
+// — never to a wrong or corrupt result.
+type LeaseManager struct {
+	dir   string
+	owner string
+	ttl   time.Duration
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	stop   chan struct{}
+
+	acquired, waits, takeovers, swept, errs atomic.Int64
+}
+
+const leaseSuffix = ".lease"
+
+// DefaultLeaseTTL is the staleness bound applied when OpenLeases is
+// given a non-positive TTL. It trades prompt crash takeover against
+// tolerance for owner scheduling hiccups; owners renew at TTL/3.
+const DefaultLeaseTTL = 5 * time.Second
+
+// leaseBody is the JSON recorded in a lease file. Only informational:
+// expiry is judged by the file's mtime, so a reader racing the creator
+// (file exists, body not yet written) still sees a valid fresh lease.
+type leaseBody struct {
+	Owner string `json:"owner"`
+	Key   string `json:"key"`
+	// CreatedMS is the claim wall-clock time (unix ms).
+	CreatedMS int64 `json:"created_unix_ms"`
+}
+
+// OpenLeases opens (creating if needed) a lease directory. owner names
+// this replica in lease bodies; ttl is the staleness bound (<= 0 uses
+// DefaultLeaseTTL).
+func OpenLeases(dir, owner string, ttl time.Duration) (*LeaseManager, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty lease directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &LeaseManager{dir: dir, owner: owner, ttl: ttl, stop: make(chan struct{})}, nil
+}
+
+// TTL returns the staleness bound.
+func (m *LeaseManager) TTL() time.Duration { return m.ttl }
+
+// Dir returns the lease directory.
+func (m *LeaseManager) Dir() string { return m.dir }
+
+func (m *LeaseManager) path(key string) string {
+	return filepath.Join(m.dir, key+leaseSuffix)
+}
+
+// Lease is a held claim on one key. Release removes it; Renew extends it.
+type Lease struct {
+	m        *LeaseManager
+	key      string
+	path     string
+	takeover bool
+}
+
+// Key returns the claimed cache key.
+func (l *Lease) Key() string { return l.key }
+
+// Takeover reports whether this claim replaced an expired lease from a
+// crashed or partitioned owner.
+func (l *Lease) Takeover() bool { return l.takeover }
+
+// Renew refreshes the lease's liveness (its mtime). An error means the
+// file is gone or untouchable — the owner should assume it lost the
+// lease; finishing anyway is still correct (duplicate work at worst).
+func (l *Lease) Renew() error {
+	now := time.Now()
+	return os.Chtimes(l.path, now, now)
+}
+
+// Release removes the lease. The owner must have made its result visible
+// (store Put) first, so waiters that observe the release find it.
+// Idempotent.
+func (l *Lease) Release() {
+	_ = os.Remove(l.path)
+}
+
+// LeaseState describes a foreign lease observed by TryAcquire.
+type LeaseState struct {
+	// Owner is the holder recorded in the lease body ("" while the body
+	// is being written or unreadable).
+	Owner string
+	// Age is how long ago the lease was last renewed.
+	Age time.Duration
+}
+
+// TryAcquire attempts to claim key. On success it returns the held
+// lease. If another replica holds a fresh lease it returns (nil, state)
+// with the holder's identity and age. Expired leases are taken over.
+func (m *LeaseManager) TryAcquire(key string) (*Lease, *LeaseState) {
+	path := m.path(key)
+	takeover := false
+	// Bounded claim loop: create-exclusive, inspect on conflict, remove
+	// if stale, retry. Two passes cover the common races; beyond that,
+	// report the key as held and let the caller's wait loop come back.
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			body, _ := json.Marshal(leaseBody{Owner: m.owner, Key: key, CreatedMS: time.Now().UnixMilli()})
+			_, werr := f.Write(body)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				m.errs.Add(1)
+			}
+			m.acquired.Add(1)
+			if takeover {
+				m.takeovers.Add(1)
+			}
+			return &Lease{m: m, key: key, path: path, takeover: takeover}, nil
+		}
+		if !os.IsExist(err) {
+			m.errs.Add(1)
+			// Treat an unreadable lease dir as "held": the caller's wait
+			// loop degrades to running the job itself after its deadline.
+			return nil, &LeaseState{}
+		}
+		info, serr := os.Stat(path)
+		if serr != nil {
+			// Vanished between create and stat: the owner released (or a
+			// sweeper removed a stale lease). Loop and re-claim.
+			continue
+		}
+		age := time.Since(info.ModTime())
+		if age <= m.ttl {
+			return nil, &LeaseState{Owner: m.readOwner(path), Age: age}
+		}
+		// Stale: the owner crashed or stalled past the TTL. Remove and
+		// re-claim. (Benign race: see the type comment.)
+		_ = os.Remove(path)
+		takeover = true
+	}
+	return nil, &LeaseState{}
+}
+
+// readOwner decodes the holder recorded in a lease file; best-effort.
+func (m *LeaseManager) readOwner(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	var body leaseBody
+	if json.Unmarshal(b, &body) != nil {
+		return ""
+	}
+	return body.Owner
+}
+
+// CountWait increments the waiter counter (a replica parked behind a
+// foreign lease). Kept on the manager so /v1/stats surfaces fleet
+// coalescing without scraping logs.
+func (m *LeaseManager) CountWait() { m.waits.Add(1) }
+
+// Sweep removes every lease older than the TTL and returns how many it
+// removed. Called periodically by StartSweeper and safe to call
+// directly (tests, shutdown).
+func (m *LeaseManager) Sweep() int {
+	removed := 0
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		m.errs.Add(1)
+		return 0
+	}
+	for _, de := range entries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), leaseSuffix) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a release
+		}
+		if time.Since(info.ModTime()) <= m.ttl {
+			continue
+		}
+		if os.Remove(filepath.Join(m.dir, de.Name())) == nil {
+			removed++
+		}
+	}
+	if removed > 0 {
+		m.swept.Add(int64(removed))
+	}
+	return removed
+}
+
+// StartSweeper launches the periodic stale-lease sweep (interval <= 0
+// sweeps at the TTL). Stopped by Close.
+func (m *LeaseManager) StartSweeper(interval time.Duration) {
+	if interval <= 0 {
+		interval = m.ttl
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.Sweep()
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the sweeper. Held leases are not released (their owners
+// release them; stale ones expire).
+func (m *LeaseManager) Close() error {
+	if m.closed.CompareAndSwap(false, true) {
+		close(m.stop)
+	}
+	m.wg.Wait()
+	return nil
+}
+
+// LeaseStats is the manager's counter snapshot, surfaced in /v1/stats.
+type LeaseStats struct {
+	// Acquired counts successful claims; Takeovers the subset that
+	// replaced an expired lease from a crashed owner.
+	Acquired  int64 `json:"acquired"`
+	Takeovers int64 `json:"takeovers"`
+	// Waits counts jobs that parked behind a foreign replica's lease
+	// instead of recomputing (fleet-wide singleflight engagements).
+	Waits int64 `json:"waits"`
+	// Swept counts stale leases removed by the periodic sweep.
+	Swept int64 `json:"swept"`
+	// Errors counts I/O failures (degraded to held-or-duplicate, never
+	// wrong results).
+	Errors int64 `json:"errors,omitempty"`
+	// Held is the current lease-file population.
+	Held int `json:"held"`
+}
+
+// Stats snapshots the lease counters.
+func (m *LeaseManager) Stats() LeaseStats {
+	held := 0
+	if entries, err := os.ReadDir(m.dir); err == nil {
+		for _, de := range entries {
+			if !de.IsDir() && strings.HasSuffix(de.Name(), leaseSuffix) {
+				held++
+			}
+		}
+	}
+	return LeaseStats{
+		Acquired:  m.acquired.Load(),
+		Takeovers: m.takeovers.Load(),
+		Waits:     m.waits.Load(),
+		Swept:     m.swept.Load(),
+		Errors:    m.errs.Load(),
+		Held:      held,
+	}
+}
+
+// ExpireForTest backdates a lease file's mtime so tests exercise the
+// takeover and sweep paths without sleeping through a real TTL.
+func (m *LeaseManager) ExpireForTest(key string) error {
+	past := time.Now().Add(-2 * m.ttl)
+	if err := os.Chtimes(m.path(key), past, past); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newLeases(t *testing.T, owner string, ttl time.Duration) *LeaseManager {
+	t.Helper()
+	m, err := OpenLeases(t.TempDir(), owner, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func TestLeaseAcquireReleaseCycle(t *testing.T) {
+	m := newLeases(t, "r1", time.Second)
+	l, held := m.TryAcquire("k1")
+	if l == nil {
+		t.Fatalf("first claim failed: held by %+v", held)
+	}
+	if l.Takeover() {
+		t.Fatal("fresh claim reported a takeover")
+	}
+	// A second claim on the same manager must observe the holder.
+	l2, state := m.TryAcquire("k1")
+	if l2 != nil {
+		t.Fatal("double-claim succeeded")
+	}
+	if state == nil || state.Owner != "r1" {
+		t.Fatalf("foreign-lease state = %+v, want owner r1", state)
+	}
+	if got := m.Stats().Held; got != 1 {
+		t.Fatalf("held = %d, want 1", got)
+	}
+	l.Release()
+	if got := m.Stats().Held; got != 0 {
+		t.Fatalf("held after release = %d, want 0", got)
+	}
+	// Released key claims again.
+	if l3, _ := m.TryAcquire("k1"); l3 == nil {
+		t.Fatal("re-claim after release failed")
+	}
+}
+
+func TestLeaseCrossManagerExclusion(t *testing.T) {
+	// Two managers over one directory model two replicas sharing a
+	// filesystem: exactly one claim wins.
+	dir := t.TempDir()
+	a, err := OpenLeases(dir, "a", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenLeases(dir, "b", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	la, _ := a.TryAcquire("key")
+	if la == nil {
+		t.Fatal("replica a's claim failed")
+	}
+	lb, state := b.TryAcquire("key")
+	if lb != nil {
+		t.Fatal("replica b claimed a key replica a holds")
+	}
+	if state.Owner != "a" {
+		t.Fatalf("replica b sees owner %q, want a", state.Owner)
+	}
+	la.Release()
+	if lb, _ = b.TryAcquire("key"); lb == nil {
+		t.Fatal("replica b's claim after release failed")
+	}
+}
+
+func TestLeaseExpiredTakeover(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenLeases(dir, "a", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenLeases(dir, "b", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if l, _ := a.TryAcquire("key"); l == nil {
+		t.Fatal("claim failed")
+	}
+	// Simulate a's crash: the lease stops being renewed and ages out.
+	if err := a.ExpireForTest("key"); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := b.TryAcquire("key")
+	if lb == nil {
+		t.Fatal("takeover of an expired lease failed")
+	}
+	if !lb.Takeover() {
+		t.Fatal("takeover not flagged")
+	}
+	if got := b.Stats().Takeovers; got != 1 {
+		t.Fatalf("takeovers = %d, want 1", got)
+	}
+}
+
+func TestLeaseRenewKeepsFresh(t *testing.T) {
+	m := newLeases(t, "r1", 80*time.Millisecond)
+	l, _ := m.TryAcquire("key")
+	if l == nil {
+		t.Fatal("claim failed")
+	}
+	// Renew twice across more than one TTL; the lease must stay held.
+	for i := 0; i < 2; i++ {
+		time.Sleep(50 * time.Millisecond)
+		if err := l.Renew(); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if l2, state := m.TryAcquire("key"); l2 != nil {
+		t.Fatal("renewed lease was taken over")
+	} else if state.Age > 80*time.Millisecond {
+		t.Fatalf("renewed lease reports stale age %v", state.Age)
+	}
+}
+
+func TestLeaseSweepRemovesOnlyStale(t *testing.T) {
+	m := newLeases(t, "r1", time.Second)
+	if l, _ := m.TryAcquire("fresh"); l == nil {
+		t.Fatal("claim failed")
+	}
+	if l, _ := m.TryAcquire("stale"); l == nil {
+		t.Fatal("claim failed")
+	}
+	if err := m.ExpireForTest("stale"); err != nil {
+		t.Fatal(err)
+	}
+	if removed := m.Sweep(); removed != 1 {
+		t.Fatalf("sweep removed %d, want 1", removed)
+	}
+	st := m.Stats()
+	if st.Held != 1 || st.Swept != 1 {
+		t.Fatalf("stats after sweep = %+v, want held=1 swept=1", st)
+	}
+	// The fresh lease is still exclusively held.
+	if l, _ := m.TryAcquire("fresh"); l != nil {
+		t.Fatal("fresh lease lost to the sweep")
+	}
+}
+
+func TestLeaseConcurrentClaimsSingleWinner(t *testing.T) {
+	dir := t.TempDir()
+	const replicas = 8
+	var wg sync.WaitGroup
+	wins := make(chan string, replicas)
+	for i := 0; i < replicas; i++ {
+		m, err := OpenLeases(dir, fmt.Sprintf("r%d", i), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		wg.Add(1)
+		go func(m *LeaseManager) {
+			defer wg.Done()
+			if l, _ := m.TryAcquire("contended"); l != nil {
+				wins <- m.owner
+			}
+		}(m)
+	}
+	wg.Wait()
+	close(wins)
+	var winners []string
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("winners = %v, want exactly one", winners)
+	}
+}
