@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-quick fleet-soak profile serve
+.PHONY: build test check race bench bench-quick bench-multicore fleet-soak profile serve
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,17 @@ bench-quick:
 	@echo "wrote BENCH_portfolio.json"
 	BENCH_STORE_JSON=$(CURDIR)/BENCH_store.json $(GO) test -run TestWriteStoreBenchJSON -v ./internal/store/
 	@echo "wrote BENCH_store.json"
+
+# Multicore scaling gate (CI bench-multicore job): the relaxed
+# partitioned exploration must reach >= 1.5x at workers=4 on a host
+# with >= 4 CPUs (the guard skips itself below that), first under the
+# race detector, then timed without it, and regenerates the
+# deterministic+relaxed scaling record.
+bench-multicore:
+	$(GO) test -race -run TestMulticoreScalingGuard -v -count=1 ./internal/vass/
+	$(GO) test -run TestMulticoreScalingGuard -v -count=1 ./internal/vass/
+	BENCH_EXPLORE_JSON=$(CURDIR)/BENCH_explore.json $(GO) test -run TestWriteExploreBenchJSON -v -count=1 ./internal/vass/
+	@echo "wrote BENCH_explore.json"
 
 # CPU-profile a live suite through the -debug-addr pprof endpoint:
 # start benchrun in the background, sample its CPU for PROFILE_SECONDS,

@@ -1,0 +1,88 @@
+// Package envinfo captures the execution environment of a benchmark
+// run. Every BENCH_*.json artifact embeds one Env record under a shared
+// "env" key, so results from different machines (or the same machine at
+// different GOMAXPROCS) are never compared apples-to-oranges: the
+// consumer can always see how many CPUs were available and which
+// revision produced the numbers.
+package envinfo
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Env is the shared schema header of all benchmark artifacts.
+type Env struct {
+	// NumCPU is the host's logical CPU count.
+	NumCPU int `json:"num_cpu"`
+	// GoMaxProcs is the effective GOMAXPROCS of the emitting process —
+	// the parallelism benchmarks could actually use, which may be lower
+	// than NumCPU in containers.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// GoVersion is the runtime's Go release (e.g. "go1.24.0").
+	GoVersion string `json:"go_version"`
+	// GitRev is the source revision the binary was built from: the
+	// embedded VCS revision when the build recorded one, otherwise the
+	// working tree's HEAD via git, otherwise "unknown". A "+dirty"
+	// suffix marks uncommitted modifications.
+	GitRev string `json:"git_rev"`
+	// OS and Arch identify the platform (GOOS/GOARCH).
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+}
+
+// Collect gathers the environment record for the current process.
+func Collect() Env {
+	return Env{
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		GitRev:     gitRev(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// gitRev resolves the source revision. Test binaries usually lack
+// embedded VCS stamps (go test builds omit them), so the git fallback is
+// the common path; it degrades to "unknown" outside a repository.
+func gitRev() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return short(rev) + dirty
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := short(strings.TrimSpace(string(out)))
+	if rev == "" {
+		return "unknown"
+	}
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// short truncates a full SHA to the conventional 12 characters.
+func short(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}

@@ -1,0 +1,39 @@
+package envinfo
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCollect(t *testing.T) {
+	e := Collect()
+	if e.NumCPU < 1 {
+		t.Errorf("NumCPU = %d, want >= 1", e.NumCPU)
+	}
+	if e.GoMaxProcs < 1 {
+		t.Errorf("GoMaxProcs = %d, want >= 1", e.GoMaxProcs)
+	}
+	if e.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if e.GitRev == "" {
+		t.Error("GitRev empty (want a revision or \"unknown\")")
+	}
+	if e.OS == "" || e.Arch == "" {
+		t.Error("OS/Arch empty")
+	}
+	// The record must round-trip as the stable "env" schema header.
+	bts, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(bts, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"num_cpu", "gomaxprocs", "go_version", "git_rev", "os", "arch"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("env header missing %q", key)
+		}
+	}
+}

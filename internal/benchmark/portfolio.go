@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"verifas/internal/benchmark/envinfo"
 	"verifas/internal/core"
 )
 
@@ -114,6 +115,8 @@ func PortfolioReport(runs []Run) string {
 // tallies of a small-tier portfolio sweep plus summary counts, so CI and
 // the bench-quick target can track win rates over time.
 type PortfolioBench struct {
+	// Env is the shared benchmark-environment header (envinfo).
+	Env envinfo.Env `json:"env"`
 	// Engines is the contender list raced (tie-break order).
 	Engines []string `json:"engines"`
 	// Runs is the number of (spec, property) portfolio races.
@@ -132,7 +135,7 @@ type PortfolioBench struct {
 
 // NewPortfolioBench summarizes a portfolio run set for BENCH_portfolio.json.
 func NewPortfolioBench(engines []string, runs []Run) PortfolioBench {
-	b := PortfolioBench{Engines: engines, Runs: len(runs), Tallies: TallyPortfolio(runs)}
+	b := PortfolioBench{Env: envinfo.Collect(), Engines: engines, Runs: len(runs), Tallies: TallyPortfolio(runs)}
 	var total time.Duration
 	timed := 0
 	for _, r := range runs {

@@ -103,6 +103,10 @@ type Config struct {
 	// Orthogonal to Workers: that fans out across runs, this
 	// parallelizes inside one run's hot loop.
 	SearchWorkers int
+	// Relaxed switches every verification to relaxed partitioned
+	// exploration (core.Budget.Relaxed): same verdicts, but stats may
+	// differ from the default deterministic-merge mode.
+	Relaxed bool
 	// Progress, when non-nil, receives a live single-line progress report
 	// (completed/total, failures, live state count and throughput, ETA)
 	// rewritten in place with '\r'; point it at a terminal's stderr, not
@@ -201,6 +205,7 @@ func (cfg Config) budget(maxStates int, obs core.Observer) core.Budget {
 		MaxMemBytes:    cfg.MaxMemBytes,
 		Timeout:        cfg.Timeout,
 		Workers:        cfg.SearchWorkers,
+		Relaxed:        cfg.Relaxed,
 		Observer:       obs,
 		ProgressStride: cfg.ProgressStride,
 	}

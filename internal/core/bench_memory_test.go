@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"verifas/internal/benchmark/envinfo"
 	"verifas/internal/fol"
 	"verifas/internal/has"
 	"verifas/internal/ltl"
@@ -117,11 +118,11 @@ func measureRetainedBytes(tb testing.TB, runs int, noInterning bool) (bytesPerSt
 
 // memoryBenchRecord is the BENCH_memory.json shape.
 type memoryBenchRecord struct {
-	Benchmark  string  `json:"benchmark"`
-	Instance   string  `json:"instance"`
-	GOMaxProcs int     `json:"gomaxprocs"`
-	States     int     `json:"states"`
-	StatesPerS float64 `json:"states_per_sec"`
+	Benchmark  string      `json:"benchmark"`
+	Instance   string      `json:"instance"`
+	Env        envinfo.Env `json:"env"`
+	States     int         `json:"states"`
+	StatesPerS float64     `json:"states_per_sec"`
 	// BytesPerState* are GC-settled live-heap bytes per retained search
 	// state, holding the full exploration trees.
 	BytesPerStateInterned float64 `json:"bytes_per_state_interned"`
@@ -151,9 +152,9 @@ func TestWriteMemoryBenchJSON(t *testing.T) {
 	}
 	const runs = 64
 	rec := memoryBenchRecord{
-		Benchmark:  "core reach-tree retention, interned vs non-interned state encoding",
-		Instance:   fmt.Sprintf("TravelBooking full reach set, %d retained explorations of one compiled system", runs),
-		GOMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmark: "core reach-tree retention, interned vs non-interned state encoding",
+		Instance:  fmt.Sprintf("TravelBooking full reach set, %d retained explorations of one compiled system", runs),
+		Env:       envinfo.Collect(),
 	}
 	rec.BytesPerStateInterned, rec.States = measureRetainedBytes(t, runs, false)
 	rec.BytesPerStateNoIntern, _ = measureRetainedBytes(t, runs, true)

@@ -180,3 +180,105 @@ func TestParallelSpinlikeDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestRelaxedVerifyEquivalent runs the relaxed partitioned mode over the
+// same corpus as TestParallelVerifyDeterministic. Relaxed explores in
+// rounds instead of sequential depth-first order, so stats and traces
+// may legitimately differ from the sequential reference — but the
+// verdict must agree, any counterexample must be structurally valid
+// (same violation kind), and the relaxed runs themselves must be
+// deterministic in the worker count (canonical round merge).
+func TestRelaxedVerifyEquivalent(t *testing.T) {
+	for _, tc := range parallelCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			base := core.Options{Budget: core.Budget{MaxStates: 300_000, Timeout: 60 * time.Second}}
+			seq, err := core.Verify(context.Background(), tc.sys, tc.prop, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.TimedOut() {
+				t.Skip("sequential reference hit the budget")
+			}
+			var ref *core.Result
+			for _, w := range []int{1, 2, 4} {
+				opts := base
+				opts.Workers = w
+				opts.Relaxed = true
+				got, err := core.Verify(context.Background(), tc.sys, tc.prop, opts)
+				if err != nil {
+					t.Fatalf("relaxed workers=%d: %v", w, err)
+				}
+				if got.TimedOut() {
+					t.Fatalf("relaxed workers=%d hit the budget; sequential did not", w)
+				}
+				// Verdict equivalence with the sequential run.
+				if got.Verdict != seq.Verdict {
+					t.Errorf("relaxed workers=%d verdict %v, want %v", w, got.Verdict, seq.Verdict)
+				}
+				// Witness validity: a violated verdict must come with a
+				// counterexample of the same kind as the sequential one.
+				if (got.Violation == nil) != (seq.Violation == nil) {
+					t.Errorf("relaxed workers=%d violation presence differs", w)
+				} else if got.Violation != nil && got.Violation.Kind != seq.Violation.Kind {
+					t.Errorf("relaxed workers=%d violation kind %q, want %q",
+						w, got.Violation.Kind, seq.Violation.Kind)
+				}
+				// Determinism across relaxed worker counts: identical
+				// stats and traces for any W.
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if !statsEqual(got.Stats, ref.Stats) {
+					t.Errorf("relaxed workers=%d stats differ from relaxed w=1:\n got %+v\nwant %+v",
+						w, got.Stats, ref.Stats)
+				}
+				if !violationEqual(got.Violation, ref.Violation) {
+					t.Errorf("relaxed workers=%d counterexample differs from relaxed w=1:\n got %+v\nwant %+v",
+						w, got.Violation, ref.Violation)
+				}
+			}
+		})
+	}
+}
+
+// TestRelaxedSpinlikeEquivalent checks the baseline engine's relaxed
+// valuation fan-out: first-deciding-valuation-wins must reach the same
+// verdict as the sequential scan, for a property with global variables
+// (many valuations) and one without (single valuation).
+func TestRelaxedSpinlikeEquivalent(t *testing.T) {
+	sys := workflows.OrderFulfillment(false)
+	props := []*spinlike.Property{
+		{
+			Task:    "ProcessOrders",
+			Globals: []has.Variable{{Name: "gitem", Type: has.IDType("ITEMS")}},
+			Conds:   map[string]fol.Formula{"mine": fol.MustParse(`item_id == gitem`)},
+			Formula: ltl.MustParse(`G (mine -> F open(ShipItem))`),
+		},
+		{
+			Task:    "ProcessOrders",
+			Formula: ltl.MustParse(`F open(ShipItem)`),
+		},
+	}
+	for _, prop := range props {
+		base := spinlike.Options{Budget: core.Budget{MaxStates: 60_000, Timeout: 60 * time.Second}}
+		ref, err := spinlike.Verify(context.Background(), sys, prop, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4} {
+			opts := base
+			opts.Workers = w
+			opts.Relaxed = true
+			got, err := spinlike.Verify(context.Background(), sys, prop, opts)
+			if err != nil {
+				t.Fatalf("relaxed workers=%d: %v", w, err)
+			}
+			if got.Verdict != ref.Verdict {
+				t.Errorf("relaxed workers=%d verdict %v, want %v (globals=%d)",
+					w, got.Verdict, ref.Verdict, len(prop.Globals))
+			}
+		}
+	}
+}

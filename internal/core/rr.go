@@ -81,6 +81,7 @@ func rrClassical(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi,
 		MaxMemBytes:    opts.MaxMemBytes,
 		MemExtra:       internerExtra(ts),
 		Workers:        opts.Workers,
+		Relaxed:        opts.Relaxed,
 		Ctx:            ctx,
 		OnProgress:     em.searchProgress(phase),
 		ProgressStride: em.stride,
@@ -117,6 +118,7 @@ func rrAggressive(ctx context.Context, ts *symbolic.TaskSystem, buchi *ltl.Buchi
 		MaxMemBytes:     opts.MaxMemBytes,
 		MemExtra:        internerExtra(ts),
 		Workers:         opts.Workers,
+		Relaxed:         opts.Relaxed,
 		Ctx:             ctx,
 		OnProgress:      em.searchProgress(PhaseRR),
 		ProgressStride:  em.stride,

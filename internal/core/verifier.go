@@ -274,6 +274,7 @@ func Verify(ctx context.Context, sys *has.System, prop *Property, opts Options) 
 		MaxMemBytes:    opts.MaxMemBytes,
 		MemExtra:       internerExtra(ts),
 		Workers:        opts.Workers,
+		Relaxed:        opts.Relaxed,
 		Ctx:            ctx,
 		OnProgress:     em.searchProgress(PhaseReach),
 		ProgressStride: em.stride,

@@ -9,10 +9,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"runtime"
 	"testing"
 	"time"
 
+	"verifas/internal/benchmark/envinfo"
 	"verifas/internal/fleet"
 	"verifas/internal/fleet/loadgen"
 	"verifas/internal/service"
@@ -293,7 +293,7 @@ type fleetBench struct {
 	Router         fleet.RouterMetricsSnapshot `json:"router"`
 	Fleet          fleet.FleetAggregate        `json:"fleet"`
 	PostWarmupRuns int64                       `json:"post_warmup_engine_runs"`
-	GoMaxProcs     int                         `json:"gomaxprocs"`
+	Env            envinfo.Env                 `json:"env"`
 }
 
 // TestWriteFleetBenchJSON runs the soak and writes the machine-readable
@@ -315,7 +315,7 @@ func TestWriteFleetBenchJSON(t *testing.T) {
 		Router:         out.stats.Router,
 		Fleet:          out.stats.Fleet,
 		PostWarmupRuns: out.postWarmupRuns,
-		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Env:            envinfo.Collect(),
 	}
 	if rep.Completed > 0 {
 		rec.CoalesceRate = float64(rep.Cached) / float64(rep.Completed)

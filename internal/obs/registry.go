@@ -39,6 +39,16 @@ type Registry struct {
 	// inflight is a gauge: successor computations currently claimed by
 	// search workers, summed over active runs.
 	inflight atomic.Int64
+	// exchanged counts successors routed between partitions by
+	// relaxed-mode searches.
+	exchanged atomic.Int64
+	// exchangeQueue is a gauge: the peak cross-partition successor
+	// backlog reported by each active run's latest snapshot, summed.
+	exchangeQueue atomic.Int64
+	// imbalanceMilli is the most recently observed partition imbalance
+	// (max/mean of the per-partition work depths, in thousandths) of any
+	// partitioned search reporting progress. 1000 = perfectly balanced.
+	imbalanceMilli atomic.Int64
 
 	// phaseNanos accumulates wall time per phase, indexed by phaseIdx.
 	phaseNanos [numPhases]atomic.Int64
@@ -130,6 +140,16 @@ type Snapshot struct {
 	// SearchInflight is the current number of successor computations
 	// claimed by search workers across all active runs.
 	SearchInflight int64 `json:"search_inflight"`
+	// Exchanged counts successors routed between partitions by
+	// relaxed-mode searches.
+	Exchanged int64 `json:"exchanged"`
+	// ExchangeQueue sums the active runs' last-reported peak
+	// cross-partition successor backlogs.
+	ExchangeQueue int64 `json:"exchange_queue"`
+	// PartitionImbalanceMilli is the last observed max/mean partition
+	// work-depth ratio, in thousandths (1000 = perfectly balanced; 0 =
+	// no partitioned search has reported yet).
+	PartitionImbalanceMilli int64 `json:"partition_imbalance_milli"`
 
 	// PhaseMillis is wall time spent per phase, in milliseconds.
 	PhaseMillis map[string]int64 `json:"phase_millis"`
@@ -160,19 +180,22 @@ type EngineSnapshot struct {
 // Snapshot returns the current totals.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		RunsActive:      r.runsActive.Load(),
-		RunsDone:        r.runsDone.Load(),
-		Holds:           r.holds.Load(),
-		Violated:        r.violated.Load(),
-		TimedOut:        r.timedOut.Load(),
-		BudgetExhausted: r.budget.Load(),
-		States:          r.states.Load(),
-		Pruned:          r.pruned.Load(),
-		Skipped:         r.skipped.Load(),
-		Accelerations:   r.accelerations.Load(),
-		Prefetched:      r.prefetched.Load(),
-		SearchInflight:  r.inflight.Load(),
-		PhaseMillis:     map[string]int64{},
+		RunsActive:              r.runsActive.Load(),
+		RunsDone:                r.runsDone.Load(),
+		Holds:                   r.holds.Load(),
+		Violated:                r.violated.Load(),
+		TimedOut:                r.timedOut.Load(),
+		BudgetExhausted:         r.budget.Load(),
+		States:                  r.states.Load(),
+		Pruned:                  r.pruned.Load(),
+		Skipped:                 r.skipped.Load(),
+		Accelerations:           r.accelerations.Load(),
+		Prefetched:              r.prefetched.Load(),
+		SearchInflight:          r.inflight.Load(),
+		Exchanged:               r.exchanged.Load(),
+		ExchangeQueue:           r.exchangeQueue.Load(),
+		PartitionImbalanceMilli: r.imbalanceMilli.Load(),
+		PhaseMillis:             map[string]int64{},
 	}
 	for i, p := range phaseOrder {
 		s.PhaseMillis[string(p)] = r.phaseNanos[i].Load() / int64(time.Millisecond)
@@ -216,11 +239,14 @@ type regRun struct {
 	// PhaseStats, so they get their own delta state).
 	lastPrefetched int
 	lastInflight   int
+	lastExchanged  int
+	lastExchQueue  int
 }
 
 func (h *regRun) PhaseStart(core.Phase) {
 	h.last = core.PhaseStats{}
 	h.lastPrefetched = 0
+	h.lastExchanged = 0
 	h.drainInflight()
 }
 
@@ -231,6 +257,10 @@ func (h *regRun) drainInflight() {
 	if h.lastInflight != 0 {
 		h.reg.inflight.Add(int64(-h.lastInflight))
 		h.lastInflight = 0
+	}
+	if h.lastExchQueue != 0 {
+		h.reg.exchangeQueue.Add(int64(-h.lastExchQueue))
+		h.lastExchQueue = 0
 	}
 }
 
@@ -253,6 +283,34 @@ func (h *regRun) Progress(e core.ProgressEvent) {
 	h.lastPrefetched = e.Prefetched
 	h.reg.inflight.Add(int64(e.Inflight - h.lastInflight))
 	h.lastInflight = e.Inflight
+	h.reg.exchanged.Add(int64(e.Exchanged - h.lastExchanged))
+	h.lastExchanged = e.Exchanged
+	h.reg.exchangeQueue.Add(int64(e.ExchangeQueue - h.lastExchQueue))
+	h.lastExchQueue = e.ExchangeQueue
+	if m := imbalanceMilli(e.PartitionDepths); m > 0 {
+		h.reg.imbalanceMilli.Store(m)
+	}
+}
+
+// imbalanceMilli derives the partition-imbalance signal from a snapshot
+// of per-partition work depths: max over mean, in thousandths. Returns 0
+// when the snapshot carries no work (nothing to report).
+func imbalanceMilli(depths []int) int64 {
+	if len(depths) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, d := range depths {
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(depths))
+	return int64(float64(max) / mean * 1000)
 }
 
 func (h *regRun) PhaseEnd(p core.Phase, ps core.PhaseStats) {

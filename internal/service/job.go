@@ -91,6 +91,13 @@ type RequestOptions struct {
 	// value, but the normalized worker count is still part of the
 	// result-cache key so stats stay reproducible per configuration.
 	Workers int `json:"workers,omitempty"`
+	// Relaxed switches the search to relaxed partitioned exploration
+	// (first-decision-wins valuation fan-out for the spinlike engine).
+	// The verdict agrees with the default mode, but stats and traces
+	// may differ — round-order exploration instead of sequential
+	// depth-first — so unlike Workers, Relaxed results are cached
+	// separately from default-mode results.
+	Relaxed bool `json:"relaxed,omitempty"`
 }
 
 // EngineOptions is the normalized form of RequestOptions with every
@@ -119,6 +126,7 @@ type EngineOptions struct {
 	ProgressStride           int      `json:"progress_stride"`
 	SpinFresh                int      `json:"spin_fresh"`
 	Workers                  int      `json:"workers"`
+	Relaxed                  bool     `json:"relaxed"`
 }
 
 // Timeout returns the wall-clock bound as a duration.
@@ -435,6 +443,7 @@ func normalizeOptions(o *RequestOptions, d KeyDefaults) (EngineOptions, *apiErro
 		ProgressStride:           o.ProgressStride,
 		SpinFresh:                o.SpinFresh,
 		Workers:                  o.Workers,
+		Relaxed:                  o.Relaxed,
 	}
 	// Canonicalize the engine selection before the cache key is derived:
 	// a one-element portfolio IS that engine, and real portfolios get

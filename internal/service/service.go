@@ -238,6 +238,7 @@ func (o EngineOptions) budget(observer core.Observer) core.Budget {
 		MaxMemBytes:    o.MemBudget,
 		Timeout:        o.Timeout(),
 		Workers:        o.Workers,
+		Relaxed:        o.Relaxed,
 		Observer:       observer,
 		ProgressStride: o.ProgressStride,
 	}

@@ -56,6 +56,14 @@ import (
 //     intermediate Progress events are suppressed. Properties without
 //     global variables have a single valuation and always run
 //     sequentially.
+//   - Relaxed (with Workers > 1) switches the valuation fan-out to
+//     first-decision-wins: the first valuation to decide settles the
+//     verdict and cancels the rest, instead of reducing in valuation
+//     order. Under ∀-semantics any deciding valuation is a sound
+//     certificate, so verdicts agree with the sequential reduce
+//     whenever budgets/timeouts do not intervene; which deciding
+//     valuation is reported (and hence Stats) becomes
+//     timing-dependent.
 //   - Observer, if non-nil, receives the run's event stream (the same
 //     core event model as core.Verify: PhaseCompile + PhaseReach with
 //     Progress snapshots, terminated by a Verdict event);
@@ -401,6 +409,9 @@ func (c *checker) checkAllGlobals(gvs []fol.MapValuation) (bool, bool, bool) {
 		}
 		return false, false, false
 	}
+	if c.opts.Relaxed {
+		return c.checkAllGlobalsRelaxed(gvs, workers)
+	}
 
 	type gvResult struct {
 		violated, timedOut, budget bool
@@ -458,6 +469,78 @@ func (c *checker) checkAllGlobals(gvs []fol.MapValuation) (bool, bool, bool) {
 		}
 	}
 	// The parent's budgetHit drives the verdict mapping in Verify.
+	c.budgetHit = budget
+	return violated, timedOut, budget
+}
+
+// checkAllGlobalsRelaxed races the independent global valuations and
+// takes the first deciding result in completion order, cancelling the
+// rest (Options.Relaxed) — no ordered reduce, so the fan-out scales
+// with the slowest *deciding* valuation instead of every valuation
+// before it. Under ∀-semantics any deciding valuation is a sound
+// certificate for the verdict it reports; when several valuations
+// decide differently (violated vs timed-out), which one is reported is
+// timing-dependent.
+func (c *checker) checkAllGlobalsRelaxed(gvs []fol.MapValuation, workers int) (bool, bool, bool) {
+	baseCtx := c.ctx
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(baseCtx)
+	defer cancel()
+
+	type gvResult struct {
+		violated, timedOut, budget bool
+		states                     int
+		memBytes                   int64
+	}
+	results := make([]gvResult, len(gvs))
+	var next atomic.Int64
+	// winner is the index of the first valuation to decide, -1 until
+	// then. The CAS makes exactly one decider the winner; its cancel()
+	// stops the losers mid-search (their partial results only feed the
+	// effort stats).
+	var winner atomic.Int64
+	winner.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(gvs) || winner.Load() >= 0 {
+					return
+				}
+				sub := *c
+				sub.ctx = ctx
+				sub.overflow = false
+				sub.interned = 0
+				sub.memBytes = 0
+				sub.budgetHit = false
+				sub.obs = nil // per-run Observers are not concurrency-safe
+				violated, timedOut, budget := sub.checkForGlobals(gvs[i])
+				results[i] = gvResult{
+					violated: violated, timedOut: timedOut, budget: budget,
+					states: sub.interned, memBytes: sub.memBytes,
+				}
+				if (violated || timedOut || budget) && winner.CompareAndSwap(-1, int64(i)) {
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range results {
+		c.interned += r.states
+		c.memBytes += r.memBytes
+	}
+	violated, timedOut, budget := false, false, false
+	if wi := winner.Load(); wi >= 0 {
+		r := results[wi]
+		violated, timedOut, budget = r.violated, r.timedOut, r.budget
+	}
 	c.budgetHit = budget
 	return violated, timedOut, budget
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"verifas/internal/benchmark/envinfo"
 	"verifas/internal/core"
 	"verifas/internal/engines"
 	"verifas/internal/store"
@@ -17,8 +18,9 @@ import (
 // repeated submission descends (cold engine run → disk-tier hit →
 // memory-tier hit) plus the on-disk entry footprint.
 type storeBenchRecord struct {
-	Benchmark string `json:"benchmark"`
-	Instance  string `json:"instance"`
+	Benchmark string      `json:"benchmark"`
+	Instance  string      `json:"instance"`
+	Env       envinfo.Env `json:"env"`
 	// ColdVerifyMS is the full engine run the store is amortizing
 	// (best of 3).
 	ColdVerifyMS float64 `json:"cold_verify_ms"`
@@ -58,6 +60,7 @@ func TestWriteStoreBenchJSON(t *testing.T) {
 	rec := storeBenchRecord{
 		Benchmark: "tiered result store: cold verification vs memory-tier vs disk-tier hit",
 		Instance:  "OrderFulfillmentBuggy / ship_stocked (violated verdict with witness trace)",
+		Env:       envinfo.Collect(),
 	}
 
 	// Cold: the engine run a hit replaces. Best of 3.

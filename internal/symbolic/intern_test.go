@@ -183,3 +183,89 @@ func TestInternerArenaAliasing(t *testing.T) {
 		}
 	}
 }
+
+// internBenchShapes enumerates small constraint shapes over the bench
+// universe's same-typed root pairs: one AddEq shape and one AddEq+AddNeq
+// shape per pair. The pool is deliberately small so concurrent interners
+// overlap heavily and contend on the same shard buckets.
+func internBenchShapes(b *testing.B, u *Universe) [][][2]ExprID {
+	b.Helper()
+	var ids []ExprID
+	for _, name := range []string{"p", "q", "r", "s", "t", "u", "v", "w"} {
+		id, ok := u.Root(name)
+		if !ok {
+			b.Fatalf("root %q missing", name)
+		}
+		ids = append(ids, id)
+	}
+	var shapes [][][2]ExprID
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if u.Exprs[ids[i]].Type != u.Exprs[ids[j]].Type {
+				continue
+			}
+			shapes = append(shapes, [][2]ExprID{{ids[i], ids[j]}})
+			for k := j + 1; k < len(ids); k++ {
+				if u.Exprs[ids[j]].Type != u.Exprs[ids[k]].Type {
+					continue
+				}
+				shapes = append(shapes, [][2]ExprID{{ids[i], ids[j]}, {ids[j], ids[k]}})
+			}
+		}
+	}
+	if len(shapes) < 8 {
+		b.Fatalf("only %d shapes; bench universe too small", len(shapes))
+	}
+	return shapes
+}
+
+func internShape(u *Universe, shape [][2]ExprID) *Pisotype {
+	tau := NewPisotype(u, nil)
+	for _, e := range shape {
+		tau.AddEq(e[0], e[1])
+	}
+	return tau
+}
+
+// BenchmarkInternerIntern measures the uncontended hot path: building and
+// interning types from a small overlapping pool (steady-state is almost
+// all hits, like the explorer re-encountering known constraint graphs).
+func BenchmarkInternerIntern(b *testing.B) {
+	u := benchUniverse(b)
+	shapes := internBenchShapes(b, u)
+	in := NewInterner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Intern(internShape(u, shapes[i%len(shapes)]))
+	}
+}
+
+// BenchmarkInternerContended runs 8 goroutines interning overlapping
+// pisotypes — the partitioned exploration's workers all intern every
+// successor they compute, so this is the shape of the real contention.
+// Guards the sharded-table rewrite: with a single global mutex this
+// serializes; with striped shards the goroutines mostly proceed in
+// parallel.
+func BenchmarkInternerContended(b *testing.B) {
+	u := benchUniverse(b)
+	shapes := internBenchShapes(b, u)
+	in := NewInterner()
+	const goroutines = 8
+	per := b.N/goroutines + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Offset start per goroutine so workers hit the same
+				// classes at different instants, like real partitions.
+				in.Intern(internShape(u, shapes[(g*7+i)%len(shapes)]))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -443,6 +443,12 @@ func (t *Pisotype) Edges() []uint64 {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if out == nil {
+		// A constraint-free type still needs a non-nil cache: the nil
+		// sentinel would make every Edges call recompute and re-write
+		// canon/hash, racing once the type is interned and shared.
+		out = []uint64{}
+	}
 	t.canon = out
 	t.hash = hashEdges(out)
 	return out

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"verifas/internal/benchmark/envinfo"
 )
 
 // benchVASS builds a conservative token-ring system: n tokens circulate
@@ -96,57 +98,73 @@ func BenchmarkExploreSlowSucc(b *testing.B) {
 	}
 }
 
+// benchModeEntry is one (mode, workers) timing of the scaling record.
+type benchModeEntry struct {
+	Workers  int     `json:"workers"`
+	Millis   float64 `json:"millis"`
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// timeExplore times one exploration of sys (best of `reps`: scheduling
+// noise only ever slows a run down) and returns milliseconds.
+func timeExplore(t testing.TB, sys System, opts Options, reps int) float64 {
+	t.Helper()
+	best := 0.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := Explore(sys, opts); err != nil {
+			t.Fatal(err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if best == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best
+}
+
+// benchScalingSweep times sys at the given worker counts in one mode
+// and returns the entries with speedups relative to workers=1.
+func benchScalingSweep(t testing.TB, sys System, relaxed bool, workerCounts []int, reps int) []benchModeEntry {
+	t.Helper()
+	var entries []benchModeEntry
+	base := 0.0
+	for _, w := range workerCounts {
+		ms := timeExplore(t, sys, Options{
+			Prune: true, Accelerate: true, Workers: w, Relaxed: relaxed,
+		}, reps)
+		if w == 1 {
+			base = ms
+		}
+		entries = append(entries, benchModeEntry{Workers: w, Millis: ms, SpeedupX: base / ms})
+	}
+	return entries
+}
+
 // TestWriteExploreBenchJSON emits the machine-readable scaling record
 // BENCH_explore.json when the BENCH_EXPLORE_JSON environment variable
 // names an output path (make bench-quick sets it). It times the
-// slow-successor instance at workers 1/2/4 and records the speedups.
+// slow-successor instance at workers 1/2/4/8 in both the deterministic
+// (byte-identical tree) and relaxed (round-partitioned) modes and
+// records the speedups, with the shared envinfo header for
+// interpretation — speedup only manifests when GOMAXPROCS > 1; on a
+// single-CPU host the interesting number is the overhead staying near
+// zero.
 func TestWriteExploreBenchJSON(t *testing.T) {
 	path := os.Getenv("BENCH_EXPLORE_JSON")
 	if path == "" {
 		t.Skip("BENCH_EXPLORE_JSON not set")
 	}
-	type entry struct {
-		Workers  int     `json:"workers"`
-		Millis   float64 `json:"millis"`
-		SpeedupX float64 `json:"speedup_x"`
-	}
 	// A multi-second sequential instance: ~5.5k-node token-ring tree with
-	// symbolic-domain-like successor cost. Speedup only manifests when
-	// GOMAXPROCS > 1 (recorded in the output for interpretation); on a
-	// single-CPU host the interesting number is the overhead staying
-	// near zero.
+	// symbolic-domain-like successor cost.
 	sys := &slowSystem{System: benchVASS(30, 4), work: 150_000}
-	timeOne := func(workers int) float64 {
-		// Best of 2: scheduling noise only ever slows a run down.
-		best := 0.0
-		for r := 0; r < 2; r++ {
-			start := time.Now()
-			if _, err := Explore(sys, Options{
-				Prune: true, Accelerate: true, Workers: workers,
-			}); err != nil {
-				t.Fatal(err)
-			}
-			ms := float64(time.Since(start).Microseconds()) / 1000
-			if best == 0 || ms < best {
-				best = ms
-			}
-		}
-		return best
-	}
-	var entries []entry
-	base := 0.0
-	for _, w := range []int{1, 2, 4} {
-		ms := timeOne(w)
-		if w == 1 {
-			base = ms
-		}
-		entries = append(entries, entry{Workers: w, Millis: ms, SpeedupX: base / ms})
-	}
+	workerCounts := []int{1, 2, 4, 8}
 	rec := map[string]any{
-		"benchmark":  "vass.Explore slow-successor scaling",
-		"instance":   "token-ring n=30 dim=4, 150k work units per Successors call",
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"runs":       entries,
+		"benchmark":     "vass.Explore slow-successor scaling",
+		"instance":      "token-ring n=30 dim=4, 150k work units per Successors call",
+		"env":           envinfo.Collect(),
+		"deterministic": benchScalingSweep(t, sys, false, workerCounts, 2),
+		"relaxed":       benchScalingSweep(t, sys, true, workerCounts, 2),
 	}
 	bts, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -155,5 +173,26 @@ func TestWriteExploreBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, append(bts, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: %+v", path, entries)
+	t.Logf("wrote %s: det=%+v relaxed=%+v", path, rec["deterministic"], rec["relaxed"])
+}
+
+// TestMulticoreScalingGuard is the CI bench-multicore regression gate:
+// on a host with >= 4 CPUs, relaxed partitioned exploration at
+// workers=4 must beat the sequential run by at least 1.5x on the
+// slow-successor instance. Skipped below 4 CPUs, where the speedup
+// cannot physically exist (the single-CPU CI shards run the
+// correctness suites instead).
+func TestMulticoreScalingGuard(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d < 4: multicore scaling cannot manifest", runtime.GOMAXPROCS(0))
+	}
+	sys := &slowSystem{System: benchVASS(28, 4), work: 100_000}
+	seq := timeExplore(t, sys, Options{Prune: true, Accelerate: true}, 2)
+	rel := timeExplore(t, sys, Options{Prune: true, Accelerate: true, Workers: 4, Relaxed: true}, 2)
+	speedup := seq / rel
+	t.Logf("sequential %.1fms, relaxed w=4 %.1fms: %.2fx", seq, rel, speedup)
+	if speedup < 1.5 {
+		t.Errorf("relaxed w=4 speedup %.2fx < 1.5x on %d CPUs — partitioned scaling regressed",
+			speedup, runtime.GOMAXPROCS(0))
+	}
 }

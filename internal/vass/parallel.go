@@ -23,29 +23,66 @@ type succTask struct {
 	// waits on tasks of active nodes, and deactivation is permanent,
 	// so a skipped computation is never missed.
 	stale atomic.Bool
-	done  chan struct{}
+	// charge is the task's speculative memory charge against the shared
+	// budget pool, encoded as a tiny state machine so that exactly one
+	// party debits it: taskUncharged until the worker that computed out
+	// records the estimate, taskSettled once the charge has been
+	// reconciled (consumed by the coordinator, abandoned by
+	// deactivation, or debited back by the worker itself when it lost
+	// the settle race). See prefetchPool.settle.
+	charge atomic.Int64
+	done   chan struct{}
 }
 
-// prefetchPool runs Options.Workers goroutines that pull prefetch
-// tasks off a shared LIFO stack and compute System.Successors for
-// them. LIFO matters: the coordinator's work list is a stack too, so
-// the most recently created node is the one it needs next — serving
-// the stack top first keeps workers ahead of the coordinator instead
-// of warming states it will not reach for a long time.
+const (
+	taskUncharged int64 = -1
+	taskSettled   int64 = -2
+)
+
+// partQueue is one partition's LIFO stack of pending prefetch tasks.
+// LIFO matters: the coordinator's work list is a stack too, so the most
+// recently created node is the one it needs next — serving the stack
+// top first keeps workers ahead of the coordinator instead of warming
+// states it will not reach for a long time.
+type partQueue struct {
+	mu    sync.Mutex
+	stack []*succTask
+	depth atomic.Int64
+}
+
+// prefetchPool runs Options.Workers goroutines that compute
+// System.Successors for freshly committed nodes ahead of the
+// coordinator. Tasks are hash-partitioned by the node's state key:
+// worker w serves partition w's stack first and steals from the others
+// only when its own is empty, so each worker keeps revisiting the same
+// slice of the key space (and the state structures reachable from it)
+// instead of all workers contending on one shared stack.
 //
 // All tree bookkeeping stays on the coordinator; workers only ever
-// read the immutable n.S of committed nodes (the pool mutex on add()
+// read the immutable n.S of committed nodes (the pending-counter mutex
 // orders the node's construction before any worker access) and write
 // the task-local out slice (ordered before the coordinator's read by
 // the done channel).
+//
+// Workers also charge each computed successor set's estimated bytes to
+// the shared budget pool and pause claiming new tasks while the pool is
+// over MaxMemBytes, bounding speculative memory overshoot to roughly
+// one in-flight computation per worker.
 type prefetchPool struct {
 	sys     System
 	workers int
+	sized   Sized
+	budget  *budgetPool
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	stack  []*succTask
-	closed bool
+	parts []partQueue
+
+	// mu/cond/pending form the counting semaphore that parks idle (or
+	// budget-gated) workers; the per-partition locks above only guard
+	// the stacks themselves.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+	closed  bool
 
 	// inflight counts successor computations currently claimed by
 	// workers; exposed via Progress.Inflight.
@@ -54,25 +91,57 @@ type prefetchPool struct {
 	wg sync.WaitGroup
 }
 
-func newPrefetchPool(sys System, workers int) *prefetchPool {
-	p := &prefetchPool{sys: sys, workers: workers}
+func newPrefetchPool(sys System, workers int, budget *budgetPool) *prefetchPool {
+	p := &prefetchPool{
+		sys: sys, workers: workers, budget: budget,
+		parts: make([]partQueue, workers),
+	}
+	p.sized, _ = sys.(Sized)
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go p.run()
+		go p.run(i)
 	}
 	return p
 }
 
-// add enqueues a prefetch task for a freshly committed node and
-// returns it. Coordinator-only.
-func (p *prefetchPool) add(n *Node) *succTask {
+// add enqueues a prefetch task for a freshly committed node on the
+// partition owning its state key, and returns it. Coordinator-only.
+func (p *prefetchPool) add(n *Node, key uint64) *succTask {
 	t := &succTask{n: n, done: make(chan struct{})}
+	t.charge.Store(taskUncharged)
+	q := &p.parts[key%uint64(p.workers)]
+	q.mu.Lock()
+	q.stack = append(q.stack, t)
+	q.mu.Unlock()
+	q.depth.Add(1)
 	p.mu.Lock()
-	p.stack = append(p.stack, t)
+	p.pending++
 	p.mu.Unlock()
 	p.cond.Signal()
 	return t
+}
+
+// settle reconciles the task's speculative budget charge exactly once.
+// Called by the coordinator when it consumes the task's output
+// (fetchSuccessors) or abandons it (deactivateSubtree). If the worker
+// has not recorded its charge yet, the swap leaves taskSettled behind
+// and the worker debits itself when it sees it.
+func (p *prefetchPool) settle(t *succTask) {
+	old := t.charge.Swap(taskSettled)
+	if old > 0 {
+		p.budget.charge(-old)
+		p.cond.Signal() // a budget-gated worker may proceed now
+	}
+}
+
+// depths snapshots the per-partition pending stack depths for Progress.
+func (p *prefetchPool) depths() []int {
+	out := make([]int, p.workers)
+	for i := range p.parts {
+		out[i] = int(p.parts[i].depth.Load())
+	}
+	return out
 }
 
 // shutdown wakes every worker and waits for them to exit. Tasks still
@@ -87,27 +156,64 @@ func (p *prefetchPool) shutdown() {
 	p.wg.Wait()
 }
 
-func (p *prefetchPool) run() {
+// pop takes the newest task from the worker's own partition, stealing
+// from the next partitions over only when its own is empty. A caller
+// must have consumed one unit of pending first.
+func (p *prefetchPool) pop(self int) *succTask {
+	for i := 0; i < p.workers; i++ {
+		q := &p.parts[(self+i)%p.workers]
+		q.mu.Lock()
+		if n := len(q.stack); n > 0 {
+			t := q.stack[n-1]
+			q.stack = q.stack[:n-1]
+			q.mu.Unlock()
+			q.depth.Add(-1)
+			return t
+		}
+		q.mu.Unlock()
+	}
+	return nil
+}
+
+func (p *prefetchPool) run(self int) {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
-		for len(p.stack) == 0 && !p.closed {
+		for (p.pending == 0 || p.budget.overLimit()) && !p.closed {
 			p.cond.Wait()
 		}
 		if p.closed {
 			p.mu.Unlock()
 			return
 		}
-		t := p.stack[len(p.stack)-1]
-		p.stack = p.stack[:len(p.stack)-1]
+		p.pending--
 		p.mu.Unlock()
 
+		t := p.pop(self)
+		if t == nil {
+			continue // unreachable: pending counts queued tasks
+		}
 		if !t.claimed.CompareAndSwap(false, true) {
 			continue // the coordinator got there first
 		}
 		if !t.stale.Load() {
 			p.inflight.Add(1)
 			t.out = p.sys.Successors(t.n.S)
+			v := int64(0)
+			for _, sc := range t.out {
+				sb := defaultStateBytes
+				if p.sized != nil {
+					sb = p.sized.StateBytes(sc.S)
+				}
+				v += int64(nodeOverheadBytes + sb)
+			}
+			p.budget.charge(v)
+			if t.charge.Swap(v) == taskSettled {
+				// The coordinator settled (deactivated the node) before
+				// the charge landed and debited nothing; undo it here.
+				p.budget.charge(-v)
+				t.charge.Store(taskSettled)
+			}
 			p.inflight.Add(-1)
 		}
 		close(t.done)

@@ -1,0 +1,214 @@
+package vass
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// wideLoop is an infinite system with high branching: every transition
+// bumps a different counter pair, so (without pruning) the frontier
+// widens geometrically and the cross-partition exchange channels fill.
+func wideLoop() *Vec {
+	const dim = 4
+	v := &Vec{Dim: dim, Init: VConfig{Loc: 0, C: make([]Count, dim)}}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			d := make([]Count, dim)
+			d[i]++
+			d[j]++
+			v.Trans = append(v.Trans, VTrans{From: 0, To: 0, Delta: d})
+		}
+	}
+	return v
+}
+
+// Property: relaxed mode is deterministic in the worker count — the
+// round-based exploration commits in canonical order, so the tree,
+// stats, and active set are identical for W ∈ {1, 2, 4} (and state
+// counts are trivially equal).
+func TestQuickRelaxedIdenticalAcrossWorkers(t *testing.T) {
+	profiles := []Options{
+		{Prune: true, Accelerate: true, MaxStates: 3000},
+		{Prune: true, Accelerate: true, UseIndex: true, MaxStates: 3000},
+		{Prune: false, Accelerate: true, MaxStates: 3000},
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomVASS(r)
+		for _, base := range profiles {
+			ref := base
+			ref.Relaxed = true
+			ref.Workers = 1
+			refTree, refErr := Explore(v, ref)
+			for _, w := range []int{2, 4} {
+				par := base
+				par.Relaxed = true
+				par.Workers = w
+				got, gotErr := Explore(v, par)
+				if !errors.Is(gotErr, refErr) && !errors.Is(refErr, gotErr) {
+					t.Logf("relaxed workers=%d error differs: %v vs %v", w, gotErr, refErr)
+					return false
+				}
+				if !treesIdentical(t, v, refTree, got) {
+					t.Logf("relaxed workers=%d tree differs (profile %+v, VASS %+v)", w, base, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the relaxed tree is coverability-equivalent to the
+// sequential one — the active sets mutually cover each other, so any
+// verdict derived from the downward closure (all of them) agrees. The
+// trees themselves may differ: relaxed explores in rounds, sequential
+// depth-first, and Reynier-Servais pruning is order-sensitive.
+func TestQuickRelaxedCoverabilityEquivalent(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomVASS(r)
+		seq, err1 := Explore(v, Options{Prune: true, Accelerate: true, MaxStates: 5000})
+		rel, err2 := Explore(v, Options{Prune: true, Accelerate: true, MaxStates: 5000, Relaxed: true, Workers: 4})
+		if err1 != nil || err2 != nil {
+			return true // budget blowup; skip
+		}
+		actS, actR := seq.Active(), rel.Active()
+		for _, n := range actS {
+			if !covers(v, actR, n.S.(VConfig)) {
+				t.Logf("sequential node %v not covered by relaxed (VASS %+v)", n.S, v)
+				return false
+			}
+		}
+		for _, n := range actR {
+			if !covers(v, actS, n.S.(VConfig)) {
+				t.Logf("relaxed node %v not covered by sequential (VASS %+v)", n.S, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRelaxedBudget checks that the state budget trips identically at
+// every relaxed worker count: the canonical merge order makes even the
+// partial aborted tree W-independent.
+func TestRelaxedBudget(t *testing.T) {
+	ref, refErr := Explore(wideLoop(), Options{MaxStates: 500, Relaxed: true, Workers: 1})
+	if !errors.Is(refErr, ErrBudget) {
+		t.Fatalf("relaxed w=1: got %v, want ErrBudget", refErr)
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, err := Explore(wideLoop(), Options{MaxStates: 500, Relaxed: true, Workers: w})
+		if !errors.Is(err, ErrBudget) {
+			t.Fatalf("relaxed w=%d: got %v, want ErrBudget", w, err)
+		}
+		if !treesIdentical(t, wideLoop(), ref, got) {
+			t.Fatalf("relaxed w=%d budget tree differs", w)
+		}
+	}
+}
+
+// TestParallelMemBudgetBounded checks the shared budget pool: with
+// speculative workers racing ahead, ErrMemBudget must still fire close
+// to the limit — the committed tree may overshoot by at most one
+// node's successor batch, not by whatever the workers prefetched.
+func TestParallelMemBudgetBounded(t *testing.T) {
+	const limit = 64_000
+	// Generous slack: one processed node commits at most a handful of
+	// successors (branching ≤ 16 in wideLoop) between budget checks.
+	const slack = 16 * (nodeOverheadBytes + defaultStateBytes)
+	for _, opts := range []Options{
+		{MaxMemBytes: limit, Workers: 8},
+		{MaxMemBytes: limit, Workers: 8, Relaxed: true},
+		{MaxMemBytes: limit},
+	} {
+		tree, err := Explore(wideLoop(), opts)
+		if !errors.Is(err, ErrMemBudget) {
+			t.Fatalf("opts %+v: got %v, want ErrMemBudget", opts, err)
+		}
+		if tree.MemBytes > limit+slack {
+			t.Errorf("opts %+v: committed %d bytes, limit %d (+%d slack) — budget enforced too late",
+				opts, tree.MemBytes, limit, slack)
+		}
+	}
+}
+
+// TestRelaxedCancellationNoLeak cancels relaxed explorations of a
+// wide infinite system at jittered points — including mid-round while
+// the bounded exchange channels are full — and checks that Explore
+// returns promptly with the context error and that every round
+// goroutine exits. 100 iterations to shake out shutdown interleavings
+// (like the portfolio loser-cancellation stress).
+func TestRelaxedCancellationNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(delay time.Duration) {
+			time.Sleep(delay)
+			cancel()
+		}(time.Duration(i%20) * 100 * time.Microsecond)
+		done := make(chan error, 1)
+		go func() {
+			// No pruning: the frontier widens geometrically, so rounds
+			// produce far more successors than the exchange buffers hold.
+			_, err := Explore(wideLoop(), Options{Ctx: ctx, Relaxed: true, Workers: 4})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("iteration %d: got %v, want context.Canceled", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iteration %d: relaxed Explore did not return after cancellation", i)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("round goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRelaxedProgressCounters checks that relaxed explorations surface
+// the partition counters in Progress snapshots.
+func TestRelaxedProgressCounters(t *testing.T) {
+	var last Progress
+	_, err := Explore(wideLoop(), Options{
+		MaxStates:      4000,
+		Relaxed:        true,
+		Workers:        4,
+		OnProgress:     func(p Progress) { last = p },
+		ProgressStride: 256,
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+	if last.Workers != 4 {
+		t.Errorf("Progress.Workers = %d, want 4", last.Workers)
+	}
+	if len(last.PartitionDepths) != 4 {
+		t.Errorf("Progress.PartitionDepths = %v, want 4 partitions", last.PartitionDepths)
+	}
+	if last.Exchanged == 0 {
+		t.Error("Progress.Exchanged = 0, want > 0 on a wide system")
+	}
+}

@@ -148,6 +148,17 @@ type Options struct {
 	// count. Successors must be a pure function of the state for this
 	// to be sound (all domain implementations in this repo are).
 	Workers int
+	// Relaxed switches to round-based partitioned frontier exploration
+	// (see exploreRelaxed): the active frontier is sharded across
+	// Workers partitions by state hash, each round's successor
+	// computations run fully in parallel, and a merger commits the
+	// round in canonical (frontier, successor) order. The result is
+	// still deterministic — identical tree, stats, and lassos for every
+	// worker count — but it is the round-order tree, not the sequential
+	// depth-first one, so verdict-level equivalence (coverability, not
+	// byte-identity) is the contract against Relaxed=false. Off by
+	// default.
+	Relaxed bool
 	// Ctx cooperatively cancels the search (nil = never). Timeouts are
 	// expressed as context deadlines; once the context is done, Explore
 	// stops promptly and returns ctx.Err().
@@ -195,8 +206,20 @@ type Progress struct {
 	// Created approximates worker utilization.
 	Prefetched int
 	// MemBytes is the estimated retained bytes of the tree so far
-	// (per-node estimates plus MemExtra; see Options.MaxMemBytes).
+	// (per-node estimates plus speculative worker charges plus
+	// MemExtra; see Options.MaxMemBytes).
 	MemBytes int64
+	// PartitionDepths is the per-partition pending-work depth: prefetch
+	// stack depths in deterministic mode, owned-frontier sizes in
+	// relaxed mode. Nil when sequential. max/mean over this slice is
+	// the partition-imbalance signal surfaced by the obs registry.
+	PartitionDepths []int
+	// Exchanged counts successors routed between partitions so far
+	// (relaxed mode only).
+	Exchanged int
+	// ExchangeQueue is the peak buffered cross-partition successor
+	// count observed at the merger (relaxed mode only).
+	ExchangeQueue int
 }
 
 // DefaultProgressStride is the node-creation stride between OnProgress
@@ -261,13 +284,17 @@ func (t *Tree) Active() []*Node {
 // until a callback stops it, or until the state budget is exceeded
 // (ErrBudget), or until opts.Ctx is done (its ctx.Err()).
 func Explore(sys System, opts Options) (*Tree, error) {
+	if opts.Relaxed {
+		return exploreRelaxed(sys, opts)
+	}
 	e := &explorer{sys: sys, opts: opts, tree: &Tree{}, byKey: map[uint64][]*Node{}}
 	e.sized, _ = sys.(Sized)
 	if opts.UseIndex {
 		e.idx = newActIndex()
 	}
+	e.budget = &budgetPool{limit: opts.MaxMemBytes}
 	if opts.Workers > 1 {
-		e.pool = newPrefetchPool(sys, opts.Workers)
+		e.pool = newPrefetchPool(sys, opts.Workers, e.budget)
 		defer e.pool.shutdown()
 	}
 	stride := opts.ProgressStride
@@ -290,12 +317,14 @@ func Explore(sys System, opts Options) (*Tree, error) {
 			p.Workers = e.pool.workers
 			p.Inflight = int(e.pool.inflight.Load())
 			p.Prefetched = e.prefetched
+			p.PartitionDepths = e.pool.depths()
 		}
 		p.MemBytes = e.memTotal()
 		opts.OnProgress(p)
 	}
 	var work []*Node
 	finish := func(t *Tree, err error) (*Tree, error) {
+		t.Stopped = e.stop
 		if opts.OnProgress != nil {
 			emitProgress(len(work))
 		}
@@ -374,14 +403,23 @@ type explorer struct {
 	sized Sized
 	// pool is the successor prefetch pool (nil when Workers <= 1).
 	pool *prefetchPool
+	// budget is the shared memory-budget ledger: workers charge
+	// speculative successor bytes into it, the coordinator publishes
+	// the committed tree size (nil only in tests constructing explorer
+	// directly).
+	budget *budgetPool
 	// prefetched counts nodes whose successors a worker served.
 	prefetched int
 }
 
-// memTotal is the budget-accounting sum: tree estimate plus shared
-// extras (intern table).
+// memTotal is the budget-accounting sum: tree estimate plus
+// uncommitted speculative worker charges plus shared extras (intern
+// table).
 func (e *explorer) memTotal() int64 {
 	total := e.tree.MemBytes
+	if e.budget != nil {
+		total += e.budget.charged.Load()
+	}
 	if e.opts.MemExtra != nil {
 		total += e.opts.MemExtra()
 	}
@@ -401,9 +439,11 @@ func (e *explorer) fetchSuccessors(n *Node) []Succ {
 	}
 	n.task = nil
 	if t.claimed.CompareAndSwap(false, true) {
+		e.pool.settle(t)
 		return e.sys.Successors(n.S)
 	}
 	<-t.done
+	e.pool.settle(t)
 	e.prefetched++
 	return t.out
 }
@@ -476,11 +516,10 @@ func (e *explorer) newNode(s State, label any, parent *Node) *Node {
 	}
 	e.tree.Nodes = append(e.tree.Nodes, n)
 	e.tree.Created++
-	stateBytes := defaultStateBytes
-	if e.sized != nil {
-		stateBytes = e.sized.StateBytes(s)
+	e.tree.MemBytes += int64(nodeOverheadBytes + e.stateBytesOf(s))
+	if e.budget != nil {
+		e.budget.treeBytes.Store(e.tree.MemBytes)
 	}
-	e.tree.MemBytes += int64(nodeOverheadBytes + stateBytes)
 	if parent == nil {
 		e.tree.Roots = append(e.tree.Roots, n)
 	} else {
@@ -504,7 +543,7 @@ func (e *explorer) newNode(s State, label any, parent *Node) *Node {
 		e.stop = true
 	}
 	if e.pool != nil && !e.stop {
-		n.task = e.pool.add(n)
+		n.task = e.pool.add(n, key)
 	}
 	return n
 }
@@ -518,6 +557,8 @@ func (e *explorer) deactivateSubtree(m *Node) {
 	// loop, so its speculative successor computation can be dropped.
 	if m.task != nil {
 		m.task.stale.Store(true)
+		e.pool.settle(m.task)
+		m.task = nil
 	}
 	if m.Active {
 		m.Active = false
